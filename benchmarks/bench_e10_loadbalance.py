@@ -1,0 +1,75 @@
+"""E10 -- load balancing via random peer choice (motivation 2, [7]).
+
+Paper motivation: randomized load-balancing algorithms need a uniform
+peer sampler.  We allocate ``m`` tasks to ``n`` peers with one and two
+uniform choices versus the naive biased sampler, and compare maximum
+loads against balls-in-bins theory.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import IdealDHT, RandomPeerSampler
+from repro.apps.loadbalance import (
+    assign_tasks,
+    one_choice_max_load_theory,
+    two_choice_max_load_theory,
+)
+from repro.baselines.naive import NaiveSampler
+from repro.bench.harness import Table
+
+N = 512
+MULTIPLIERS = [1, 4, 16]
+
+
+def load_rows():
+    dht = IdealDHT.random(N, random.Random(100))
+    rows = []
+    for mult in MULTIPLIERS:
+        tasks = mult * N
+        uniform1 = assign_tasks(
+            RandomPeerSampler(dht, n_hat=float(N), rng=random.Random(101 + mult)),
+            N, tasks, choices=1,
+        )
+        uniform2 = assign_tasks(
+            RandomPeerSampler(dht, n_hat=float(N), rng=random.Random(201 + mult)),
+            N, tasks, choices=2,
+        )
+        naive1 = assign_tasks(
+            NaiveSampler(dht, random.Random(301 + mult)), N, tasks, choices=1
+        )
+        rows.append(
+            (
+                tasks,
+                uniform1.max_load,
+                one_choice_max_load_theory(N, tasks),
+                uniform2.max_load,
+                two_choice_max_load_theory(N, tasks),
+                naive1.max_load,
+            )
+        )
+    return rows
+
+
+def test_e10_loadbalance(benchmark, show):
+    rows = load_rows()
+    table = Table(
+        f"E10: max load, {N} peers (uniform 1-choice/2-choice vs naive)",
+        ["tasks", "uniform-1", "theory-1", "uniform-2", "theory-2", "naive-1"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.note("theory: ln n/ln ln n at m=n; m/n + O(sqrt) beyond; 2-choice log log n")
+    show(table)
+
+    for tasks, u1, t1, u2, t2, n1 in rows:
+        assert n1 > u1  # biased choice always loses
+        assert u2 <= u1  # power of two choices
+        assert u1 <= 4.0 * t1  # right order vs balls-in-bins
+        mean = tasks / N
+        assert u1 >= mean  # sanity
+
+    dht = IdealDHT.random(N, random.Random(110))
+    sampler = RandomPeerSampler(dht, n_hat=float(N), rng=random.Random(111))
+    benchmark(lambda: assign_tasks(sampler, N, N // 2, choices=2))

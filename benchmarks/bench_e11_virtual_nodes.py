@@ -1,0 +1,71 @@
+"""E11 -- virtual nodes: balance vs maintenance bandwidth (related work).
+
+Paper position: virtual nodes ([16]) smooth the arc distribution but
+"increase the bandwidth required for basic network maintenance", which
+is why the paper targets the plain DHT.  We sweep the virtual-node count
+``v``, reporting the naive-sampling bias that remains and the
+stabilization message cost per round.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+from repro.analysis.stats import max_min_ratio
+from repro.baselines.virtual_nodes import (
+    VirtualNodeRing,
+    maintenance_messages_per_round,
+)
+from repro.bench.harness import Table
+
+N = 512
+VS = [1, 2, 4, 8, 16]
+RINGS = 10
+
+
+def virtual_rows():
+    rows = []
+    for v in VS:
+        ratios = []
+        shares = []
+        for seed in range(RINGS):
+            ring = VirtualNodeRing.random(N, v, random.Random(seed))
+            probs = ring.selection_probabilities()
+            ratios.append(max_min_ratio(probs))
+            shares.append(max(probs) * N)  # max share / fair share
+        rows.append(
+            (
+                v,
+                statistics.median(ratios),
+                statistics.median(shares),
+                maintenance_messages_per_round(N, v),
+            )
+        )
+    return rows
+
+
+def test_e11_virtual_nodes(benchmark, show):
+    rows = virtual_rows()
+    table = Table(
+        f"E11: virtual nodes -- residual bias vs maintenance cost (n={N})",
+        ["v", "naive max/min (median)", "max share x n", "maintenance msgs/round"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.note("balance improves with v, but maintenance grows ~linearly in v")
+    table.note(f"v = log2 n = {int(math.log2(N))} is the Chord recommendation")
+    show(table)
+
+    ratios = [r[1] for r in rows]
+    costs = [r[3] for r in rows]
+    # Monotone trends in opposite directions: that's the trade-off.
+    assert ratios[-1] < ratios[0] / 4.0
+    assert all(costs[i] < costs[i + 1] for i in range(len(costs) - 1))
+    assert costs[-1] > 10 * costs[0]
+    # Even v=16 never reaches the exact sampler's ratio of 1.
+    assert ratios[-1] > 1.5
+
+    benchmark(lambda: VirtualNodeRing.random(N, 8, random.Random(0))
+              .selection_probabilities())

@@ -1,0 +1,72 @@
+"""E14 -- sampling in semi-structured networks (open problem 2).
+
+Section 4 asks whether efficient random-peer selection exists for
+Gnutella-like networks.  Without ``h``/``next``, random walks are the
+tool -- and their quality depends on the topology.  We measure the walk
+length needed to come within TV 0.02 of uniform on three plausible
+overlay families, against each family's spectral gap.  The DHT solution
+is topology-independent; the gap between the two is the open problem's
+substance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis.spectra import spectral_report
+from repro.analysis.stats import total_variation_from_uniform
+from repro.baselines.random_walk import walk_distribution
+from repro.baselines.unstructured import OVERLAY_KINDS, make_overlay
+from repro.bench.harness import Table
+
+N = 200
+TARGET_TV = 0.02
+MAX_STEPS = 4096
+
+
+def steps_to_mix(graph, start) -> int:
+    steps = 1
+    while steps <= MAX_STEPS:
+        dist = walk_distribution(graph, "metropolis", steps, start)
+        if total_variation_from_uniform(dist) <= TARGET_TV:
+            return steps
+        steps *= 2
+    return -1
+
+
+def unstructured_rows():
+    rows = []
+    for kind in OVERLAY_KINDS:
+        graph = make_overlay(kind, N, random.Random(150))
+        start = min(graph.nodes)
+        spec = spectral_report(graph, "metropolis")
+        mix = steps_to_mix(graph, start)
+        rows.append((kind, spec.spectral_gap, mix))
+    return rows
+
+
+def test_e14_unstructured(benchmark, show):
+    rows = unstructured_rows()
+    table = Table(
+        f"E14: metropolis walk steps to TV <= {TARGET_TV} (n={N})",
+        ["overlay", "spectral gap", "steps to mix"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.note("king-saia on a DHT: exact at ~log n messages, topology-free;")
+    table.note("walks on unstructured overlays pay 1/gap -- open problem 2")
+    show(table)
+
+    by_kind = {kind: (gap, mix) for kind, gap, mix in rows}
+    # All families eventually mix...
+    assert all(mix > 0 for _, (gap, mix) in by_kind.items())
+    # ...but the narrow lattice needs far longer than the expander,
+    # tracking the spectral-gap ordering.
+    assert by_kind["ring-lattice"][1] > 4 * by_kind["random-regular"][1]
+    assert by_kind["random-regular"][0] > by_kind["ring-lattice"][0]
+    # Even the best case needs more steps than the DHT's ~log2 n budget.
+    assert min(mix for _, (_, mix) in by_kind.items()) > math.log2(N)
+
+    graph = make_overlay("random-regular", N, random.Random(151))
+    benchmark(lambda: walk_distribution(graph, "metropolis", 32, min(graph.nodes)))

@@ -1,0 +1,55 @@
+"""E1 -- the naive heuristic's bias (introduction + Theorem 8).
+
+Paper claim: ``h(U(0,1])`` picks the peer with the longest arc
+``Theta(n log n)`` times more often than the peer with the shortest arc.
+We compute the *exact* selection distribution (the arcs) per ring and
+report the max/min ratio normalized by ``n ln n``, which should be flat
+across sizes; the King--Saia sampler's ratio is identically 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+from repro import SortedCircle
+from repro.analysis.stats import max_min_ratio
+from repro.baselines.naive import naive_selection_probabilities
+from repro.bench.harness import Table
+
+SIZES = [256, 1024, 4096, 16384]
+RINGS = 12
+
+
+def bias_rows():
+    rows = []
+    for n in SIZES:
+        ratios = [
+            max_min_ratio(
+                naive_selection_probabilities(SortedCircle.random(n, random.Random(seed)))
+            )
+            for seed in range(RINGS)
+        ]
+        med = statistics.median(ratios)
+        rows.append((n, med, med / (n * math.log(n))))
+    return rows
+
+
+def test_e1_naive_bias(benchmark, show):
+    rows = bias_rows()
+    table = Table(
+        "E1: naive h(U) bias -- max/min selection ratio (median over rings)",
+        ["n", "naive max/min", "ratio / (n ln n)", "king-saia max/min"],
+    )
+    for n, ratio, normalized in rows:
+        table.add_row(n, ratio, normalized, 1.0)
+    table.note("paper: naive bias grows as Theta(n log n); exact sampler is 1")
+    show(table)
+
+    # Normalized bias must be flat (same order) across a 64x size range.
+    normalized = [r[2] for r in rows]
+    assert max(normalized) / min(normalized) < 25.0
+
+    circle = SortedCircle.random(4096, random.Random(0))
+    benchmark(lambda: max_min_ratio(naive_selection_probabilities(circle)))

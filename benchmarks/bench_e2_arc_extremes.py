@@ -1,0 +1,51 @@
+"""E2 -- extreme arc lengths (Theorem 8 and Lemma 1).
+
+Paper claims: w.h.p. the shortest predecessor arc is ``Theta(1/n^2)``
+and the longest is ``Theta(log n / n)``.  The normalized columns
+(shortest * n^2 and longest * n / ln n) should stay order-one across the
+sweep, and every ring should satisfy Lemma 1's ``ln(1/arc)`` band.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SortedCircle, check_lemma1
+from repro.analysis.arcs import sweep_arc_extremes
+from repro.bench.harness import Table
+
+SIZES = [256, 1024, 4096, 16384]
+RINGS = 10
+
+
+def test_e2_arc_extremes(benchmark, show):
+    rng = random.Random(2024)
+    rows = sweep_arc_extremes(SIZES, RINGS, rng)
+    table = Table(
+        "E2: extreme arcs vs theory scales (mean over rings)",
+        ["n", "shortest", "shortest*n^2", "longest", "longest*n/ln n"],
+    )
+    for row in rows:
+        table.add_row(
+            row.n,
+            row.mean_shortest,
+            row.mean_shortest_ratio,
+            row.mean_longest,
+            row.mean_longest_ratio,
+        )
+    table.note("paper: shortest = Theta(1/n^2), longest = Theta(log n / n)")
+    show(table)
+
+    for row in rows:
+        assert 0.05 < row.mean_shortest_ratio < 20.0
+        assert 0.3 < row.mean_longest_ratio < 3.0
+
+    # Lemma 1 property check across rings.
+    lemma1_ok = sum(
+        1
+        for seed in range(20)
+        if check_lemma1(SortedCircle.random(4096, random.Random(seed))).holds
+    )
+    assert lemma1_ok >= 19
+
+    benchmark(lambda: sweep_arc_extremes([1024], 3, random.Random(1)))

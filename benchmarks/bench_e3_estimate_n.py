@@ -1,0 +1,71 @@
+"""E3 -- Estimate-n accuracy (Section 2, Lemma 3).
+
+Paper claim: the estimate is a ``(2/7 - eps, 6 + eps)`` approximation of
+``n`` with probability at least ``1 - 2/n``.  We sweep ``n`` and the
+tightness parameter ``c1``, reporting the ratio band observed over many
+vantage peers and the fraction inside Lemma 3's band.  Ablation: larger
+``c1`` buys a tighter estimate with linearly more ``next`` calls.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import IdealDHT, estimate_n
+from repro.bench.harness import Table
+from repro.core.sampler import GAMMA1, GAMMA2
+
+SIZES = [256, 1024, 4096]
+C1S = [1.0, 4.0, 16.0]
+TRIALS = 30
+
+
+def estimate_rows():
+    rows = []
+    for n in SIZES:
+        for c1 in C1S:
+            ratios = []
+            hops = []
+            for seed in range(TRIALS):
+                dht = IdealDHT.random(n, random.Random(seed))
+                result = estimate_n(dht, c1=c1)
+                ratios.append(result.n_hat / n)
+                hops.append(result.hops)
+            inside = sum(1 for r in ratios if GAMMA1 <= r <= GAMMA2) / len(ratios)
+            rows.append(
+                (
+                    n,
+                    c1,
+                    min(ratios),
+                    max(ratios),
+                    inside,
+                    sum(hops) / len(hops),
+                )
+            )
+    return rows
+
+
+def test_e3_estimate_n(benchmark, show):
+    rows = estimate_rows()
+    table = Table(
+        "E3: Estimate-n accuracy (n_hat / n over vantage peers)",
+        ["n", "c1", "min ratio", "max ratio", "in (2/7, 6) band", "mean next-calls"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.note("paper (Lemma 3): constant-factor approx w.p. >= 1 - 2/n")
+    show(table)
+
+    # With the default c1 the overwhelming majority must sit in the band.
+    for n, c1, lo, hi, inside, hops in rows:
+        if c1 >= 4.0:
+            assert inside >= 0.9
+        # Cost is Theta(c1 log n) next calls.
+        assert hops <= 4.0 * c1 * 18 + 2  # 18 > ln(4096) * 1.5
+
+    # Ablation: c1 = 16 spread narrower than c1 = 1 at the largest n.
+    spread = {c1: hi / lo for n, c1, lo, hi, _, _ in rows if n == SIZES[-1]}
+    assert spread[16.0] <= spread[1.0]
+
+    dht = IdealDHT.random(4096, random.Random(7))
+    benchmark(lambda: estimate_n(dht))

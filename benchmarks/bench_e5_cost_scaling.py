@@ -1,0 +1,85 @@
+"""E5 -- latency and message scaling (Theorem 7).
+
+Paper claim: one sample costs ``O(t_h + log n)`` latency and
+``O(m_h + log n)`` messages in expectation.  We sweep ``n`` on the ideal
+oracle (synthetic ``t_h = m_h = log2 n``) and on simulated Chord
+(measured hop counts), reporting per-sample means.  Columns divided by
+``log2 n`` must stay near-constant across a wide size range.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import ChordNetwork, IdealDHT, RandomPeerSampler
+from repro.bench.harness import Table
+
+IDEAL_SIZES = [256, 1024, 4096, 16384]
+CHORD_SIZES = [64, 128, 256]
+SAMPLES = 120
+
+
+def ideal_rows():
+    rows = []
+    for n in IDEAL_SIZES:
+        dht = IdealDHT.random(n, random.Random(n))
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(n + 1))
+        stats = [sampler.sample_with_stats() for _ in range(SAMPLES)]
+        msgs = sum(s.cost.messages for s in stats) / SAMPLES
+        latency = sum(s.cost.latency for s in stats) / SAMPLES
+        trials = sum(s.trials for s in stats) / SAMPLES
+        rows.append((n, trials, msgs, latency, msgs / math.log2(n)))
+    return rows
+
+
+def chord_rows():
+    rows = []
+    for n in CHORD_SIZES:
+        net = ChordNetwork.build(n, m=20, rng=random.Random(n))
+        dht = net.dht()
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(n + 1))
+        stats = [sampler.sample_with_stats() for _ in range(40)]
+        msgs = sum(s.cost.messages for s in stats) / len(stats)
+        rows.append((n, msgs, msgs / math.log2(n)))
+    return rows
+
+
+def test_e5_ideal_scaling(benchmark, show):
+    rows = ideal_rows()
+    table = Table(
+        "E5a: per-sample cost on the ideal DHT (t_h = m_h = log2 n)",
+        ["n", "mean trials", "mean messages", "mean latency", "messages / log2 n"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.note("paper (Thm 7): O(m_h + log n) messages; normalized column ~flat")
+    show(table)
+
+    normalized = [r[4] for r in rows]
+    # Across a 64x size sweep the normalized cost varies by < 2.5x while
+    # raw n varies 64x: that is logarithmic scaling.
+    assert max(normalized) / min(normalized) < 2.5
+
+    dht = IdealDHT.random(4096, random.Random(3))
+    sampler = RandomPeerSampler(dht, n_hat=4096.0, rng=random.Random(4))
+    benchmark(sampler.sample)
+
+
+def test_e5_chord_scaling(benchmark, show):
+    rows = chord_rows()
+    table = Table(
+        "E5b: per-sample cost on simulated Chord (measured hops)",
+        ["n", "mean messages", "messages / log2 n"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.note("same O(log n) shape with Chord's real iterative lookups")
+    show(table)
+    normalized = [r[2] for r in rows]
+    assert max(normalized) / min(normalized) < 3.0
+
+    net = ChordNetwork.build(128, m=20, rng=random.Random(8))
+    dht = net.dht()
+    sampler = RandomPeerSampler(dht, n_hat=128.0, rng=random.Random(9))
+    benchmark(sampler.sample)

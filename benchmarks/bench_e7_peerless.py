@@ -1,0 +1,57 @@
+"""E7 -- consecutive maximally peerless intervals (Lemma 4 / property 3).
+
+Paper claim: w.h.p. every ``6 ln n`` consecutive maximally peerless
+intervals (= predecessor arcs) together span at least ``(ln n)/n``.
+This is the supplementation slack that makes the walk of Figure 1
+terminate within budget.  We report the minimum window sum over sliding
+windows, normalized by the bound, across sizes and rings.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro import SortedCircle, check_lemma4
+from repro.bench.harness import Table
+
+SIZES = [512, 2048, 8192]
+RINGS = 15
+
+
+def lemma4_rows():
+    rows = []
+    for n in SIZES:
+        margins = []
+        failures = 0
+        window = bound = None
+        for seed in range(RINGS):
+            report = check_lemma4(SortedCircle.random(n, random.Random(seed)))
+            margins.append(report.min_window_sum / report.bound)
+            failures += 0 if report.holds else 1
+            window, bound = report.window, report.bound
+        rows.append(
+            (n, window, bound, min(margins), statistics.median(margins), failures)
+        )
+    return rows
+
+
+def test_e7_peerless_windows(benchmark, show):
+    rows = lemma4_rows()
+    table = Table(
+        "E7: min sum of 6 ln n consecutive peerless intervals / bound",
+        ["n", "window", "bound (ln n)/n", "min margin", "median margin", "violations"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.note("paper (Lemma 4): margin >= 1 w.p. >= 1 - 1/n")
+    show(table)
+    for n, w, b, min_margin, med_margin, failures in rows:
+        assert failures == 0
+        assert min_margin >= 1.0
+        # Expected window mass is ~6 ln n / n = 6x the bound, so the
+        # median margin should sit comfortably above 2.
+        assert med_margin > 2.0
+
+    circle = SortedCircle.random(8192, random.Random(0))
+    benchmark(lambda: check_lemma4(circle))

@@ -1,0 +1,70 @@
+"""E9 -- random links and adversarial robustness (motivation 3, [11]).
+
+Paper motivation: links to uniformly random peers keep the network
+connected under massive adversarial deletion; maintaining them needs a
+uniform sampler.  We build r-link overlays with the exact sampler and
+with the naive biased sampler, delete up to half the nodes (targeted at
+high degree), and compare the surviving giant component.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import IdealDHT, RandomPeerSampler
+from repro.apps.randlinks import build_random_link_overlay, deletion_robustness
+from repro.baselines.naive import NaiveSampler
+from repro.bench.harness import Table
+
+N = 300
+LINKS = 4
+FRACTIONS = [0.1, 0.3, 0.5]
+
+
+def robustness_rows():
+    dht = IdealDHT.random(N, random.Random(90))
+    uniform = RandomPeerSampler(dht, n_hat=float(N), rng=random.Random(91))
+    naive = NaiveSampler(dht, random.Random(92))
+    g_uniform = build_random_link_overlay(uniform, N, LINKS)
+    g_naive = build_random_link_overlay(naive, N, LINKS)
+    rows = []
+    for frac, u_point, n_point in zip(
+        FRACTIONS,
+        deletion_robustness(g_uniform, FRACTIONS, targeted=True),
+        deletion_robustness(g_naive, FRACTIONS, targeted=True),
+    ):
+        rows.append(
+            (
+                frac,
+                u_point.largest_component_fraction,
+                n_point.largest_component_fraction,
+            )
+        )
+    degree_spread = (
+        max(d for _, d in g_uniform.degree()),
+        max(d for _, d in g_naive.degree()),
+    )
+    return rows, degree_spread
+
+
+def test_e9_robustness(benchmark, show):
+    rows, (u_max_deg, n_max_deg) = robustness_rows()
+    table = Table(
+        f"E9: giant component after targeted deletion ({LINKS} links/node, n={N})",
+        ["deleted fraction", "uniform links", "naive links"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.note(f"max degree: uniform {u_max_deg}, naive {n_max_deg} (hub formation)")
+    table.note("paper/[11]: random-link graphs stay connected under deletion")
+    show(table)
+
+    for frac, uniform_lcc, naive_lcc in rows:
+        assert uniform_lcc >= naive_lcc - 0.02
+        assert uniform_lcc > 0.85
+    # The naive overlay concentrates links on long-arc peers (hubs).
+    assert n_max_deg > u_max_deg
+
+    dht = IdealDHT.random(N, random.Random(93))
+    sampler = RandomPeerSampler(dht, n_hat=float(N), rng=random.Random(94))
+    benchmark(lambda: build_random_link_overlay(sampler, N, 2))

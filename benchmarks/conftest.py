@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_eNN_*.py`` regenerates one experiment from DESIGN.md's
+per-experiment index.  The printed tables are the reproduction artifacts
+(recorded in EXPERIMENTS.md); the pytest-benchmark timings additionally
+track the cost of the underlying operations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a harness Table even under pytest's output capture."""
+
+    def _show(table) -> None:
+        with capsys.disabled():
+            table.show()
+
+    return _show

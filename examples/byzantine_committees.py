@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Committee election for Byzantine agreement (motivation 2, [8]).
+
+Scalable Byzantine agreement elects small committees of random peers and
+is safe while every committee's Byzantine share stays below 1/3.  This
+example sweeps the global adversary fraction, comparing the exact
+binomial analysis (valid under uniform sampling) with committees drawn
+by the uniform sampler, and then shows how an adversary who parks its
+peers behind the longest arcs corrupts naive-sampled committees.
+
+Run:  python examples/byzantine_committees.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import IdealDHT, RandomPeerSampler
+from repro.apps.committee import (
+    CommitteeSpec,
+    committee_failure_probability,
+    empirical_committee_failure,
+)
+from repro.baselines.naive import NaiveSampler
+
+N = 400
+SPEC = CommitteeSpec(size=25, threshold=1.0 / 3.0)
+ELECTIONS = 2000
+
+
+def main() -> None:
+    dht = IdealDHT.random(N, random.Random(71))
+    arcs = dht.circle.arcs()
+    by_arc = sorted(range(N), key=lambda i: arcs[i], reverse=True)
+
+    print(f"n={N} peers, committees of {SPEC.size}, tolerance < 1/3 Byzantine")
+    print(f"{ELECTIONS} elections per estimate\n")
+    print(f"{'byz %':>6}  {'exact (uniform)':>15}  {'uniform sampler':>15}  "
+          f"{'naive + adversary':>17}")
+
+    for frac in (0.05, 0.10, 0.20):
+        byz = int(frac * N)
+        exact = committee_failure_probability(N, byz, SPEC)
+
+        uniform = RandomPeerSampler(dht, n_hat=float(N), rng=random.Random(72))
+        random_ids = set(random.Random(73).sample(range(N), byz))
+        emp_uniform = empirical_committee_failure(
+            uniform, lambda p: p.peer_id in random_ids, SPEC, ELECTIONS
+        )
+
+        naive = NaiveSampler(dht, random.Random(74))
+        adversarial_ids = set(by_arc[:byz])  # adversary claims longest arcs
+        emp_naive = empirical_committee_failure(
+            naive, lambda p: p.peer_id in adversarial_ids, SPEC, ELECTIONS
+        )
+        print(f"{frac:>6.0%}  {exact:>15.5f}  {emp_uniform:>15.5f}  {emp_naive:>17.5f}")
+
+    print("\nuniform committees follow the binomial analysis; under the naive")
+    print("sampler an arc-squatting adversary is over-sampled and breaks the")
+    print("1/3 bound at fractions the analysis calls safe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Uniform sampling on a live, churning Chord network.
+
+Runs the full message-level stack: a Chord ring on the discrete-event
+simulator, Poisson churn (joins, graceful leaves, crashes), periodic
+stabilization -- and King-Saia sampling on top, reporting live-sample
+rate and measured message costs as the membership changes underneath.
+
+Run:  python examples/churn_chord.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import ChordNetwork, RandomPeerSampler, estimate_n
+from repro.sim.churn import ChurnProcess
+from repro.sim.kernel import Simulator
+
+N = 100
+EPOCHS = 12
+
+
+def main() -> None:
+    sim = Simulator()
+    net = ChordNetwork.build(N, m=20, rng=random.Random(61), sim=sim)
+    net.start_periodic_maintenance(interval=1.0)
+    churn = ChurnProcess(net, sim, rate=0.08, rng=random.Random(62), target_size=N)
+    churn.start()
+
+    print(f"chord ring: n={N}, m=20-bit ids, stabilization every 1.0 time units")
+    print("churn: Poisson joins/leaves/crashes at rate 0.08/unit\n")
+    print(f"{'epoch':>5}  {'t':>6}  {'pop':>4}  {'events':>6}  {'n_hat':>7}  "
+          f"{'msgs/sample':>11}  {'live?':>5}")
+
+    for epoch in range(EPOCHS):
+        sim.run_for(8.0)
+        net.run_stabilization(3)  # let repair quiesce before measuring
+        dht = net.dht()
+        est = estimate_n(dht)
+        sampler = RandomPeerSampler(dht, n_hat=est.n_hat, rng=random.Random(63 + epoch))
+        stats = sampler.sample_with_stats()
+        live = stats.peer.peer_id in net.nodes
+        print(
+            f"{epoch:>5}  {sim.now:>6.1f}  {len(net):>4}  {len(churn.events):>6}  "
+            f"{est.n_hat:>7.1f}  {stats.cost.messages:>11}  {'yes' if live else 'NO':>5}"
+        )
+
+    churn.stop()
+    net.run_stabilization(10)
+    print(f"\nfinal ring correct after churn: {net.ring_is_correct()}")
+    print(f"total transport messages: {net.transport.messages_sent}")
+    print(f"log2(n) = {math.log2(len(net)):.1f} -> per-sample messages stay "
+          f"within a constant multiple, as Theorem 7 predicts")
+
+
+if __name__ == "__main__":
+    main()

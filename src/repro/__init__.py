@@ -1,0 +1,103 @@
+"""repro: a full reproduction of "Choosing a Random Peer" (King & Saia,
+PODC 2004).
+
+The package provides:
+
+- :mod:`repro.core` -- the paper's algorithms (Estimate-n, Choose-Random-
+  Peer) plus the exact uniformity analysis and property checkers;
+- :mod:`repro.dht` -- substrates exposing the paper's ``h``/``next``
+  interface: an analytic oracle and a message-level Chord simulator;
+- :mod:`repro.sim` -- the discrete-event kernel, RPC transport, churn;
+- :mod:`repro.baselines` -- the biased naive heuristic, random-walk
+  samplers, and virtual-node load balancing for comparison;
+- :mod:`repro.analysis` -- statistics (TV distance, chi-square), arc
+  analytics, and spectral tools;
+- :mod:`repro.apps` -- the motivating applications: data collection,
+  random-link overlays, load balancing, committee sampling.
+
+Quickstart::
+
+    import random
+    from repro import IdealDHT, RandomPeerSampler
+
+    rng = random.Random(7)
+    dht = IdealDHT.random(10_000, rng)
+    sampler = RandomPeerSampler(dht, rng=rng)   # Estimate-n runs once
+    peer = sampler.sample()                     # uniform, O(log n) messages
+"""
+
+from .core import (
+    GAMMA1,
+    GAMMA2,
+    LAMBDA_SLACK,
+    AssignmentReport,
+    EstimateResult,
+    EstimationError,
+    Interval,
+    RandomPeerSampler,
+    ReproError,
+    SamplerParams,
+    SampleStats,
+    SamplingError,
+    SortedCircle,
+    TrialOutcome,
+    arc_extremes,
+    check_lemma1,
+    check_lemma2,
+    check_lemma4,
+    choose_random_peer,
+    clockwise_distance,
+    compute_assignment,
+    estimate_n,
+    estimate_n_median,
+    normalize,
+)
+from .apps import RandomLinkMaintainer
+from .core import AdaptiveSampler, BiasedPeerSampler, inverse_distance_weight
+from .dht import CostMeter, CostSnapshot, IdealDHT, LogCost, PeerRef
+from .dht.chord import ChordDHT, ChordNetwork, VirtualChordNetwork
+from .sim import RngRegistry, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GAMMA1",
+    "GAMMA2",
+    "LAMBDA_SLACK",
+    "AssignmentReport",
+    "EstimateResult",
+    "EstimationError",
+    "Interval",
+    "RandomPeerSampler",
+    "ReproError",
+    "SamplerParams",
+    "SampleStats",
+    "SamplingError",
+    "SortedCircle",
+    "TrialOutcome",
+    "arc_extremes",
+    "check_lemma1",
+    "check_lemma2",
+    "check_lemma4",
+    "choose_random_peer",
+    "clockwise_distance",
+    "compute_assignment",
+    "estimate_n",
+    "estimate_n_median",
+    "normalize",
+    "CostMeter",
+    "CostSnapshot",
+    "IdealDHT",
+    "LogCost",
+    "PeerRef",
+    "ChordDHT",
+    "ChordNetwork",
+    "VirtualChordNetwork",
+    "BiasedPeerSampler",
+    "AdaptiveSampler",
+    "RandomLinkMaintainer",
+    "inverse_distance_weight",
+    "RngRegistry",
+    "Simulator",
+    "__version__",
+]

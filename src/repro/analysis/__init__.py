@@ -1,0 +1,32 @@
+"""Statistics, arc analytics, and spectral tools for the experiments."""
+
+from .arcs import ArcSweepRow, sweep_arc_extremes
+from .spectra import SpectralReport, mixing_time_bound, spectral_report
+from .stats import (
+    ChiSquareResult,
+    chi_square_uniform,
+    empirical_distribution,
+    kl_divergence,
+    max_min_ratio,
+    mean_confidence_interval,
+    total_variation,
+    total_variation_from_uniform,
+    wilson_interval,
+)
+
+__all__ = [
+    "ArcSweepRow",
+    "sweep_arc_extremes",
+    "SpectralReport",
+    "mixing_time_bound",
+    "spectral_report",
+    "ChiSquareResult",
+    "chi_square_uniform",
+    "empirical_distribution",
+    "kl_divergence",
+    "max_min_ratio",
+    "mean_confidence_interval",
+    "total_variation",
+    "total_variation_from_uniform",
+    "wilson_interval",
+]

@@ -1,0 +1,59 @@
+"""Arc-length analytics: the empirical side of Theorem 8 and Lemma 1.
+
+Aggregates extreme-arc statistics over many random rings so benchmarks
+can show ``shortest = Theta(1/n^2)`` and ``longest = Theta(log n / n)``
+as flat normalized ratios across a sweep of ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.intervals import SortedCircle
+from ..core.properties import ArcExtremes, arc_extremes
+
+__all__ = ["ArcSweepRow", "sweep_arc_extremes"]
+
+
+@dataclass(frozen=True)
+class ArcSweepRow:
+    """Extreme-arc statistics for one ring size, averaged over rings."""
+
+    n: int
+    rings: int
+    mean_shortest: float
+    mean_longest: float
+    mean_shortest_ratio: float  # shortest / (1/n^2), Theta(1) by Thm 8
+    mean_longest_ratio: float  # longest / (ln n / n), Theta(1) by [16]
+    mean_bias_ratio: float  # longest / shortest, Theta(n log n)
+
+    @property
+    def bias_scale(self) -> float:
+        """``mean_bias_ratio / (n ln n)`` -- flat when Theorem 8 holds."""
+        return self.mean_bias_ratio / (self.n * math.log(self.n))
+
+
+def sweep_arc_extremes(
+    sizes: list[int], rings_per_size: int, rng: random.Random
+) -> list[ArcSweepRow]:
+    """Average :func:`arc_extremes` over ``rings_per_size`` rings per size."""
+    rows = []
+    for n in sizes:
+        extremes: list[ArcExtremes] = [
+            arc_extremes(SortedCircle.random(n, rng)) for _ in range(rings_per_size)
+        ]
+        k = len(extremes)
+        rows.append(
+            ArcSweepRow(
+                n=n,
+                rings=k,
+                mean_shortest=math.fsum(e.shortest for e in extremes) / k,
+                mean_longest=math.fsum(e.longest for e in extremes) / k,
+                mean_shortest_ratio=math.fsum(e.shortest_ratio for e in extremes) / k,
+                mean_longest_ratio=math.fsum(e.longest_ratio for e in extremes) / k,
+                mean_bias_ratio=math.fsum(e.naive_bias_ratio for e in extremes) / k,
+            )
+        )
+    return rows

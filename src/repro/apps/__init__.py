@@ -1,0 +1,45 @@
+"""The paper's motivating applications, built on the public sampler API."""
+
+from .committee import (
+    CommitteeSpec,
+    committee_failure_probability,
+    empirical_committee_failure,
+)
+from .datacollection import (
+    FractionEstimate,
+    MeanEstimate,
+    horvitz_thompson_fraction,
+    poll_fraction,
+    poll_mean,
+)
+from .linkmaintainer import RandomLinkMaintainer
+from .loadbalance import (
+    LoadReport,
+    assign_tasks,
+    one_choice_max_load_theory,
+    two_choice_max_load_theory,
+)
+from .randlinks import (
+    RobustnessPoint,
+    build_random_link_overlay,
+    deletion_robustness,
+)
+
+__all__ = [
+    "RandomLinkMaintainer",
+    "CommitteeSpec",
+    "committee_failure_probability",
+    "empirical_committee_failure",
+    "FractionEstimate",
+    "MeanEstimate",
+    "horvitz_thompson_fraction",
+    "poll_fraction",
+    "poll_mean",
+    "LoadReport",
+    "assign_tasks",
+    "one_choice_max_load_theory",
+    "two_choice_max_load_theory",
+    "RobustnessPoint",
+    "build_random_link_overlay",
+    "deletion_robustness",
+]

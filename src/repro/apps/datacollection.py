@@ -1,0 +1,103 @@
+"""Data collection by statistically rigorous sampling (motivation 1).
+
+With a uniform sampler, polling ``k`` peers yields unbiased estimates of
+population fractions and means with textbook confidence intervals.  With
+the *naive* sampler the estimates are biased toward peers owning long
+arcs; :func:`horvitz_thompson_fraction` shows the classical fix when the
+inclusion probabilities happen to be known, which in a real DHT they are
+not -- the point the paper makes for exact uniform sampling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..analysis.stats import mean_confidence_interval, wilson_interval
+from ..dht.api import PeerRef
+
+__all__ = ["FractionEstimate", "MeanEstimate", "poll_fraction", "poll_mean",
+           "horvitz_thompson_fraction"]
+
+
+@dataclass(frozen=True)
+class FractionEstimate:
+    """Estimated population fraction with a Wilson confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    samples: int
+
+    def covers(self, truth: float) -> bool:
+        return self.low <= truth <= self.high
+
+
+@dataclass(frozen=True)
+class MeanEstimate:
+    """Estimated population mean with a t-based confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    samples: int
+
+    def covers(self, truth: float) -> bool:
+        return self.low <= truth <= self.high
+
+
+def poll_fraction(
+    sampler,
+    predicate: Callable[[PeerRef], bool],
+    samples: int,
+    confidence: float = 0.95,
+) -> FractionEstimate:
+    """Estimate the fraction of peers satisfying ``predicate``.
+
+    ``sampler`` is anything with a ``sample() -> PeerRef`` method (the
+    King--Saia sampler, the naive baseline, a random-walk adapter...).
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    hits = sum(1 for _ in range(samples) if predicate(sampler.sample()))
+    low, high = wilson_interval(hits, samples, confidence)
+    return FractionEstimate(estimate=hits / samples, low=low, high=high, samples=samples)
+
+
+def poll_mean(
+    sampler,
+    attribute: Callable[[PeerRef], float],
+    samples: int,
+    confidence: float = 0.95,
+) -> MeanEstimate:
+    """Estimate the population mean of a per-peer numeric attribute."""
+    if samples < 2:
+        raise ValueError("need at least two samples for an interval")
+    values = [attribute(sampler.sample()) for _ in range(samples)]
+    mean, low, high = mean_confidence_interval(values, confidence)
+    return MeanEstimate(estimate=mean, low=low, high=high, samples=samples)
+
+
+def horvitz_thompson_fraction(
+    draws: Sequence[PeerRef],
+    predicate: Callable[[PeerRef], bool],
+    selection_probability: Mapping[int, float],
+    population: int,
+) -> float:
+    """Bias-corrected fraction estimate for a *non-uniform* sampler.
+
+    Weighs each drawn peer by ``1 / (population * p_select)``, the
+    Horvitz--Thompson estimator.  Requires the per-peer selection
+    probabilities -- available in simulation, unobtainable in a deployed
+    DHT, which is why uniform sampling is the practical answer.
+    """
+    if not draws:
+        raise ValueError("need at least one draw")
+    total = 0.0
+    for peer in draws:
+        p = selection_probability[peer.peer_id]
+        if p <= 0.0:
+            raise ValueError(f"peer {peer.peer_id} has non-positive selection probability")
+        if predicate(peer):
+            total += 1.0 / (population * p)
+    return total / len(draws)

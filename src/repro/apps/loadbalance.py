@@ -1,0 +1,76 @@
+"""Load balancing by random peer choice (motivation 2, after [7]).
+
+Assign ``m`` tasks by drawing a uniformly random peer per task: the
+maximum load is ``Theta(log n / log log n)`` for ``m = n`` and
+``m/n + O(sqrt(m log n / n))`` beyond.  With *two* uniform choices per
+task (place on the lighter peer) the maximum drops to
+``log log n / log 2 + O(m/n)`` -- the power of two choices.  Both
+guarantees evaporate under the naive biased sampler, whose long-arc
+peers absorb ``Theta(log n / n)`` of all tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["LoadReport", "assign_tasks", "one_choice_max_load_theory",
+           "two_choice_max_load_theory"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one allocation experiment."""
+
+    n_peers: int
+    n_tasks: int
+    choices: int
+    max_load: int
+    mean_load: float
+    loads: dict[int, int]
+
+
+def assign_tasks(sampler, n_peers: int, n_tasks: int, choices: int = 1) -> LoadReport:
+    """Allocate ``n_tasks`` tasks, drawing ``choices`` candidate peers per
+    task from ``sampler`` and placing on the least-loaded candidate."""
+    if choices < 1:
+        raise ValueError("need at least one choice per task")
+    if n_tasks < 0:
+        raise ValueError("task count must be non-negative")
+    loads: Counter = Counter()
+    for _ in range(n_tasks):
+        candidates = [sampler.sample().peer_id for _ in range(choices)]
+        target = min(candidates, key=lambda c: loads[c])
+        loads[target] += 1
+    max_load = max(loads.values(), default=0)
+    return LoadReport(
+        n_peers=n_peers,
+        n_tasks=n_tasks,
+        choices=choices,
+        max_load=max_load,
+        mean_load=n_tasks / n_peers,
+        loads=dict(loads),
+    )
+
+
+def one_choice_max_load_theory(n_peers: int, n_tasks: int) -> float:
+    """Asymptotic max load of one uniform choice (balls in bins).
+
+    ``m = n``: ``ln n / ln ln n``; heavily loaded case adds the
+    square-root deviation term.
+    """
+    if n_peers < 2:
+        return float(n_tasks)
+    log_n = math.log(n_peers)
+    if n_tasks <= n_peers:
+        return log_n / math.log(max(log_n, math.e))
+    mean = n_tasks / n_peers
+    return mean + math.sqrt(2.0 * mean * log_n)
+
+
+def two_choice_max_load_theory(n_peers: int, n_tasks: int) -> float:
+    """Asymptotic max load of two uniform choices (Azar et al.)."""
+    if n_peers < 2:
+        return float(n_tasks)
+    return n_tasks / n_peers + math.log(math.log(n_peers)) / math.log(2.0)

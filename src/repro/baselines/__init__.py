@@ -1,0 +1,23 @@
+"""Comparison samplers: the biased naive heuristic, random walks, and
+virtual-node load balancing."""
+
+from .naive import NaiveSampler, naive_selection_probabilities
+from .random_walk import (
+    RandomWalkSampler,
+    stationary_distribution,
+    walk_distribution,
+)
+from .unstructured import OVERLAY_KINDS, make_overlay
+from .virtual_nodes import VirtualNodeRing, maintenance_messages_per_round
+
+__all__ = [
+    "OVERLAY_KINDS",
+    "make_overlay",
+    "NaiveSampler",
+    "naive_selection_probabilities",
+    "RandomWalkSampler",
+    "stationary_distribution",
+    "walk_distribution",
+    "VirtualNodeRing",
+    "maintenance_messages_per_round",
+]

@@ -1,0 +1,45 @@
+"""The naive sampling heuristic the paper opens with -- and its bias.
+
+"Choose a random point ``x`` on the unit circle and return ``h(x)``."
+The probability a peer is chosen equals the length of its predecessor
+arc, which varies between ``Theta(1/n^2)`` and ``Theta(log n / n)``
+(Theorem 8), so the luckiest peer is picked ``Theta(n log n)`` times
+more often than the unluckiest.  We implement it both as a live sampler
+(for head-to-head experiments) and as an exact distribution (the arc
+lengths themselves) for analysis.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.intervals import SortedCircle
+from ..dht.api import DHT, PeerRef
+
+__all__ = ["NaiveSampler", "naive_selection_probabilities"]
+
+
+class NaiveSampler:
+    """``h(U(0, 1])``: one ``h`` call per sample, biased by arc length."""
+
+    def __init__(self, dht: DHT, rng: random.Random | None = None):
+        self._dht = dht
+        self._rng = rng if rng is not None else random.Random()
+
+    def sample(self) -> PeerRef:
+        """Draw one peer with probability proportional to its arc."""
+        return self._dht.h(1.0 - self._rng.random())
+
+    def sample_many(self, k: int) -> list[PeerRef]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return [self.sample() for _ in range(k)]
+
+
+def naive_selection_probabilities(circle: SortedCircle) -> list[float]:
+    """Exact selection distribution of the naive heuristic.
+
+    Peer ``i`` is returned by ``h(U)`` iff ``U`` falls in its predecessor
+    arc, so its selection probability is exactly ``circle.arc(i)``.
+    """
+    return circle.arcs()

@@ -1,0 +1,84 @@
+"""Virtual nodes: the classical load-balancing extension (related work).
+
+Each peer owns ``v`` points on the circle instead of one (Chord [16]
+suggests ``v = Theta(log n)``).  Balance improves -- a peer's total arc
+share concentrates around ``1/n`` -- which also shrinks (but does not
+eliminate) the naive heuristic's bias.  The paper notes the drawback:
+ring-maintenance bandwidth scales with ``v``, since every virtual point
+needs its own successor/finger upkeep.
+
+This module provides the ownership model and the exact induced
+selection distribution, plus a simple maintenance-cost model used by
+benchmark E11.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.intervals import SortedCircle
+
+__all__ = ["VirtualNodeRing", "maintenance_messages_per_round"]
+
+
+@dataclass(frozen=True)
+class VirtualNodeRing:
+    """A ring where peer ``i`` owns ``v`` virtual points.
+
+    ``circle`` holds all ``n * v`` points; ``owner[j]`` is the peer that
+    owns the ``j``-th sorted point.
+    """
+
+    circle: SortedCircle
+    owner: tuple[int, ...]
+    n_peers: int
+    v: int
+
+    @classmethod
+    def random(cls, n_peers: int, v: int, rng: random.Random) -> "VirtualNodeRing":
+        """Each of ``n_peers`` peers gets ``v`` i.i.d. uniform points."""
+        if n_peers < 1 or v < 1:
+            raise ValueError("need at least one peer and one virtual point each")
+        tagged = sorted(
+            (1.0 - rng.random(), peer) for peer in range(n_peers) for _ in range(v)
+        )
+        return cls(
+            circle=SortedCircle(point for point, _ in tagged),
+            owner=tuple(peer for _, peer in tagged),
+            n_peers=n_peers,
+            v=v,
+        )
+
+    def selection_probabilities(self) -> list[float]:
+        """Exact naive-heuristic distribution over *peers*.
+
+        ``h(U)`` lands on virtual point ``j`` with probability equal to
+        its predecessor arc; the owning peer aggregates its points' arcs.
+        """
+        probs = [0.0] * self.n_peers
+        for j, arc in enumerate(self.circle.arcs()):
+            probs[self.owner[j]] += arc
+        return probs
+
+    def max_share(self) -> float:
+        """The largest per-peer arc share (load-balance figure of merit)."""
+        return max(self.selection_probabilities())
+
+
+def maintenance_messages_per_round(n_peers: int, v: int, successor_list_size: int = 8) -> int:
+    """Stabilization messages one round costs with ``v`` virtual points/peer.
+
+    Per virtual point and round: one ``get_predecessor`` + one ``notify``
+    + one ``get_successor_list`` round trip (2 messages each), plus one
+    finger-fix lookup of ``~log2(n v)`` hops (2 messages per hop).  This
+    mirrors what :class:`~repro.dht.chord.ChordNetwork` actually sends and
+    is the bandwidth overhead the paper cites when declining to assume
+    virtual nodes.
+    """
+    if n_peers < 1 or v < 1:
+        raise ValueError("need at least one peer and one virtual point each")
+    points = n_peers * v
+    per_point = 3 * 2 + 2 * max(1, math.ceil(math.log2(max(2, points))))
+    return points * per_point

@@ -1,0 +1,14 @@
+"""Experiment harness shared by the ``benchmarks/`` suite."""
+
+from .harness import Table, fmt, geometric_mean, sweep
+from .workloads import make_ideal_dht, make_sampler, selection_counts
+
+__all__ = [
+    "Table",
+    "fmt",
+    "geometric_mean",
+    "sweep",
+    "make_ideal_dht",
+    "make_sampler",
+    "selection_counts",
+]

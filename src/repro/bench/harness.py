@@ -1,0 +1,94 @@
+"""Shared experiment harness: aligned tables and parameter sweeps.
+
+Every benchmark regenerates one of the paper's claims as a printed
+table; this module keeps the formatting and sweep plumbing in one place
+so each ``benchmarks/bench_eNN_*.py`` stays focused on its experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "fmt", "geometric_mean", "sweep"]
+
+
+def fmt(value, digits: int = 4) -> str:
+    """Compact human formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "nan"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{digits - 1}e}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A printable experiment table with aligned columns."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        formatted = [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in formatted)) if formatted else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+    def to_csv(self) -> str:
+        """The table as CSV (headers + formatted rows), for plotting."""
+        lines = [",".join(str(h) for h in self.headers)]
+        for row in self.rows:
+            lines.append(",".join(fmt(c) for c in row))
+        return "\n".join(lines) + "\n"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (for averaging cost ratios)."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(math.fsum(math.log(v) for v in vals) / len(vals))
+
+
+def sweep(values: Sequence, fn: Callable) -> list:
+    """Apply ``fn`` to each parameter value, collecting results in order."""
+    return [fn(v) for v in values]

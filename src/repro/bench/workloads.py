@@ -1,0 +1,39 @@
+"""Workload builders shared by benchmarks and examples.
+
+Centralizes the "make a ring / make a Chord net / draw k samples"
+boilerplate so experiments stay declarative and use consistent seeding
+via :class:`~repro.sim.rng.RngRegistry`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from ..core.sampler import RandomPeerSampler
+from ..dht.ideal import IdealDHT
+from ..sim.rng import RngRegistry
+
+__all__ = ["make_ideal_dht", "make_sampler", "selection_counts"]
+
+
+def make_ideal_dht(n: int, seed: int, stream: str = "ring") -> IdealDHT:
+    """An ``IdealDHT`` of ``n`` uniform peers from a named seed stream."""
+    rng = RngRegistry(seed).stream(stream)
+    return IdealDHT.random(n, rng)
+
+
+def make_sampler(
+    dht: IdealDHT, seed: int, n_hat: float | None = None, **kwargs
+) -> RandomPeerSampler:
+    """A sampler with its trial randomness on its own seed stream."""
+    rng = RngRegistry(seed).stream("sampler")
+    return RandomPeerSampler(dht, n_hat=n_hat, rng=rng, **kwargs)
+
+
+def selection_counts(sampler, draws: int) -> Counter:
+    """Draw ``draws`` samples and tally peers by id."""
+    counts: Counter = Counter()
+    for _ in range(draws):
+        counts[sampler.sample().peer_id] += 1
+    return counts

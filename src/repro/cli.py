@@ -1,0 +1,155 @@
+"""Command-line interface: run the paper's algorithms from a shell.
+
+Subcommands::
+
+    python -m repro estimate   --n 5000             # Estimate-n accuracy
+    python -m repro sample     --n 5000 --samples 5 # uniform draws + costs
+    python -m repro uniformity --n 256 --draws 20000
+    python -m repro chord      --n 128 --samples 20 # on simulated Chord
+
+Every subcommand accepts ``--seed`` for reproducibility and prints a
+plain-text report; exit status is non-zero on invalid arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from collections import Counter
+from collections.abc import Sequence
+
+from .analysis.stats import chi_square_uniform, max_min_ratio
+from .baselines.naive import NaiveSampler
+from .core.estimate import estimate_n, estimate_n_median
+from .core.sampler import RandomPeerSampler
+from .dht.chord.network import ChordNetwork
+from .dht.ideal import IdealDHT
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Choosing a Random Peer (King & Saia, PODC 2004) -- demos",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_est = sub.add_parser("estimate", help="run Estimate-n on a random ring")
+    p_est.add_argument("--n", type=int, default=1000, help="true network size")
+    p_est.add_argument("--c1", type=float, default=4.0, help="tightness constant")
+    p_est.add_argument(
+        "--vantages", type=int, default=1,
+        help="median over this many vantage peers (variance reduction)",
+    )
+
+    p_sample = sub.add_parser("sample", help="draw uniform peers with cost stats")
+    p_sample.add_argument("--n", type=int, default=1000)
+    p_sample.add_argument("--samples", type=int, default=5)
+
+    p_uni = sub.add_parser("uniformity", help="chi-square vs the naive heuristic")
+    p_uni.add_argument("--n", type=int, default=256)
+    p_uni.add_argument("--draws", type=int, default=10_000)
+
+    p_chord = sub.add_parser("chord", help="sample over a simulated Chord ring")
+    p_chord.add_argument("--n", type=int, default=128)
+    p_chord.add_argument("--m", type=int, default=20, help="identifier bits")
+    p_chord.add_argument("--samples", type=int, default=10)
+    return parser
+
+
+def _cmd_estimate(args) -> int:
+    if args.n < 1 or args.vantages < 1:
+        print("error: --n and --vantages must be positive", file=sys.stderr)
+        return 2
+    dht = IdealDHT.random(args.n, random.Random(args.seed))
+    if args.vantages > 1:
+        result = estimate_n_median(
+            dht, vantages=args.vantages, c1=args.c1,
+            rng=random.Random(args.seed + 1),
+        )
+    else:
+        result = estimate_n(dht, c1=args.c1)
+    print(f"true n         : {args.n}")
+    print(f"n_hat          : {result.n_hat:.1f} (ratio {result.n_hat / args.n:.3f})")
+    print(f"first estimate : {result.n_hat_1:.1f}")
+    print(f"next-calls     : {result.hops}")
+    print(f"exact (lapped) : {result.exact}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    if args.n < 1 or args.samples < 1:
+        print("error: --n and --samples must be positive", file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    dht = IdealDHT.random(args.n, rng)
+    sampler = RandomPeerSampler(dht, rng=rng)
+    print(f"n={args.n}  n_hat={sampler.params.n_hat:.1f}  "
+          f"lambda={sampler.params.lam:.3e}  walk_budget={sampler.params.walk_budget}")
+    for i in range(args.samples):
+        stats = sampler.sample_with_stats()
+        print(f"sample {i}: peer {stats.peer.peer_id:>6} "
+              f"point {stats.peer.point:.6f}  trials {stats.trials:>3}  "
+              f"messages {stats.cost.messages:>5}")
+    return 0
+
+
+def _cmd_uniformity(args) -> int:
+    if args.n < 2 or args.draws < args.n:
+        print("error: need --n >= 2 and --draws >= --n", file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    dht = IdealDHT.random(args.n, rng)
+    uniform = RandomPeerSampler(dht, rng=rng)
+    naive = NaiveSampler(dht, rng)
+    u_counts = Counter(uniform.sample().peer_id for _ in range(args.draws))
+    n_counts = Counter(naive.sample().peer_id for _ in range(args.draws))
+    u_chi = chi_square_uniform([u_counts.get(i, 0) for i in range(args.n)])
+    n_chi = chi_square_uniform([n_counts.get(i, 0) for i in range(args.n)])
+    print(f"{args.draws} draws over n={args.n} peers")
+    print(f"king-saia : chi2 p={u_chi.p_value:.4f}  "
+          f"max/min={max_min_ratio([u_counts.get(i, 0) + 1 for i in range(args.n)]):.1f}")
+    print(f"naive h(U): chi2 p={n_chi.p_value:.3e}  "
+          f"max/min={max_min_ratio([n_counts.get(i, 0) + 1 for i in range(args.n)]):.1f}")
+    return 0
+
+
+def _cmd_chord(args) -> int:
+    if args.n < 1 or args.samples < 1:
+        print("error: --n and --samples must be positive", file=sys.stderr)
+        return 2
+    if args.n > (1 << args.m):
+        print("error: identifier space too small for --n", file=sys.stderr)
+        return 2
+    net = ChordNetwork.build(args.n, m=args.m, rng=random.Random(args.seed))
+    dht = net.dht()
+    sampler = RandomPeerSampler(dht, rng=random.Random(args.seed + 1))
+    print(f"chord: n={args.n}, m={args.m}, ring correct={net.ring_is_correct()}")
+    total_msgs = 0
+    for i in range(args.samples):
+        stats = sampler.sample_with_stats()
+        total_msgs += stats.cost.messages
+        print(f"sample {i}: node {stats.peer.peer_id:>8}  trials {stats.trials:>3}  "
+              f"messages {stats.cost.messages:>5}")
+    print(f"mean messages/sample: {total_msgs / args.samples:.1f}")
+    return 0
+
+
+_COMMANDS = {
+    "estimate": _cmd_estimate,
+    "sample": _cmd_sample,
+    "uniformity": _cmd_uniformity,
+    "chord": _cmd_chord,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""The paper's contribution: Estimate-n and Choose-Random-Peer.
+
+See :mod:`repro.core.sampler` for the main algorithm (Figure 1),
+:mod:`repro.core.estimate` for size estimation (Section 2),
+:mod:`repro.core.assignment` for the exact uniformity analysis behind
+Theorem 6, and :mod:`repro.core.properties` for the Lemma 1/2/4 and
+Theorem 8 checkers.
+"""
+
+from .adaptive import AdaptiveSampler
+from .assignment import AssignmentReport, compute_assignment, trial_on_circle
+from .biased import BiasedPeerSampler, BiasedSampleStats, inverse_distance_weight
+from .errors import EstimationError, ReproError, SamplingError
+from .estimate import DEFAULT_C1, EstimateResult, estimate_n, estimate_n_median
+from .intervals import Interval, SortedCircle, clockwise_distance, normalize
+from .properties import (
+    ArcExtremes,
+    Lemma1Report,
+    Lemma2Report,
+    Lemma4Report,
+    arc_extremes,
+    check_lemma1,
+    check_lemma2,
+    check_lemma4,
+)
+from .sampler import (
+    GAMMA1,
+    GAMMA2,
+    LAMBDA_SLACK,
+    RandomPeerSampler,
+    SamplerParams,
+    SampleStats,
+    TrialOutcome,
+    TrialResult,
+    choose_random_peer,
+)
+
+__all__ = [
+    "AdaptiveSampler",
+    "AssignmentReport",
+    "compute_assignment",
+    "trial_on_circle",
+    "BiasedPeerSampler",
+    "BiasedSampleStats",
+    "inverse_distance_weight",
+    "EstimationError",
+    "ReproError",
+    "SamplingError",
+    "DEFAULT_C1",
+    "EstimateResult",
+    "estimate_n",
+    "estimate_n_median",
+    "Interval",
+    "SortedCircle",
+    "clockwise_distance",
+    "normalize",
+    "ArcExtremes",
+    "Lemma1Report",
+    "Lemma2Report",
+    "Lemma4Report",
+    "arc_extremes",
+    "check_lemma1",
+    "check_lemma2",
+    "check_lemma4",
+    "GAMMA1",
+    "GAMMA2",
+    "LAMBDA_SLACK",
+    "RandomPeerSampler",
+    "SamplerParams",
+    "SampleStats",
+    "TrialOutcome",
+    "TrialResult",
+    "choose_random_peer",
+]

@@ -1,0 +1,116 @@
+"""Churn-aware sampling: keep the size estimate fresh automatically.
+
+The sampler's guarantees need ``n_hat >= gamma_1 * n``; under churn a
+once-computed estimate drifts.  :class:`AdaptiveSampler` wraps
+:class:`~repro.core.sampler.RandomPeerSampler` and re-runs Estimate-n
+
+- after a configurable number of samples (steady-state refresh), and
+- immediately when a sample needs far more trials than the closed-form
+  expectation (the operational symptom of ``n`` having outgrown
+  ``n_hat``: per-trial success probability is ``n * lambda``, so too
+  *few* retries is never a problem, while population shrink merely
+  wastes retries until the next refresh catches it).
+
+This is engineering on top of the paper (it only says the estimate
+exists); the policy keeps the exactness precondition holding across
+membership change without coordination.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dht.api import DHT, PeerRef
+from .errors import SamplingError
+from .estimate import DEFAULT_C1, estimate_n
+from .sampler import GAMMA1, LAMBDA_SLACK, RandomPeerSampler, SampleStats
+
+__all__ = ["AdaptiveSampler"]
+
+
+class AdaptiveSampler:
+    """A self-refreshing uniform sampler for long-lived, churny networks.
+
+    Parameters
+    ----------
+    dht:
+        The substrate; must reflect membership changes (as the Chord
+        adapter does).
+    refresh_every:
+        Re-estimate after this many successful samples.
+    trial_alarm_factor:
+        Re-estimate (and retry once) when one sample consumes more than
+        ``factor * lambda_slack / gamma1`` trials -- several times the
+        expected retry count for a sound estimate.
+    """
+
+    def __init__(
+        self,
+        dht: DHT,
+        *,
+        refresh_every: int = 256,
+        trial_alarm_factor: float = 4.0,
+        c1: float = DEFAULT_C1,
+        rng: random.Random | None = None,
+        **sampler_kwargs,
+    ):
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be positive")
+        if trial_alarm_factor <= 1.0:
+            raise ValueError("trial_alarm_factor must exceed 1")
+        self._dht = dht
+        self._c1 = c1
+        self._rng = rng if rng is not None else random.Random()
+        self._refresh_every = refresh_every
+        self._sampler_kwargs = sampler_kwargs
+        gamma1 = sampler_kwargs.get("gamma1", GAMMA1)
+        slack = sampler_kwargs.get("lambda_slack", LAMBDA_SLACK)
+        self._trial_alarm = trial_alarm_factor * slack / gamma1
+        self.refreshes = 0
+        self._since_refresh = 0
+        self._inner = self._build()
+
+    def _build(self) -> RandomPeerSampler:
+        self.refreshes += 1
+        self._since_refresh = 0
+        n_hat = estimate_n(self._dht, c1=self._c1).n_hat
+        return RandomPeerSampler(
+            self._dht, n_hat, rng=self._rng, **self._sampler_kwargs
+        )
+
+    @property
+    def n_hat(self) -> float:
+        """The estimate currently in use."""
+        return self._inner.params.n_hat
+
+    def refresh(self) -> None:
+        """Force a fresh Estimate-n now."""
+        self._inner = self._build()
+
+    def sample_with_stats(self) -> SampleStats:
+        """Draw one uniform peer, refreshing the estimate as needed."""
+        if self._since_refresh >= self._refresh_every:
+            self.refresh()
+        try:
+            stats = self._inner.sample_with_stats()
+        except SamplingError:
+            # Estimate so stale that sampling failed outright: re-estimate
+            # and give the fresh parameters one chance before propagating.
+            self.refresh()
+            stats = self._inner.sample_with_stats()
+        self._since_refresh += 1
+        if stats.trials > self._trial_alarm:
+            # Suspiciously many retries: refresh opportunistically so the
+            # *next* samples run at the proper cost.
+            self.refresh()
+        return stats
+
+    def sample(self) -> PeerRef:
+        """Draw one uniform peer."""
+        return self.sample_with_stats().peer
+
+    def sample_many(self, k: int) -> list[PeerRef]:
+        """Draw ``k`` samples (with replacement), refreshing as needed."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return [self.sample() for _ in range(k)]

@@ -1,0 +1,137 @@
+"""Exact interval-assignment analysis behind Theorem 6.
+
+The deterministic part of Choose-Random-Peer maps each point ``s`` of the
+unit circle to a peer (or to "unassigned", triggering a retry).  The proof
+of Theorem 6 shows the map sends measure *exactly* ``lambda`` to every
+peer.  This module computes that map's measure decomposition in closed
+form, so tests can verify uniformity per-instance instead of relying on
+Monte-Carlo counts.
+
+How it works.  Fix the peerless arc ending at peer ``p_i`` and write
+``A = d(s, l(p_i))`` for ``s`` inside it.  The trial behaves as:
+
+- ``A < lambda``: the SMALL case returns ``p_i``;
+- otherwise the walk visits ``p_{i+1}, p_{i+2}, ...`` and returns the
+  first ``p_{i+k}`` (``k >= 1``) whose running total satisfies
+  ``A + D_k <= (k + 1) * lambda``, where ``D_k`` is the sum of the ``k``
+  arcs after ``p_i``.  Equivalently ``A <= theta_k := (k+1) lambda - D_k``.
+
+For fixed ``i``, the chosen ``k`` as a function of ``A`` is the first
+``k`` with ``theta_k >= A``; so the set of ``A`` mapping to ``p_{i+k}``
+is the slab between the running maximum of earlier thresholds and
+``theta_k``.  Sweeping all arcs yields the exact measure each peer
+receives, in ``O(n * walk_budget)`` time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .intervals import SortedCircle, clockwise_distance
+from .sampler import SamplerParams, TrialOutcome
+
+__all__ = ["AssignmentReport", "compute_assignment", "trial_on_circle"]
+
+
+@dataclass(frozen=True)
+class AssignmentReport:
+    """Exact measure assigned to each peer by the deterministic trial map.
+
+    ``measures[i]`` is the total arc length mapped to peer ``i`` (peers
+    indexed clockwise as in :class:`~repro.core.intervals.SortedCircle`).
+    ``unassigned`` is the retry mass ``1 - sum(measures)``.
+    """
+
+    lam: float
+    walk_budget: int
+    measures: tuple[float, ...]
+    unassigned: float
+
+    @property
+    def max_abs_error(self) -> float:
+        """Largest deviation of any peer's measure from ``lambda``."""
+        return max(abs(m - self.lam) for m in self.measures)
+
+    def is_exactly_uniform(self, tol: float = 1e-12) -> bool:
+        """Whether every peer receives measure ``lambda`` up to ``tol``.
+
+        This is the Theorem 6 property.  It holds whenever the ring
+        satisfies properties (1)-(3) and the walk budget suffices, i.e.
+        w.h.p. over random rings with a sound ``n_hat``.
+        """
+        return self.max_abs_error <= tol
+
+    @property
+    def success_probability(self) -> float:
+        """Per-trial success probability ``sum(measures)`` (= ``n * lambda``
+        when the assignment is exact)."""
+        return 1.0 - self.unassigned
+
+
+def compute_assignment(
+    circle: SortedCircle, lam: float, walk_budget: int
+) -> AssignmentReport:
+    """Exact measure decomposition of the trial map for one ring instance."""
+    if lam <= 0.0:
+        raise ValueError(f"lambda must be positive, got {lam!r}")
+    if walk_budget < 1:
+        raise ValueError(f"walk_budget must be >= 1, got {walk_budget!r}")
+
+    n = len(circle)
+    arcs = circle.arcs()
+    measures = [0.0] * n
+
+    for i in range(n):
+        arc_i = arcs[i]
+        # SMALL region: A in [0, min(lambda, arc_i)) maps to p_i itself.
+        measures[i] += min(lam, arc_i)
+        if arc_i <= lam:
+            continue
+        # Walk region: A in [lambda, arc_i).  Slabs between successive
+        # running-maximum thresholds map to successive peers.
+        covered = lam  # everything below is the SMALL region
+        d_k = 0.0
+        for k in range(1, walk_budget + 1):
+            d_k += arcs[(i + k) % n]
+            theta_k = (k + 1) * lam - d_k
+            hi = min(theta_k, arc_i)
+            if hi > covered:
+                measures[(i + k) % n] += hi - covered
+                covered = hi
+            if covered >= arc_i:
+                break
+
+    total = math.fsum(measures)
+    return AssignmentReport(
+        lam=lam,
+        walk_budget=walk_budget,
+        measures=tuple(measures),
+        unassigned=max(0.0, 1.0 - total),
+    )
+
+
+def trial_on_circle(
+    circle: SortedCircle, params: SamplerParams, s: float
+) -> tuple[TrialOutcome, int | None]:
+    """Run the deterministic trial directly on a circle (no DHT, no cost).
+
+    Returns ``(outcome, peer_index)`` with ``peer_index`` None on
+    exhaustion.  Used by property tests to cross-check the sampler, the
+    closed-form assignment, and the DHT substrates against each other.
+    """
+    lam = params.lam
+    idx = circle.successor_index(s)
+    arc = clockwise_distance(s, circle[idx])
+    if arc < lam:
+        return TrialOutcome.SMALL_HIT, idx
+
+    t_value = arc - lam
+    for _ in range(params.walk_budget):
+        nxt = circle.next_index(idx)
+        step = 1.0 if nxt == idx else clockwise_distance(circle[idx], circle[nxt])
+        t_value += step - lam
+        if t_value <= 0.0:
+            return TrialOutcome.WALK_HIT, nxt
+        idx = nxt
+    return TrialOutcome.EXHAUSTED, None

@@ -1,0 +1,136 @@
+"""Biased peer sampling -- the paper's third open problem.
+
+Section 4 asks: "In some applications, we may want to choose a peer with
+a biased probability ... Are there efficient algorithms to choose a
+random peer with specifically biased probabilities?"
+
+Given the exact uniform sampler, a clean answer is rejection sampling:
+draw a uniform peer ``p``, accept with probability
+``weight(p) / weight_bound``.  Accepted peers are distributed
+proportionally to ``weight``; the expected number of uniform draws is
+``weight_bound * n / sum(weight)``, so the overhead is the ratio between
+the bound and the mean weight.  The weight may depend on anything the
+caller can evaluate from a :class:`~repro.dht.api.PeerRef` -- including
+its ring position, enabling the paper's inverse-distance example via
+:func:`inverse_distance_weight`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..dht.api import DHT, PeerRef
+from .errors import SamplingError
+from .intervals import clockwise_distance
+from .sampler import RandomPeerSampler
+
+__all__ = ["BiasedSampleStats", "BiasedPeerSampler", "inverse_distance_weight"]
+
+
+@dataclass(frozen=True)
+class BiasedSampleStats:
+    """Accounting for one biased sample."""
+
+    peer: PeerRef
+    uniform_draws: int
+    acceptance_probability: float
+
+
+class BiasedPeerSampler:
+    """Sample peers with probability proportional to ``weight(peer)``.
+
+    Parameters
+    ----------
+    dht:
+        Substrate passed through to the inner uniform sampler.
+    weight:
+        Non-negative weight function over peers.  Values above
+        ``weight_bound`` are a contract violation and raise.
+    weight_bound:
+        A (preferably tight) upper bound on ``weight``; the expected
+        number of uniform draws per biased sample scales with it.
+    max_rejections:
+        Safety cap on uniform draws per sample.
+    kwargs:
+        Forwarded to :class:`~repro.core.sampler.RandomPeerSampler`
+        (``n_hat``, ``rng``, tuning constants...).
+    """
+
+    def __init__(
+        self,
+        dht: DHT,
+        weight: Callable[[PeerRef], float],
+        weight_bound: float,
+        *,
+        rng: random.Random | None = None,
+        max_rejections: int = 100_000,
+        **kwargs,
+    ):
+        if weight_bound <= 0.0:
+            raise ValueError(f"weight_bound must be positive, got {weight_bound!r}")
+        if max_rejections < 1:
+            raise ValueError("max_rejections must be at least 1")
+        self._weight = weight
+        self._bound = weight_bound
+        self._rng = rng if rng is not None else random.Random()
+        self._max_rejections = max_rejections
+        self._uniform = RandomPeerSampler(dht, rng=self._rng, **kwargs)
+
+    @property
+    def uniform_sampler(self) -> RandomPeerSampler:
+        """The inner exact-uniform sampler (shares the DHT cost meter)."""
+        return self._uniform
+
+    def sample_with_stats(self) -> BiasedSampleStats:
+        """Draw one peer with probability proportional to its weight."""
+        for draw in range(1, self._max_rejections + 1):
+            peer = self._uniform.sample()
+            w = self._weight(peer)
+            if w < 0.0:
+                raise ValueError(f"weight of peer {peer.peer_id} is negative ({w!r})")
+            if w > self._bound * (1.0 + 1e-12):
+                raise ValueError(
+                    f"weight {w!r} of peer {peer.peer_id} exceeds the declared "
+                    f"bound {self._bound!r}; biased sampling would be wrong"
+                )
+            accept = w / self._bound
+            if self._rng.random() < accept:
+                return BiasedSampleStats(
+                    peer=peer, uniform_draws=draw, acceptance_probability=accept
+                )
+        raise SamplingError(
+            f"no acceptance in {self._max_rejections} uniform draws; the "
+            "weight bound is probably far above the typical weight"
+        )
+
+    def sample(self) -> PeerRef:
+        """Draw one peer with probability proportional to its weight."""
+        return self.sample_with_stats().peer
+
+    def sample_many(self, k: int) -> list[PeerRef]:
+        """Draw ``k`` independent weighted samples (with replacement)."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return [self.sample() for _ in range(k)]
+
+
+def inverse_distance_weight(
+    origin: float, floor: float = 1e-3
+) -> tuple[Callable[[PeerRef], float], float]:
+    """The paper's example bias: probability inversely proportional to
+    clockwise distance from ``origin`` on the unit circle.
+
+    Returns ``(weight, bound)`` ready for :class:`BiasedPeerSampler`.
+    ``floor`` clips the distance from below so the weight (and hence the
+    required bound ``1/floor``) stays finite for peers arbitrarily close
+    to ``origin``.
+    """
+    if not 0.0 < floor < 1.0:
+        raise ValueError("floor must be in (0, 1)")
+
+    def weight(peer: PeerRef) -> float:
+        return 1.0 / max(clockwise_distance(origin, peer.point), floor)
+
+    return weight, 1.0 / floor

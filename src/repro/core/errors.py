@@ -1,0 +1,22 @@
+"""Exception types raised by the core sampling algorithms."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "SamplingError", "EstimationError"]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SamplingError(ReproError):
+    """Choose-Random-Peer exhausted its trial budget without success.
+
+    With a sane size estimate this has probability well under
+    ``(6/7)**max_trials``; seeing it usually means ``n_hat`` is far off
+    (e.g. stale after massive churn) or ``max_trials`` was set too low.
+    """
+
+
+class EstimationError(ReproError):
+    """Estimate-n could not run (e.g. a degenerate one-peer ring query)."""

@@ -1,0 +1,232 @@
+"""Checkers for the high-probability ring properties the proofs rely on.
+
+Theorem 6 holds for any base hash function whose induced ring satisfies
+properties (1)-(3); each lemma below asserts one of them:
+
+- property (1), Lemma 1: every predecessor arc ``d`` obeys
+  ``ln n - ln ln n - 2 <= ln(1/d) <= 3 ln n``;
+- property (2), Lemma 2: anchored intervals holding ``Theta(log n)``
+  peers have length ``Theta(log n / n)`` within explicit constants;
+- property (3), Lemma 4: any ``6 ln n`` consecutive maximally peerless
+  intervals have total length at least ``(ln n) / n``.
+
+Theorem 8 (appendix) pins the extreme arcs: the shortest is
+``Theta(1/n^2)`` and (via [16]) the longest is ``Theta(log n / n)``.
+
+Each checker returns a small report object rather than a bare bool so
+tests and benchmarks can show *how close* an instance came to violating
+a property.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .intervals import SortedCircle
+
+__all__ = [
+    "Lemma1Report",
+    "check_lemma1",
+    "Lemma2Report",
+    "check_lemma2",
+    "Lemma4Report",
+    "check_lemma4",
+    "ArcExtremes",
+    "arc_extremes",
+]
+
+
+@dataclass(frozen=True)
+class Lemma1Report:
+    """Property (1): bounds on ``ln(1/arc)`` for every predecessor arc."""
+
+    n: int
+    lower_bound: float
+    upper_bound: float
+    min_log_inv_arc: float
+    max_log_inv_arc: float
+    violations: int
+
+    @property
+    def holds(self) -> bool:
+        return self.violations == 0
+
+
+def check_lemma1(circle: SortedCircle) -> Lemma1Report:
+    """Check ``ln n - ln ln n - 2 <= ln(1/d(l(p), l(next(p)))) <= 3 ln n``."""
+    n = len(circle)
+    if n < 2:
+        raise ValueError("Lemma 1 needs at least two peers")
+    log_n = math.log(n)
+    lower = log_n - math.log(log_n) - 2.0 if n >= 2 else -math.inf
+    upper = 3.0 * log_n
+    logs = [math.log(1.0 / a) for a in circle.arcs() if a > 0.0]
+    violations = sum(1 for v in logs if not lower <= v <= upper)
+    violations += sum(1 for a in circle.arcs() if a == 0.0)  # collision => d=0
+    return Lemma1Report(
+        n=n,
+        lower_bound=lower,
+        upper_bound=upper,
+        min_log_inv_arc=min(logs) if logs else math.inf,
+        max_log_inv_arc=max(logs) if logs else math.inf,
+        violations=violations,
+    )
+
+
+@dataclass(frozen=True)
+class Lemma2Report:
+    """Property (2): peer counts vs lengths of anchored intervals."""
+
+    n: int
+    count_lower: float  # C * alpha1 * log n
+    count_upper: float  # C * alpha2 * log n
+    length_lower: float  # C * (1 - eps) * alpha1 * log n / n
+    length_upper: float  # C * (1 + eps) * alpha2 * log n / n
+    violations: int
+
+    @property
+    def holds(self) -> bool:
+        return self.violations == 0
+
+
+def check_lemma2(
+    circle: SortedCircle,
+    alpha1: float = 1.0,
+    alpha2: float = 6.0,
+    eps: float = 0.5,
+    big_c: float = 1.0,
+) -> Lemma2Report:
+    """Check property (2) exhaustively over all anchored intervals.
+
+    An anchored interval with anchor ``p_i`` containing exactly ``c``
+    non-anchor peers has length anywhere in ``[d_i(c), d_i(c+1))`` where
+    ``d_i(k)`` is the distance from ``p_i`` to its ``k``-th successor.  So
+    the property fails at anchor ``i`` and count ``c`` in range iff
+    ``d_i(c) < length_lower`` or ``d_i(c+1) > length_upper`` (lengths
+    arbitrarily close to ``d_i(c+1)`` are achievable).
+    """
+    n = len(circle)
+    if n < 2:
+        raise ValueError("Lemma 2 needs at least two peers")
+    if not 0.0 < alpha1 < alpha2:
+        raise ValueError("need 0 < alpha1 < alpha2")
+    log_n = math.log(n)
+    count_lo = big_c * alpha1 * log_n
+    count_hi = big_c * alpha2 * log_n
+    len_lo = big_c * (1.0 - eps) * alpha1 * log_n / n
+    len_hi = big_c * (1.0 + eps) * alpha2 * log_n / n
+
+    lo_c = int(math.floor(count_lo)) + 1  # counts strictly greater than count_lo
+    hi_c = int(math.ceil(count_hi)) - 1  # counts strictly less than count_hi
+    hi_c = min(hi_c, n - 1)  # an anchored interval holds at most n-1 others
+
+    violations = 0
+    if lo_c <= hi_c:
+        arcs = circle.arcs()
+        for i in range(n):
+            dist = 0.0  # distance from anchor i to its k-th successor
+            for k in range(1, hi_c + 2):
+                dist += arcs[(i + k) % n]
+                if lo_c <= k <= hi_c and dist < len_lo:
+                    violations += 1
+                if lo_c <= k - 1 <= hi_c and dist > len_hi:
+                    violations += 1
+    return Lemma2Report(
+        n=n,
+        count_lower=count_lo,
+        count_upper=count_hi,
+        length_lower=len_lo,
+        length_upper=len_hi,
+        violations=violations,
+    )
+
+
+@dataclass(frozen=True)
+class Lemma4Report:
+    """Property (3): window sums of consecutive maximally peerless intervals."""
+
+    n: int
+    window: int  # ceil(6 ln n)
+    bound: float  # (ln n) / n
+    min_window_sum: float
+    violations: int
+
+    @property
+    def holds(self) -> bool:
+        return self.violations == 0
+
+
+def check_lemma4(circle: SortedCircle) -> Lemma4Report:
+    """Check that every ``ceil(6 ln n)`` consecutive arcs sum to >= ``ln n / n``.
+
+    The maximally peerless intervals are exactly the predecessor arcs, so
+    this is a circular sliding-window minimum over ``arcs()``.  When the
+    window reaches ``n`` or more it spans the whole circle (sum >= 1) and
+    the property is vacuous.
+    """
+    n = len(circle)
+    if n < 2:
+        raise ValueError("Lemma 4 needs at least two peers")
+    window = max(1, math.ceil(6.0 * math.log(n)))
+    bound = math.log(n) / n
+    arcs = circle.arcs()
+    if window >= n:
+        return Lemma4Report(
+            n=n, window=window, bound=bound, min_window_sum=1.0, violations=0
+        )
+    # Circular sliding window of fixed size `window`.
+    current = math.fsum(arcs[:window])
+    min_sum = current
+    violations = 1 if current < bound else 0
+    for start in range(1, n):
+        current += arcs[(start + window - 1) % n] - arcs[start - 1]
+        if current < min_sum:
+            min_sum = current
+        if current < bound:
+            violations += 1
+    return Lemma4Report(
+        n=n, window=window, bound=bound, min_window_sum=min_sum, violations=violations
+    )
+
+
+@dataclass(frozen=True)
+class ArcExtremes:
+    """Theorem 8 quantities: extreme arcs and their theory scales."""
+
+    n: int
+    shortest: float
+    longest: float
+    shortest_scale: float  # 1 / n^2
+    longest_scale: float  # ln n / n
+
+    @property
+    def shortest_ratio(self) -> float:
+        """``shortest / (1/n^2)`` -- Theta(1) under Theorem 8."""
+        return self.shortest / self.shortest_scale
+
+    @property
+    def longest_ratio(self) -> float:
+        """``longest / (ln n / n)`` -- Theta(1) under [16]."""
+        return self.longest / self.longest_scale
+
+    @property
+    def naive_bias_ratio(self) -> float:
+        """How much likelier the naive heuristic picks the luckiest peer
+        over the unluckiest: ``longest / shortest = Theta(n log n)``."""
+        return self.longest / self.shortest if self.shortest > 0 else math.inf
+
+
+def arc_extremes(circle: SortedCircle) -> ArcExtremes:
+    """Extreme predecessor arcs of one ring instance."""
+    n = len(circle)
+    if n < 2:
+        raise ValueError("arc extremes need at least two peers")
+    arcs = circle.arcs()
+    return ArcExtremes(
+        n=n,
+        shortest=min(arcs),
+        longest=max(arcs),
+        shortest_scale=1.0 / (n * n),
+        longest_scale=math.log(n) / n,
+    )

@@ -1,0 +1,268 @@
+"""Choose-Random-Peer (Figure 1 of the paper): exact uniform peer sampling.
+
+The circle is implicitly partitioned so that every peer owns intervals of
+total measure exactly ``lambda = 1 / (7 n')`` where ``n' = n_hat / gamma_1``
+upper-bounds ``n`` w.h.p.  Each *trial* draws ``s`` uniform on ``(0, 1]``:
+
+- if the interval from ``s`` to ``l(h(s))`` is *small* (< lambda), the
+  trial succeeds with ``h(s)`` -- that peer's private lambda-sliver
+  directly counterclockwise of its point;
+- otherwise the algorithm walks clockwise via ``next`` accumulating
+  ``T = d(s, .) - lambda * (peers passed)``, returning the first peer at
+  which ``T <= 0`` -- a supplementary interval donated by the long
+  peerless arcs behind it;
+- if ``T`` stays positive for ``ceil(6 ln n')`` hops, ``s`` fell in
+  unassigned slack and the trial fails.
+
+Failed trials are retried with fresh randomness; successes are exactly
+uniform over peers (Theorem 6) and the expected number of trials is at
+most ``7 n' / n = O(1)`` (Theorem 7).
+
+Interpretation note (see DESIGN.md): the paper's text sets
+``lambda = 1/(7 n_hat)`` but immediately claims ``lambda <= 1/(7n)``,
+which requires dividing by the *upper* bound ``n'``; we implement
+``lambda = 1/(7 n')``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+
+from ..dht.api import DHT, CostSnapshot, PeerRef
+from .errors import SamplingError
+from .estimate import DEFAULT_C1, estimate_n
+from .intervals import clockwise_distance
+
+__all__ = [
+    "TrialOutcome",
+    "TrialResult",
+    "SampleStats",
+    "SamplerParams",
+    "RandomPeerSampler",
+    "choose_random_peer",
+    "GAMMA1",
+    "GAMMA2",
+    "LAMBDA_SLACK",
+]
+
+#: Lower/upper approximation constants of Lemma 3: w.h.p.
+#: ``GAMMA1 * n <= n_hat <= GAMMA2 * n``.
+GAMMA1 = 2.0 / 7.0
+GAMMA2 = 6.0
+
+#: The paper's ``7`` in ``lambda = 1 / (7 n')``.  Larger slack shortens
+#: walks but lowers per-trial success probability (ablated in bench E6).
+LAMBDA_SLACK = 7.0
+
+
+class TrialOutcome(enum.Enum):
+    """How a single trial of Choose-Random-Peer ended."""
+
+    SMALL_HIT = "small-hit"  # line 2: I(s, l(h(s))] was small
+    WALK_HIT = "walk-hit"  # line 3: T went non-positive during the walk
+    EXHAUSTED = "exhausted"  # walk budget spent with T still positive
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One deterministic trial: the drawn point, outcome, and walk length."""
+
+    s: float
+    outcome: TrialOutcome
+    peer: PeerRef | None
+    walk_hops: int
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Accounting for one successful sample (possibly after retries)."""
+
+    peer: PeerRef
+    trials: int
+    outcome: TrialOutcome
+    walk_hops_total: int
+    cost: CostSnapshot
+
+
+@dataclass(frozen=True)
+class SamplerParams:
+    """Resolved parameters of the sampler, derived from ``n_hat``.
+
+    ``lam`` is the per-peer measure; ``walk_budget`` the ``ceil(6 ln n')``
+    hop cap of Figure 1.
+    """
+
+    n_hat: float
+    n_prime: float
+    lam: float
+    walk_budget: int
+
+    @classmethod
+    def from_estimate(
+        cls,
+        n_hat: float,
+        gamma1: float = GAMMA1,
+        lambda_slack: float = LAMBDA_SLACK,
+    ) -> "SamplerParams":
+        if n_hat < 1.0:
+            raise ValueError(f"n_hat must be >= 1, got {n_hat!r}")
+        if not 0.0 < gamma1 <= 1.0:
+            raise ValueError(f"gamma1 must be in (0, 1], got {gamma1!r}")
+        if lambda_slack <= 1.0:
+            raise ValueError(f"lambda_slack must exceed 1, got {lambda_slack!r}")
+        n_prime = n_hat / gamma1
+        lam = 1.0 / (lambda_slack * n_prime)
+        walk_budget = max(1, math.ceil(6.0 * math.log(max(n_prime, math.e))))
+        return cls(n_hat=n_hat, n_prime=n_prime, lam=lam, walk_budget=walk_budget)
+
+
+class RandomPeerSampler:
+    """Uniform peer sampling over any :class:`~repro.dht.api.DHT`.
+
+    Parameters
+    ----------
+    dht:
+        The substrate providing ``h``/``next``.
+    n_hat:
+        A constant-factor size estimate.  When omitted, Estimate-n is run
+        once from ``dht.any_peer()`` (costing ``O(log n)`` messages).
+    gamma1, lambda_slack, c1:
+        Tuning constants; the defaults are the paper's.
+    rng:
+        Source of the trial points ``s``; defaults to a fresh
+        ``random.Random()``.
+    max_trials:
+        Hard cap on rejection-sampling retries before
+        :class:`~repro.core.errors.SamplingError` is raised.  The success
+        probability per trial is at least ``n * lam >= gamma1 / (7 gamma2)``
+        w.h.p., so the default of 10_000 is astronomically safe.
+    """
+
+    def __init__(
+        self,
+        dht: DHT,
+        n_hat: float | None = None,
+        *,
+        gamma1: float = GAMMA1,
+        lambda_slack: float = LAMBDA_SLACK,
+        c1: float = DEFAULT_C1,
+        rng: random.Random | None = None,
+        max_trials: int = 10_000,
+    ):
+        self._dht = dht
+        self._rng = rng if rng is not None else random.Random()
+        if n_hat is None:
+            n_hat = estimate_n(dht, c1=c1).n_hat
+        self.params = SamplerParams.from_estimate(
+            n_hat, gamma1=gamma1, lambda_slack=lambda_slack
+        )
+        if max_trials < 1:
+            raise ValueError("max_trials must be at least 1")
+        self._max_trials = max_trials
+
+    # -- the deterministic inner trial (Figure 1) -------------------------
+
+    def trial(self, s: float) -> TrialResult:
+        """Run Figure 1 once for the given point ``s`` (no retries).
+
+        Exposed separately so tests and the exact-assignment analysis can
+        drive the deterministic part of the algorithm directly.
+        """
+        lam = self.params.lam
+        first = self._dht.h(s)
+        arc = clockwise_distance(s, first.point)
+        if arc < lam:  # line 2: the interval I(s, l(h(s))] is SMALL
+            return TrialResult(s=s, outcome=TrialOutcome.SMALL_HIT, peer=first, walk_hops=0)
+
+        t_value = arc - lam
+        hops = 0
+        for _ in range(self.params.walk_budget):
+            nxt = self._dht.next(first)
+            hops += 1
+            step = clockwise_distance(first.point, nxt.point)
+            if nxt.peer_id == first.peer_id:
+                step = 1.0  # a self-successor means a full lap of the circle
+            t_value += step - lam
+            if t_value <= 0.0:
+                return TrialResult(
+                    s=s, outcome=TrialOutcome.WALK_HIT, peer=nxt, walk_hops=hops
+                )
+            first = nxt
+        return TrialResult(s=s, outcome=TrialOutcome.EXHAUSTED, peer=None, walk_hops=hops)
+
+    # -- public sampling API ----------------------------------------------
+
+    def sample_with_stats(self) -> SampleStats:
+        """Draw one uniform peer, returning full trial/cost accounting."""
+        before = self._dht.cost.snapshot()
+        walk_total = 0
+        for attempt in range(1, self._max_trials + 1):
+            s = 1.0 - self._rng.random()  # uniform on (0, 1]
+            result = self.trial(s)
+            walk_total += result.walk_hops
+            if result.peer is not None:
+                return SampleStats(
+                    peer=result.peer,
+                    trials=attempt,
+                    outcome=result.outcome,
+                    walk_hops_total=walk_total,
+                    cost=self._dht.cost.snapshot() - before,
+                )
+        raise SamplingError(
+            f"no assigned point found in {self._max_trials} trials "
+            f"(n_hat={self.params.n_hat:.3g}); the size estimate is likely stale"
+        )
+
+    def sample(self) -> PeerRef:
+        """Draw one peer uniformly at random from the DHT."""
+        return self.sample_with_stats().peer
+
+    def sample_many(self, k: int) -> list[PeerRef]:
+        """Draw ``k`` independent uniform samples (with replacement)."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return [self.sample() for _ in range(k)]
+
+    def sample_distinct(self, k: int, max_draws: int | None = None) -> list[PeerRef]:
+        """Draw ``k`` *distinct* peers, uniform over k-subsets.
+
+        Implemented by rejecting repeats, so the result is a uniformly
+        random k-subset (sequential simple random sampling).  Expected
+        draws are ``k`` plus a coupon-collector correction that stays
+        small while ``k`` is well below ``n``.  Raises
+        :class:`~repro.core.errors.SamplingError` if ``max_draws``
+        (default ``50 k + 50``) pass without finding ``k`` distinct
+        peers -- the symptom of requesting ``k > n``.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        cap = max_draws if max_draws is not None else 50 * k + 50
+        chosen: dict[int, PeerRef] = {}
+        draws = 0
+        while len(chosen) < k:
+            if draws >= cap:
+                raise SamplingError(
+                    f"only {len(chosen)} distinct peers after {draws} draws; "
+                    f"is k={k} larger than the network?"
+                )
+            peer = self.sample()
+            draws += 1
+            chosen.setdefault(peer.peer_id, peer)
+        return list(chosen.values())
+
+
+def choose_random_peer(
+    dht: DHT,
+    n_hat: float | None = None,
+    rng: random.Random | None = None,
+    **kwargs,
+) -> PeerRef:
+    """One-shot convenience wrapper around :class:`RandomPeerSampler`.
+
+    Prefer constructing a sampler once and reusing it when drawing many
+    samples: the size estimate is then paid for a single time.
+    """
+    return RandomPeerSampler(dht, n_hat, rng=rng, **kwargs).sample()

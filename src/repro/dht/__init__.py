@@ -1,0 +1,14 @@
+"""DHT substrates: the abstract interface, the ideal oracle, and Chord."""
+
+from .api import DHT, CostMeter, CostSnapshot, PeerRef
+from .ideal import CostModel, IdealDHT, LogCost
+
+__all__ = [
+    "DHT",
+    "CostMeter",
+    "CostSnapshot",
+    "PeerRef",
+    "CostModel",
+    "IdealDHT",
+    "LogCost",
+]

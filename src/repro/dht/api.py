@@ -1,0 +1,118 @@
+"""The abstract DHT interface the paper's algorithms are written against.
+
+King & Saia assume only two primitives:
+
+- ``h(x)`` -- the peer whose peer point is closest in clockwise distance
+  to the point ``x``, costing ``t_h`` latency and ``m_h`` messages
+  (``O(log n)`` each in a standard DHT such as Chord);
+- ``next(p)`` -- the peer clockwise-next after ``p``, costing ``O(1)``
+  latency and messages.
+
+Everything above the substrate (Estimate-n, Choose-Random-Peer, the
+baselines) talks to this interface, so the same algorithm code runs
+against the analytic :class:`~repro.dht.ideal.IdealDHT` oracle and the
+message-level Chord simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["PeerRef", "CostMeter", "CostSnapshot", "DHT"]
+
+
+@dataclass(frozen=True, order=True)
+class PeerRef:
+    """A handle on a peer: a stable identifier plus its peer point.
+
+    ``point`` is the peer's location ``l(p)`` on the unit circle
+    ``(0, 1]``.  A peer always knows its own point, and DHT responses
+    carry the responding peer's point, so algorithms may read ``point``
+    freely without extra messages.
+    """
+
+    peer_id: int
+    point: float
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable view of a :class:`CostMeter`, usable for before/after diffs."""
+
+    h_calls: int = 0
+    next_calls: int = 0
+    messages: int = 0
+    latency: float = 0.0
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            h_calls=self.h_calls - other.h_calls,
+            next_calls=self.next_calls - other.next_calls,
+            messages=self.messages - other.messages,
+            latency=self.latency - other.latency,
+        )
+
+    def __add__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            h_calls=self.h_calls + other.h_calls,
+            next_calls=self.next_calls + other.next_calls,
+            messages=self.messages + other.messages,
+            latency=self.latency + other.latency,
+        )
+
+
+@dataclass
+class CostMeter:
+    """Accumulates the latency/message accounting of Theorem 7.
+
+    ``latency`` is measured in abstract time units (one ``next`` costs 1
+    by default); ``messages`` counts individual messages sent.  Substrates
+    charge the meter from inside ``h``/``next``; callers snapshot around a
+    region of interest and subtract.
+    """
+
+    h_calls: int = 0
+    next_calls: int = 0
+    messages: int = 0
+    latency: float = 0.0
+
+    def charge_h(self, messages: int, latency: float) -> None:
+        """Record one ``h`` invocation costing the given amounts."""
+        self.h_calls += 1
+        self.messages += messages
+        self.latency += latency
+
+    def charge_next(self, messages: int = 1, latency: float = 1.0) -> None:
+        """Record one ``next`` invocation (unit cost in a standard DHT)."""
+        self.next_calls += 1
+        self.messages += messages
+        self.latency += latency
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(self.h_calls, self.next_calls, self.messages, self.latency)
+
+    def reset(self) -> None:
+        self.h_calls = 0
+        self.next_calls = 0
+        self.messages = 0
+        self.latency = 0.0
+
+
+@runtime_checkable
+class DHT(Protocol):
+    """Structural interface required by the sampling algorithms."""
+
+    cost: CostMeter
+
+    def h(self, x: float) -> PeerRef:
+        """The peer closest in clockwise distance to point ``x``."""
+        ...
+
+    def next(self, peer: PeerRef) -> PeerRef:
+        """The clockwise successor of ``peer``."""
+        ...
+
+    def any_peer(self) -> PeerRef:
+        """Some live peer, used as the local vantage point of an algorithm."""
+        ...

@@ -1,0 +1,371 @@
+"""A Chord node: successor lists, predecessor, finger table, maintenance.
+
+The node follows Stoica et al. [16]: ``find_successor`` routes through
+finger tables in ``O(log n)`` hops; ``stabilize``/``notify``/
+``fix_fingers``/``check_predecessor`` repair the overlay after joins,
+graceful departures, and crashes.  Lookups are *iterative*: the querying
+client drives the hop loop (see :meth:`ChordNode.lookup`), which is what
+lets the DHT adapter meter per-operation messages and latency the way
+Theorem 7 accounts costs.
+"""
+
+from __future__ import annotations
+
+from ...sim.network import RpcTimeout, RpcTransport
+from .idspace import id_to_point, in_open_closed, in_open_open
+
+__all__ = ["ChordNode", "LookupError_", "LookupResult"]
+
+
+class LookupError_(Exception):
+    """An iterative lookup could not complete (routing hole during churn)."""
+
+
+class LookupResult:
+    """Outcome of an iterative lookup: the owner id plus hop/cost info."""
+
+    __slots__ = ("node_id", "hops")
+
+    def __init__(self, node_id: int, hops: int):
+        self.node_id = node_id
+        self.hops = hops
+
+    def __repr__(self) -> str:
+        return f"LookupResult(node_id={self.node_id}, hops={self.hops})"
+
+
+class ChordNode:
+    """One Chord peer.  All remote interaction goes through the transport."""
+
+    def __init__(
+        self,
+        node_id: int,
+        m: int,
+        transport: RpcTransport,
+        successor_list_size: int = 8,
+    ):
+        if successor_list_size < 1:
+            raise ValueError("successor_list_size must be >= 1")
+        self.node_id = node_id
+        self.m = m
+        self._transport = transport
+        self._slist_size = successor_list_size
+        self.successors: list[int] = [node_id]
+        self.predecessor: int | None = None
+        self.fingers: list[int | None] = [None] * m
+        self._next_finger = 0
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def point(self) -> float:
+        """The node's peer point ``l(p)`` on the unit circle."""
+        return id_to_point(self.node_id, self.m)
+
+    def __repr__(self) -> str:
+        return f"ChordNode(id={self.node_id}, m={self.m})"
+
+    # -- RPC-exposed methods (invoked via the transport) --------------------
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return True
+
+    def get_successor(self) -> int:
+        """The node's current first live-believed successor."""
+        return self.successors[0] if self.successors else self.node_id
+
+    def get_successor_list(self) -> list[int]:
+        return list(self.successors)
+
+    def get_predecessor(self) -> int | None:
+        return self.predecessor
+
+    def notify(self, candidate_id: int) -> None:
+        """A node claiming to be our predecessor (Chord's ``notify``)."""
+        if candidate_id == self.node_id:
+            return
+        if self.predecessor is None or in_open_open(
+            candidate_id, self.predecessor, self.node_id
+        ):
+            self.predecessor = candidate_id
+
+    def closest_preceding_node(
+        self, target_id: int, excluded: tuple[int, ...] = ()
+    ) -> int:
+        """Best local routing step: the closest finger preceding ``target_id``.
+
+        ``excluded`` lists nodes the querying client found unresponsive,
+        so retries route around fresh crashes.
+        """
+        for finger in reversed(self.fingers):
+            if (
+                finger is not None
+                and finger not in excluded
+                and in_open_open(finger, self.node_id, target_id)
+            ):
+                return finger
+        for succ in reversed(self.successors):
+            if succ not in excluded and in_open_open(succ, self.node_id, target_id):
+                return succ
+        return self.get_successor()
+
+    def lookup_step(
+        self, target_id: int, excluded: tuple[int, ...] = ()
+    ) -> tuple[str, int]:
+        """One iterative-routing step: ``('done', owner)`` or ``('forward', next)``.
+
+        The effective successor skips entries the client reported dead, so
+        ownership falls through to the first live successor-list entry --
+        the behaviour that makes lookups converge mid-churn.
+        """
+        succ = next(
+            (s for s in self.successors if s not in excluded), self.node_id
+        )
+        if succ == self.node_id or in_open_closed(target_id, self.node_id, succ):
+            return ("done", succ)
+        nxt = self.closest_preceding_node(target_id, excluded)
+        if nxt == self.node_id or nxt in excluded:
+            # No better finger: hand the query to the successor to
+            # guarantee progress (linear fallback).
+            nxt = succ
+        return ("forward", nxt)
+
+    def set_predecessor(self, candidate_id: int | None) -> None:
+        """Used by gracefully departing neighbours to splice the ring."""
+        self.predecessor = candidate_id
+
+    def splice_out_successor(self, departing_id: int, replacements: list[int]) -> None:
+        """A departing successor hands us its successor list."""
+        merged = [s for s in self.successors if s != departing_id]
+        for candidate in replacements:
+            if candidate != departing_id and candidate not in merged:
+                merged.append(candidate)
+        self.successors = merged[: self._slist_size] or [self.node_id]
+
+    # -- client-driven iterative lookup --------------------------------------
+
+    def lookup(self, target_id: int, max_hops: int | None = None) -> LookupResult:
+        """Iteratively resolve ``find_successor(target_id)`` from this node.
+
+        The loop runs at the client: each hop asks the current node for a
+        routing step via one RPC.  Raises :class:`LookupError_` when a hop
+        times out or the hop budget is exhausted (possible during churn
+        before stabilization catches up).
+        """
+        budget = max_hops if max_hops is not None else 4 * self.m
+        excluded: tuple[int, ...] = ()
+        # First step is answered locally (no RPC): we are the client.
+        current = self.node_id
+        kind, nxt = self.lookup_step(target_id)
+        hops = 0
+
+        def ask(node_id: int) -> tuple[str, int]:
+            if node_id == self.node_id:
+                return self.lookup_step(target_id, excluded)
+            return self._transport.rpc(node_id, "lookup_step", target_id, excluded)
+
+        while True:
+            if kind == "done":
+                owner = nxt
+                # Verify the owner answers (the client is about to use it);
+                # a stale pointer to a fresh crash gets excluded and the
+                # query re-asked, falling through to the live successor.
+                if owner == self.node_id or self._is_alive(owner, attempts=1):
+                    return LookupResult(node_id=owner, hops=hops)
+                excluded = excluded + (owner,)
+                hops += 1
+                if hops >= budget:
+                    raise LookupError_(
+                        f"lookup of {target_id} from {self.node_id}: no live "
+                        f"owner within {budget} hops"
+                    )
+                try:
+                    kind, nxt = ask(current)
+                except RpcTimeout as exc:
+                    raise LookupError_(str(exc)) from exc
+                continue
+            if hops >= budget:
+                raise LookupError_(
+                    f"lookup of {target_id} from {self.node_id} exceeded {budget} hops"
+                )
+            try:
+                kind, result = self._transport.rpc(nxt, "lookup_step", target_id, excluded)
+            except RpcTimeout:
+                # Route around the dead hop: re-ask the node that sent us
+                # here, excluding the casualty.
+                excluded = excluded + (nxt,)
+                hops += 1
+                try:
+                    kind, nxt = ask(current)
+                except RpcTimeout as exc:
+                    raise LookupError_(str(exc)) from exc
+                continue
+            hops += 1
+            current, nxt = nxt, result
+
+    # -- recursive (forwarded) lookup -----------------------------------------
+
+    def lookup_recursive(self, target_id: int, max_hops: int | None = None) -> LookupResult:
+        """Resolve ``find_successor(target_id)`` by *recursive* routing.
+
+        The query is forwarded hop by hop with one-way messages and the
+        owner's answer returns directly to the querier: roughly half the
+        messages and latency of the iterative mode, but a single lost
+        hop loses the whole query (no client-side rerouting) -- the
+        classical iterative-vs-recursive trade-off, measured in bench
+        E16.  Raises :class:`LookupError_` on any mid-chain failure.
+        """
+        budget = max_hops if max_hops is not None else 4 * self.m
+        try:
+            owner, hops = self.forward_lookup(target_id, 0, budget)
+        except RpcTimeout as exc:
+            raise LookupError_(str(exc)) from exc
+        # The owner's single direct reply to the querier; a dead owner
+        # (stale successor pointer) means the reply never arrives and the
+        # querier times out -- it cannot reroute, unlike iterative mode.
+        if owner != self.node_id:
+            if not self._transport.is_registered(owner):
+                raise LookupError_(
+                    f"recursive lookup of {target_id}: owner {owner} never replied"
+                )
+            self._transport.metrics.counter("messages").increment(1)
+        return LookupResult(node_id=owner, hops=hops)
+
+    def forward_lookup(self, target_id: int, hops: int, budget: int) -> tuple[int, int]:
+        """Handle one forwarded hop of a recursive lookup (RPC-exposed)."""
+        if hops > budget:
+            raise LookupError_(
+                f"recursive lookup of {target_id} exceeded {budget} hops"
+            )
+        kind, nxt = self.lookup_step(target_id)
+        if kind == "done":
+            return nxt, hops
+        return self._transport.oneway(nxt, "forward_lookup", target_id, hops + 1, budget)
+
+    # -- maintenance protocol -------------------------------------------------
+
+    def join(self, entry_id: int, attempts: int = 3) -> None:
+        """Join the ring known to ``entry_id`` (Chord's ``join``).
+
+        Retries a few times so transient packet loss cannot orphan the
+        joining node; a node that still cannot reach the ring stays
+        self-looped and is adopted later via ``notify``/``stabilize``.
+        """
+        succ: int | None = None
+        for _ in range(attempts):
+            try:
+                result = self._transport.rpc(entry_id, "lookup", self.node_id)
+                succ = result.node_id
+                break
+            except (RpcTimeout, LookupError_):
+                continue
+        if succ is None or succ == self.node_id:
+            # The lookup can resolve to our own id if the entry node has
+            # already learned about us; fall back to its successor view.
+            try:
+                succ = self._transport.rpc(entry_id, "get_successor")
+            except RpcTimeout:
+                return  # stay self-looped; stabilization will adopt us
+        self.predecessor = None
+        self.successors = [succ]
+        try:
+            self._transport.rpc(succ, "notify", self.node_id)
+        except RpcTimeout:
+            pass
+
+    def stabilize(self) -> None:
+        """Chord's ``stabilize``: verify successor, adopt a closer one, notify."""
+        succ = self._first_live_successor()
+        if succ == self.node_id:
+            # Self-loop (bootstrap node, or sole survivor).  If someone has
+            # notified us, close the ring through them; otherwise idle.
+            if self.predecessor is None or self.predecessor == self.node_id:
+                return
+            succ = self.predecessor
+            self.successors = [succ]
+        try:
+            x = self._transport.rpc(succ, "get_predecessor")
+        except RpcTimeout:
+            return
+        if x is not None and x != self.node_id and in_open_open(x, self.node_id, succ):
+            try:
+                self._transport.rpc(x, "ping")
+                succ = x
+            except RpcTimeout:
+                pass
+        try:
+            self._transport.rpc(succ, "notify", self.node_id)
+            succ_list = self._transport.rpc(succ, "get_successor_list")
+        except RpcTimeout:
+            return
+        merged = [succ] + [s for s in succ_list if s != self.node_id]
+        deduped: list[int] = []
+        for s in merged:
+            if s not in deduped:
+                deduped.append(s)
+        self.successors = deduped[: self._slist_size]
+
+    def _is_alive(self, node_id: int, attempts: int = 2) -> bool:
+        """Ping with one retry so a single lost packet does not declare a
+        live neighbour dead (false-death probability loss_rate^attempts)."""
+        for _ in range(attempts):
+            try:
+                self._transport.rpc(node_id, "ping")
+                return True
+            except RpcTimeout:
+                continue
+        return False
+
+    def _first_live_successor(self) -> int:
+        """Pop dead entries off the successor list; never leaves it empty."""
+        while self.successors:
+            candidate = self.successors[0]
+            if candidate == self.node_id:
+                return candidate
+            if self._is_alive(candidate):
+                return candidate
+            self.successors.pop(0)
+        self.successors = [self.node_id]
+        return self.node_id
+
+    def check_predecessor(self) -> None:
+        """Forget a crashed predecessor so ``notify`` can install a new one."""
+        if self.predecessor is None:
+            return
+        if not self._is_alive(self.predecessor):
+            self.predecessor = None
+
+    def fix_next_finger(self) -> None:
+        """Refresh one finger-table entry per call (Chord's ``fix_fingers``)."""
+        i = self._next_finger
+        self._next_finger = (self._next_finger + 1) % self.m
+        target = (self.node_id + (1 << i)) % (1 << self.m)
+        try:
+            self.fingers[i] = self.lookup(target).node_id
+        except LookupError_:
+            self.fingers[i] = None
+
+    def fix_all_fingers(self) -> None:
+        """Refresh the whole finger table (used at bootstrap)."""
+        for _ in range(self.m):
+            self.fix_next_finger()
+
+    def leave_gracefully(self) -> None:
+        """Splice ourselves out, handing state to both neighbours."""
+        succ = self._first_live_successor()
+        if self.predecessor is not None and self.predecessor != self.node_id:
+            try:
+                self._transport.rpc(
+                    self.predecessor,
+                    "splice_out_successor",
+                    self.node_id,
+                    [s for s in self.successors if s != self.node_id],
+                )
+            except RpcTimeout:
+                pass
+        if succ != self.node_id:
+            try:
+                self._transport.rpc(succ, "set_predecessor", self.predecessor)
+            except RpcTimeout:
+                pass

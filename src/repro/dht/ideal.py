@@ -1,0 +1,95 @@
+"""An idealized DHT oracle over a :class:`~repro.core.intervals.SortedCircle`.
+
+This substrate answers ``h`` and ``next`` exactly (binary search over the
+sorted peer points) while charging the *synthetic* costs of a standard
+DHT: ``t_h = m_h = ceil(log2 n)`` for ``h`` and unit cost for ``next``.
+It makes large-``n`` experiments cheap and keeps the analytic model of
+the paper (peer points i.i.d. uniform on the circle) exact.
+
+The message-level counterpart is :class:`repro.dht.chord.ChordDHT`,
+which realizes the same interface on a simulated Chord overlay.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..core.intervals import SortedCircle
+from .api import CostMeter, PeerRef
+
+__all__ = ["CostModel", "LogCost", "IdealDHT"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Synthetic per-operation costs charged by :class:`IdealDHT`.
+
+    ``h_messages``/``h_latency`` default to ``ceil(log2 n)`` -- the
+    standard-DHT figure the paper assumes -- and ``next`` costs one
+    message and one time unit.
+    """
+
+    h_messages: int
+    h_latency: float
+    next_messages: int = 1
+    next_latency: float = 1.0
+
+
+def LogCost(n: int) -> CostModel:
+    """The standard-DHT cost model: ``t_h = m_h = ceil(log2 n)``."""
+    hops = max(1, math.ceil(math.log2(max(2, n))))
+    return CostModel(h_messages=hops, h_latency=float(hops))
+
+
+class IdealDHT:
+    """Oracle DHT: exact ``h``/``next`` with synthetic cost accounting."""
+
+    def __init__(self, circle: SortedCircle, cost_model: CostModel | None = None):
+        self._circle = circle
+        self._model = cost_model if cost_model is not None else LogCost(len(circle))
+        self._peers = tuple(
+            PeerRef(peer_id=i, point=p) for i, p in enumerate(circle.points)
+        )
+        self.cost = CostMeter()
+
+    @classmethod
+    def random(cls, n: int, rng, cost_model: CostModel | None = None) -> "IdealDHT":
+        """A ring of ``n`` peers at i.i.d. uniform points (the paper's model)."""
+        return cls(SortedCircle.random(n, rng), cost_model=cost_model)
+
+    @classmethod
+    def from_points(cls, points: Iterable[float], **kwargs) -> "IdealDHT":
+        return cls(SortedCircle(points), **kwargs)
+
+    # -- DHT interface ---------------------------------------------------
+
+    def h(self, x: float) -> PeerRef:
+        """The peer closest clockwise to ``x`` (Chord's ``successor``)."""
+        self.cost.charge_h(self._model.h_messages, self._model.h_latency)
+        return self._peers[self._circle.successor_index(x)]
+
+    def next(self, peer: PeerRef) -> PeerRef:
+        """The clockwise successor of ``peer``."""
+        self.cost.charge_next(self._model.next_messages, self._model.next_latency)
+        return self._peers[self._circle.next_index(peer.peer_id)]
+
+    def any_peer(self) -> PeerRef:
+        """An arbitrary live peer, the algorithms' local vantage point."""
+        return self._peers[0]
+
+    # -- oracle-only conveniences (not part of the DHT interface) --------
+
+    @property
+    def circle(self) -> SortedCircle:
+        """The underlying analytic ring (oracle knowledge, free of cost)."""
+        return self._circle
+
+    @property
+    def peers(self) -> Sequence[PeerRef]:
+        """All peers in clockwise order (oracle knowledge, free of cost)."""
+        return self._peers
+
+    def __len__(self) -> int:
+        return len(self._peers)

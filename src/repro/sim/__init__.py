@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate: kernel, transport, churn, metrics."""
+
+from .churn import ChurnEvent, ChurnProcess
+from .events import Event, EventQueue
+from .kernel import PeriodicTask, Simulator
+from .metrics import Counter, Histogram, MetricsRegistry
+from .network import (
+    ConstantLatency,
+    ExponentialLatency,
+    RpcError,
+    RpcTimeout,
+    RpcTransport,
+    UniformLatency,
+)
+from .rng import RngRegistry, derive_seed
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnProcess",
+    "Event",
+    "EventQueue",
+    "PeriodicTask",
+    "Simulator",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "RpcError",
+    "RpcTimeout",
+    "RpcTransport",
+    "UniformLatency",
+    "RngRegistry",
+    "derive_seed",
+]

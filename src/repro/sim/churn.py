@@ -1,0 +1,99 @@
+"""Churn processes: Poisson joins and departures driven by the simulator.
+
+A :class:`ChurnProcess` schedules node arrivals and departures with
+exponential interarrival times on a
+:class:`~repro.dht.chord.network.ChordNetwork`, keeping the population
+near a target size.  Departures are crashes with probability
+``crash_fraction`` and graceful leaves otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["ChurnEvent", "ChurnProcess"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change, for post-hoc analysis of a run."""
+
+    time: float
+    kind: str  # "join" | "leave" | "crash"
+    node_id: int
+    population: int
+
+
+class ChurnProcess:
+    """Poisson churn on a Chord network.
+
+    ``rate`` is the expected number of membership events per time unit.
+    Each event is a join or a departure with equal probability, except
+    that the population is nudged back toward ``target_size`` when it
+    drifts beyond 25% (keeping long runs statistically stationary) and
+    never drops below ``min_size``.
+    """
+
+    def __init__(
+        self,
+        network,
+        sim,
+        rate: float,
+        rng: random.Random | None = None,
+        target_size: int | None = None,
+        min_size: int = 4,
+        crash_fraction: float = 0.5,
+    ):
+        if rate <= 0:
+            raise ValueError("churn rate must be positive")
+        if not 0.0 <= crash_fraction <= 1.0:
+            raise ValueError("crash_fraction must be in [0, 1]")
+        self._network = network
+        self._sim = sim
+        self._rate = rate
+        self._rng = rng if rng is not None else random.Random()
+        self._target = target_size if target_size is not None else len(network)
+        self._min_size = min_size
+        self._crash_fraction = crash_fraction
+        self.events: list[ChurnEvent] = []
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        delay = self._rng.expovariate(self._rate)
+        self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        n = len(self._network)
+        join_bias = 0.5
+        if n < 0.75 * self._target or n <= self._min_size:
+            join_bias = 0.9
+        elif n > 1.25 * self._target:
+            join_bias = 0.1
+        if self._rng.random() < join_bias:
+            node = self._network.join_node()
+            kind, node_id = "join", node.node_id
+        else:
+            node_id = self._rng.choice(list(self._network.nodes))
+            if self._rng.random() < self._crash_fraction:
+                self._network.crash_node(node_id)
+                kind = "crash"
+            else:
+                self._network.leave_node(node_id)
+                kind = "leave"
+        self.events.append(
+            ChurnEvent(
+                time=self._sim.now, kind=kind, node_id=node_id,
+                population=len(self._network),
+            )
+        )
+        self._schedule_next()

@@ -1,0 +1,82 @@
+"""Lightweight metric primitives for simulation components."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: int = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("counters only go up")
+        self.value += by
+
+
+class Histogram:
+    """Streaming summary of observed values (mean, extremes, percentiles).
+
+    Stores observations; suitable for the per-run scales used here
+    (thousands to low millions of points).
+    """
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return math.fsum(self._values) / len(self._values) if self._values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 <= q <= 100), nearest-rank method."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+
+class MetricsRegistry:
+    """Named counters and histograms shared across simulation components."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram())
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of all counter values."""
+        return {name: c.value for name, c in self._counters.items()}

@@ -1,0 +1,174 @@
+"""Simulated RPC transport with latency models and failure injection.
+
+Protocol code issues synchronous RPCs through :class:`RpcTransport`; the
+transport charges each call's messages and sampled round-trip latency to
+its metrics, and raises :class:`RpcTimeout` for dead or missing targets
+(after charging the timeout cost, as a real caller would pay it).
+
+The transport deliberately executes calls synchronously while the
+discrete-event :class:`~repro.sim.kernel.Simulator` drives *when*
+protocol actions happen (stabilization ticks, churn, workload arrivals).
+This sequential-RPC simplification keeps protocol code linear and
+testable while preserving exactly the quantities the paper's Theorem 7
+accounts for: message counts and additive per-operation latency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "RpcError",
+    "RpcTimeout",
+    "RpcTransport",
+]
+
+
+class LatencyModel(Protocol):
+    """Samples one-way network delays (abstract time units)."""
+
+    def sample(self, rng: random.Random) -> float:
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Every hop takes exactly ``delay`` units (the default: 1)."""
+
+    delay: float = 1.0
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """One-way delay uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialLatency:
+    """One-way delay exponential with the given mean (heavy-ish tail)."""
+
+    mean: float = 1.0
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+
+class RpcError(Exception):
+    """Base class for transport-level failures."""
+
+
+class RpcTimeout(RpcError):
+    """The target did not answer (dead, departed, or dropped packet)."""
+
+
+class RpcTransport:
+    """Synchronous simulated RPC fabric between registered nodes.
+
+    ``rpc(target_id, method, *args)`` invokes ``method`` on the node
+    object registered under ``target_id``, charging two messages
+    (request + reply) and a sampled round trip to the metrics.  Dead
+    targets cost ``timeout`` latency and raise :class:`RpcTimeout`.
+    ``loss_rate`` drops individual calls at random with the same timeout
+    cost, modelling an unreliable network.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+        timeout: float = 8.0,
+        loss_rate: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self._latency = latency if latency is not None else ConstantLatency()
+        self._rng = rng if rng is not None else random.Random()
+        self._timeout = timeout
+        self._loss_rate = loss_rate
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._nodes: dict[int, Any] = {}
+        #: Total simulated latency accrued by RPCs (additive, per Theorem 7).
+        self.elapsed: float = 0.0
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, node_id: int, node: Any) -> None:
+        if node_id in self._nodes:
+            raise ValueError(f"node id {node_id} already registered")
+        self._nodes[node_id] = node
+
+    def deregister(self, node_id: int) -> None:
+        self._nodes.pop(node_id, None)
+
+    def is_registered(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: int) -> Any:
+        """Direct (cost-free) access to a node object, for tests/oracles."""
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> list[int]:
+        return list(self._nodes)
+
+    # -- the RPC fabric ---------------------------------------------------
+
+    def rpc(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Call ``method`` on the target node, charging messages and latency."""
+        self.metrics.counter("rpc.calls").increment()
+        target = self._nodes.get(target_id)
+        dropped = self._loss_rate > 0.0 and self._rng.random() < self._loss_rate
+        if target is None or dropped:
+            self.metrics.counter("rpc.timeouts").increment()
+            self.metrics.counter("messages").increment()  # the lost request
+            self.elapsed += self._timeout
+            reason = "lost" if dropped and target is not None else "dead or unknown"
+            raise RpcTimeout(f"rpc {method} to node {target_id}: target {reason}")
+        self.metrics.counter("messages").increment(2)  # request + reply
+        self.elapsed += self._latency.sample(self._rng) + self._latency.sample(self._rng)
+        return getattr(target, method)(*args, **kwargs)
+
+    def oneway(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Forward a message without a reply leg (recursive routing).
+
+        Charges one message and a single one-way latency sample.  The
+        handler runs synchronously and its return value propagates up the
+        Python call chain, modelling the final direct reply being sent
+        once at the end of a forwarding chain (the caller charges that
+        reply separately).  Lost/dead targets cost the timeout, like
+        :meth:`rpc`.
+        """
+        self.metrics.counter("rpc.calls").increment()
+        target = self._nodes.get(target_id)
+        dropped = self._loss_rate > 0.0 and self._rng.random() < self._loss_rate
+        if target is None or dropped:
+            self.metrics.counter("rpc.timeouts").increment()
+            self.metrics.counter("messages").increment()
+            self.elapsed += self._timeout
+            reason = "lost" if dropped and target is not None else "dead or unknown"
+            raise RpcTimeout(f"oneway {method} to node {target_id}: target {reason}")
+        self.metrics.counter("messages").increment(1)
+        self.elapsed += self._latency.sample(self._rng)
+        return getattr(target, method)(*args, **kwargs)
+
+    @property
+    def messages_sent(self) -> int:
+        return self.metrics.counter("messages").value

@@ -1,0 +1,72 @@
+"""Tests for arc-sweep analytics and spectral utilities."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.analysis.arcs import sweep_arc_extremes
+from repro.analysis.spectra import mixing_time_bound, spectral_report
+
+
+class TestArcSweep:
+    def test_row_structure(self, rng):
+        rows = sweep_arc_extremes([64, 128], rings_per_size=3, rng=rng)
+        assert [r.n for r in rows] == [64, 128]
+        assert all(r.rings == 3 for r in rows)
+
+    def test_normalized_ratios_are_order_one(self, rng):
+        rows = sweep_arc_extremes([256, 1024], rings_per_size=8, rng=rng)
+        for row in rows:
+            assert 0.05 < row.mean_shortest_ratio < 20.0
+            assert 0.3 < row.mean_longest_ratio < 3.0
+
+    def test_raw_extremes_shrink_with_n(self, rng):
+        rows = sweep_arc_extremes([128, 2048], rings_per_size=8, rng=rng)
+        assert rows[1].mean_shortest < rows[0].mean_shortest
+        assert rows[1].mean_longest < rows[0].mean_longest
+
+    def test_bias_scale_is_bounded(self, rng):
+        rows = sweep_arc_extremes([512], rings_per_size=10, rng=rng)
+        # bias / (n ln n) should be O(1) -- generous band for the heavy tail.
+        assert 0.01 < rows[0].bias_scale < 100.0
+
+
+class TestSpectra:
+    def test_complete_graph_has_big_gap(self):
+        report = spectral_report(nx.complete_graph(20), "simple")
+        assert report.spectral_gap > 0.9
+
+    def test_cycle_has_small_gap(self):
+        report = spectral_report(nx.cycle_graph(60), "simple")
+        assert report.spectral_gap < 0.1
+
+    def test_gap_in_unit_interval(self):
+        g = nx.random_regular_graph(4, 50, seed=3)
+        report = spectral_report(g, "metropolis")
+        assert 0.0 <= report.spectral_gap <= 1.0
+
+    def test_relaxation_time_inverse_gap(self):
+        report = spectral_report(nx.complete_graph(10), "simple")
+        assert report.relaxation_time == pytest.approx(1.0 / report.spectral_gap)
+
+    def test_mixing_time_bound_formula(self):
+        report = spectral_report(nx.complete_graph(16), "simple")
+        bound = mixing_time_bound(report, epsilon=0.01)
+        assert bound == pytest.approx(math.log(16 / 0.01) / report.spectral_gap)
+
+    def test_mixing_bound_predicts_observed_mixing(self):
+        """The spectral bound must upper-bound observed TV mixing."""
+        from repro.analysis.stats import total_variation_from_uniform
+        from repro.baselines.random_walk import walk_distribution
+
+        g = nx.cycle_graph(30)
+        for i in range(0, 30, 3):
+            g.add_edge(i, (i + 11) % 30)
+        report = spectral_report(g, "metropolis")
+        bound = mixing_time_bound(report, epsilon=0.05)
+        dist = walk_distribution(g, "metropolis", math.ceil(bound), start=0)
+        assert total_variation_from_uniform(dist) <= 0.05

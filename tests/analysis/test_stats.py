@@ -1,0 +1,159 @@
+"""Tests for the statistics toolkit."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    chi_square_uniform,
+    empirical_distribution,
+    kl_divergence,
+    max_min_ratio,
+    mean_confidence_interval,
+    total_variation,
+    total_variation_from_uniform,
+    wilson_interval,
+)
+
+
+class TestEmpiricalDistribution:
+    def test_basic_frequencies(self):
+        dist = empirical_distribution(["a", "a", "b"], support=["a", "b", "c"])
+        assert dist == {"a": 2 / 3, "b": 1 / 3, "c": 0.0}
+
+    def test_rejects_out_of_support(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(["z"], support=["a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_distribution([], support=["a"])
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation({"a": 1.0}, {"b": 1.0}) == 1.0
+
+    def test_known_value(self):
+        p = {"a": 0.75, "b": 0.25}
+        q = {"a": 0.25, "b": 0.75}
+        assert total_variation(p, q) == pytest.approx(0.5)
+
+    def test_from_uniform(self):
+        p = {"a": 1.0, "b": 0.0}
+        assert total_variation_from_uniform(p) == pytest.approx(0.5)
+
+    def test_from_uniform_of_uniform_is_zero(self):
+        p = {i: 0.25 for i in range(4)}
+        assert total_variation_from_uniform(p) == 0.0
+
+    def test_from_uniform_rejects_empty(self):
+        with pytest.raises(ValueError):
+            total_variation_from_uniform({})
+
+
+class TestKL:
+    def test_identical_is_zero(self):
+        p = {"a": 0.3, "b": 0.7}
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_infinite_when_support_mismatch(self):
+        assert kl_divergence({"a": 1.0}, {"b": 1.0}) == math.inf
+
+    def test_known_value(self):
+        p = {"a": 1.0}
+        q = {"a": 0.5, "b": 0.5}
+        assert kl_divergence(p, q) == pytest.approx(math.log(2))
+
+    def test_nonnegative(self):
+        p = {"a": 0.9, "b": 0.1}
+        q = {"a": 0.5, "b": 0.5}
+        assert kl_divergence(p, q) >= 0.0
+
+
+class TestChiSquare:
+    def test_uniform_counts_not_rejected(self):
+        result = chi_square_uniform([100, 101, 99, 100])
+        assert result.p_value > 0.9
+        assert not result.rejects_uniformity()
+
+    def test_skewed_counts_rejected(self):
+        result = chi_square_uniform([1000, 10, 10, 10])
+        assert result.rejects_uniformity(alpha=1e-6)
+
+    def test_dof(self):
+        assert chi_square_uniform([5, 5, 5]).dof == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform([5])
+        with pytest.raises(ValueError):
+            chi_square_uniform([5, -1])
+        with pytest.raises(ValueError):
+            chi_square_uniform([0, 0])
+
+
+class TestMaxMinRatio:
+    def test_uniform_is_one(self):
+        assert max_min_ratio([0.25] * 4) == 1.0
+
+    def test_known_ratio(self):
+        assert max_min_ratio([0.1, 0.4]) == pytest.approx(4.0)
+
+    def test_zero_floor_is_infinite(self):
+        assert max_min_ratio([0.0, 1.0]) == math.inf
+
+
+class TestIntervals:
+    def test_wilson_contains_proportion(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_narrows_with_samples(self):
+        w_small = wilson_interval(5, 10)
+        w_large = wilson_interval(500, 1000)
+        assert (w_large[1] - w_large[0]) < (w_small[1] - w_small[0])
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_wilson_extremes_stay_in_unit(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+
+    def test_mean_ci_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert mean == 2.5
+        assert low < mean < high
+
+    def test_mean_ci_degenerate_constant(self):
+        mean, low, high = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert mean == low == high == 2.0
+
+    def test_mean_ci_needs_two(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+
+    def test_mean_ci_coverage_monte_carlo(self):
+        import random
+
+        rng = random.Random(9)
+        covered = 0
+        for _ in range(200):
+            data = [rng.gauss(10.0, 2.0) for _ in range(30)]
+            _, low, high = mean_confidence_interval(data, confidence=0.95)
+            if low <= 10.0 <= high:
+                covered += 1
+        assert covered >= 180  # ~95% nominal coverage

@@ -1,0 +1,106 @@
+"""Tests for sampling-based data collection (motivation 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdealDHT, RandomPeerSampler
+from repro.apps.datacollection import (
+    horvitz_thompson_fraction,
+    poll_fraction,
+    poll_mean,
+)
+from repro.baselines.naive import NaiveSampler, naive_selection_probabilities
+
+
+def attribute_of(peer) -> float:
+    """A deterministic synthetic per-peer attribute (e.g. stored bytes)."""
+    return float(peer.peer_id % 10)
+
+
+class TestPollFraction:
+    def test_validation(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        with pytest.raises(ValueError):
+            poll_fraction(sampler, lambda p: True, samples=0)
+
+    def test_estimates_known_fraction(self, rng):
+        n = 256
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        truth = sum(1 for p in dht.peers if p.peer_id % 4 == 0) / n
+        est = poll_fraction(sampler, lambda p: p.peer_id % 4 == 0, samples=2000)
+        assert est.estimate == pytest.approx(truth, abs=0.05)
+        assert est.covers(truth)
+
+    def test_interval_shrinks_with_samples(self, rng):
+        dht = IdealDHT.random(128, rng)
+        sampler = RandomPeerSampler(dht, n_hat=128.0, rng=rng)
+        wide = poll_fraction(sampler, lambda p: p.peer_id < 64, samples=50)
+        narrow = poll_fraction(sampler, lambda p: p.peer_id < 64, samples=2000)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+
+class TestPollMean:
+    def test_validation(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        with pytest.raises(ValueError):
+            poll_mean(sampler, attribute_of, samples=1)
+
+    def test_estimates_known_mean(self, rng):
+        n = 256
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        truth = sum(attribute_of(p) for p in dht.peers) / n
+        est = poll_mean(sampler, attribute_of, samples=2000)
+        assert est.estimate == pytest.approx(truth, abs=0.3)
+        assert est.covers(truth)
+
+
+class TestBiasAndCorrection:
+    def test_naive_sampler_biases_arc_weighted_attributes(self):
+        """An attribute correlated with arc length fools the naive sampler."""
+        n = 256
+        dht = IdealDHT.random(n, random.Random(55))
+        arcs = dht.circle.arcs()
+        median_arc = sorted(arcs)[n // 2]
+        big_arc_ids = {i for i in range(n) if arcs[i] > median_arc}
+
+        def has_big_arc(peer) -> bool:
+            return peer.peer_id in big_arc_ids
+
+        truth = len(big_arc_ids) / n  # 0.5 by construction
+        naive = NaiveSampler(dht, random.Random(56))
+        est = poll_fraction(naive, has_big_arc, samples=4000)
+        # Arc-weighted sampling overcounts big-arc peers decisively.
+        assert est.estimate > truth + 0.15
+        # ... while the uniform sampler does not.
+        uniform = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(57))
+        est_u = poll_fraction(uniform, has_big_arc, samples=4000)
+        assert est_u.estimate == pytest.approx(truth, abs=0.05)
+
+    def test_horvitz_thompson_corrects_naive_bias(self):
+        n = 256
+        dht = IdealDHT.random(n, random.Random(58))
+        arcs = naive_selection_probabilities(dht.circle)
+        probs = {i: arcs[i] for i in range(n)}
+        median_arc = sorted(arcs)[n // 2]
+        big_arc_ids = {i for i in range(n) if arcs[i] > median_arc}
+        truth = len(big_arc_ids) / n
+        naive = NaiveSampler(dht, random.Random(59))
+        draws = naive.sample_many(20_000)
+        corrected = horvitz_thompson_fraction(
+            draws, lambda p: p.peer_id in big_arc_ids, probs, population=n
+        )
+        assert corrected == pytest.approx(truth, abs=0.05)
+
+    def test_horvitz_thompson_validation(self, rng):
+        dht = IdealDHT.random(8, rng)
+        with pytest.raises(ValueError):
+            horvitz_thompson_fraction([], lambda p: True, {}, population=8)
+        with pytest.raises(ValueError):
+            horvitz_thompson_fraction(
+                [dht.peers[0]], lambda p: True, {0: 0.0}, population=8
+            )

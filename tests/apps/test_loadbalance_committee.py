@@ -1,0 +1,157 @@
+"""Tests for load balancing and committee sampling (motivation 2)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import IdealDHT, RandomPeerSampler
+from repro.apps.committee import (
+    CommitteeSpec,
+    committee_failure_probability,
+    empirical_committee_failure,
+)
+from repro.apps.loadbalance import (
+    assign_tasks,
+    one_choice_max_load_theory,
+    two_choice_max_load_theory,
+)
+from repro.baselines.naive import NaiveSampler
+
+
+class TestAssignTasks:
+    def test_validation(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        with pytest.raises(ValueError):
+            assign_tasks(sampler, 512, 10, choices=0)
+        with pytest.raises(ValueError):
+            assign_tasks(sampler, 512, -1)
+
+    def test_conservation(self, rng):
+        n = 128
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        report = assign_tasks(sampler, n, 500)
+        assert sum(report.loads.values()) == 500
+        assert report.max_load >= math.ceil(500 / n)
+
+    def test_zero_tasks(self, rng):
+        dht = IdealDHT.random(16, rng)
+        sampler = RandomPeerSampler(dht, n_hat=16.0, rng=rng)
+        assert assign_tasks(sampler, 16, 0).max_load == 0
+
+    def test_two_choices_beat_one(self):
+        n = 256
+        dht = IdealDHT.random(n, random.Random(61))
+        one = assign_tasks(
+            RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(62)), n, n
+        )
+        two = assign_tasks(
+            RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(63)),
+            n, n, choices=2,
+        )
+        assert two.max_load <= one.max_load
+
+    def test_uniform_beats_naive_on_max_load(self):
+        """The motivation-2 claim: biased choice wrecks the balance."""
+        n = 256
+        tasks = 4 * n
+        dht = IdealDHT.random(n, random.Random(64))
+        uniform = assign_tasks(
+            RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(65)), n, tasks
+        )
+        naive = assign_tasks(NaiveSampler(dht, random.Random(66)), n, tasks)
+        assert naive.max_load > uniform.max_load
+
+    def test_one_choice_near_theory(self):
+        n = 512
+        dht = IdealDHT.random(n, random.Random(67))
+        report = assign_tasks(
+            RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(68)), n, n
+        )
+        theory = one_choice_max_load_theory(n, n)
+        assert report.max_load <= 4.0 * theory
+        assert report.max_load >= 2  # collisions happen at m = n
+
+    def test_theory_formulas(self):
+        assert one_choice_max_load_theory(1, 5) == 5.0
+        assert two_choice_max_load_theory(1, 5) == 5.0
+        heavy = one_choice_max_load_theory(100, 10_000)
+        assert heavy > 100.0  # mean plus deviation
+        assert two_choice_max_load_theory(1024, 1024) < one_choice_max_load_theory(
+            1024, 1024
+        ) + 2.0
+
+
+class TestCommitteeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommitteeSpec(size=0)
+        with pytest.raises(ValueError):
+            CommitteeSpec(size=10, threshold=1.5)
+
+    def test_max_byzantine_third(self):
+        assert CommitteeSpec(size=30).max_byzantine == 9  # < 10 = 30/3
+        assert CommitteeSpec(size=31).max_byzantine == 10
+
+
+class TestFailureProbability:
+    def test_no_byzantine_never_fails(self):
+        spec = CommitteeSpec(size=20)
+        assert committee_failure_probability(100, 0, spec) == 0.0
+
+    def test_all_byzantine_always_fails(self):
+        spec = CommitteeSpec(size=20)
+        assert committee_failure_probability(100, 100, spec) == pytest.approx(1.0)
+
+    def test_monotone_in_byzantine_count(self):
+        spec = CommitteeSpec(size=25)
+        probs = [committee_failure_probability(300, b, spec) for b in (30, 60, 120)]
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_bigger_committees_safer_below_threshold(self):
+        n, byz = 1000, 200  # 20% < 1/3
+        small = committee_failure_probability(n, byz, CommitteeSpec(size=10))
+        large = committee_failure_probability(n, byz, CommitteeSpec(size=100))
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            committee_failure_probability(10, 11, CommitteeSpec(size=5))
+
+
+class TestEmpiricalFailure:
+    def test_matches_exact_under_uniform_sampling(self):
+        n, byz = 200, 40
+        dht = IdealDHT.random(n, random.Random(71))
+        byzantine_ids = set(range(byz))  # ids are arbitrary labels
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(72))
+        spec = CommitteeSpec(size=15)
+        exact = committee_failure_probability(n, byz, spec)
+        empirical = empirical_committee_failure(
+            sampler, lambda p: p.peer_id in byzantine_ids, spec, elections=1500
+        )
+        assert empirical == pytest.approx(exact, abs=0.05)
+
+    def test_adversarial_placement_breaks_naive_sampler(self):
+        """An adversary parking its peers after the longest arcs gets
+        over-represented in naive-sampled committees."""
+        n, byz = 200, 40
+        dht = IdealDHT.random(n, random.Random(73))
+        arcs = dht.circle.arcs()
+        by_arc = sorted(range(n), key=lambda i: arcs[i], reverse=True)
+        byzantine_ids = set(by_arc[:byz])  # adversary takes the longest arcs
+        spec = CommitteeSpec(size=15)
+        exact_uniform = committee_failure_probability(n, byz, spec)
+        naive = NaiveSampler(dht, random.Random(74))
+        empirical_naive = empirical_committee_failure(
+            naive, lambda p: p.peer_id in byzantine_ids, spec, elections=1500
+        )
+        assert empirical_naive > 3.0 * max(exact_uniform, 1e-4)
+
+    def test_validation(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        with pytest.raises(ValueError):
+            empirical_committee_failure(sampler, lambda p: False, CommitteeSpec(5), 0)

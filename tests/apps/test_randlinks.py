@@ -1,0 +1,91 @@
+"""Tests for random-link overlays and adversarial robustness (motivation 3)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro import IdealDHT, RandomPeerSampler
+from repro.apps.randlinks import (
+    build_random_link_overlay,
+    deletion_robustness,
+)
+
+
+class TestBuildOverlay:
+    def test_validation(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        with pytest.raises(ValueError):
+            build_random_link_overlay(sampler, 512, links_per_node=0)
+
+    def test_structure(self, rng):
+        n = 128
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        g = build_random_link_overlay(sampler, n, links_per_node=4)
+        assert g.number_of_nodes() == n
+        assert not any(g.has_edge(u, u) for u in g.nodes)
+        # Each node initiates 4 links; undirected merging keeps degrees >= 4.
+        assert all(d >= 4 for _, d in g.degree())
+
+    def test_uniform_links_connect(self, rng):
+        n = 128
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        g = build_random_link_overlay(sampler, n, links_per_node=4)
+        assert nx.is_connected(g)
+
+
+class TestDeletionRobustness:
+    def test_validation(self):
+        g = nx.path_graph(10)
+        with pytest.raises(ValueError):
+            deletion_robustness(g, [1.0])
+
+    def test_zero_deletion_is_whole_graph(self):
+        g = nx.cycle_graph(20)
+        (point,) = deletion_robustness(g, [0.0])
+        assert point.survivors == 20
+        assert point.largest_component_fraction == 1.0
+
+    def test_does_not_mutate_input(self):
+        g = nx.cycle_graph(20)
+        deletion_robustness(g, [0.5])
+        assert g.number_of_nodes() == 20
+
+    def test_targeted_attack_beats_random_on_hub_graph(self):
+        """On a hub-heavy (star-of-stars) graph, targeted deletion is
+        devastating while random deletion barely matters."""
+        g = nx.barbell_graph(5, 0)
+        hub = nx.star_graph(50)
+        g = nx.disjoint_union(hub, hub)
+        g.add_edge(0, 51)  # connect the two hubs
+        targeted = deletion_robustness(g, [0.05], targeted=True)[0]
+        rnd = deletion_robustness(g, [0.05], targeted=False, rng=random.Random(1))[0]
+        assert targeted.largest_component_fraction < 0.6
+        assert rnd.largest_component_fraction > targeted.largest_component_fraction
+
+    def test_uniform_random_links_survive_massive_deletion(self, rng):
+        n = 200
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        g = build_random_link_overlay(sampler, n, links_per_node=5)
+        points = deletion_robustness(g, [0.3, 0.5], targeted=True)
+        # Random 5-regular-ish graphs keep a giant component under 50%
+        # targeted deletion (Motwani-Raghavan robustness motivation).
+        assert points[0].largest_component_fraction > 0.9
+        assert points[1].largest_component_fraction > 0.8
+
+    def test_monotone_fractions(self, rng):
+        n = 150
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        g = build_random_link_overlay(sampler, n, links_per_node=3)
+        fractions = [0.0, 0.2, 0.4, 0.6]
+        points = deletion_robustness(g, fractions, targeted=True)
+        assert [p.deleted_fraction for p in points] == fractions
+        assert all(
+            points[i].survivors >= points[i + 1].survivors for i in range(len(points) - 1)
+        )

@@ -1,0 +1,69 @@
+"""Tests for the naive biased heuristic."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro import IdealDHT, SortedCircle
+from repro.analysis.stats import max_min_ratio
+from repro.baselines.naive import NaiveSampler, naive_selection_probabilities
+
+
+class TestNaiveSampler:
+    def test_returns_peers(self, medium_dht, rng):
+        sampler = NaiveSampler(medium_dht, rng)
+        assert sampler.sample() in medium_dht.peers
+
+    def test_sample_many(self, medium_dht, rng):
+        sampler = NaiveSampler(medium_dht, rng)
+        assert len(sampler.sample_many(10)) == 10
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1)
+
+    def test_one_h_call_per_sample(self, medium_dht, rng):
+        sampler = NaiveSampler(medium_dht, rng)
+        before = medium_dht.cost.snapshot()
+        sampler.sample_many(7)
+        delta = medium_dht.cost.snapshot() - before
+        assert delta.h_calls == 7
+        assert delta.next_calls == 0
+
+    def test_empirical_frequencies_track_arcs(self):
+        # The defining property: selection frequency ~ predecessor arc.
+        dht = IdealDHT.from_points([0.5, 0.6, 1.0])  # arcs 0.5, 0.1, 0.4
+        sampler = NaiveSampler(dht, random.Random(3))
+        counts = Counter(p.peer_id for p in sampler.sample_many(30_000))
+        assert counts[0] / 30_000 == pytest.approx(0.5, abs=0.02)
+        assert counts[1] / 30_000 == pytest.approx(0.1, abs=0.02)
+        assert counts[2] / 30_000 == pytest.approx(0.4, abs=0.02)
+
+
+class TestExactDistribution:
+    def test_probabilities_are_arcs(self, small_circle):
+        assert naive_selection_probabilities(small_circle) == small_circle.arcs()
+
+    def test_sums_to_one(self, small_circle):
+        assert math.fsum(naive_selection_probabilities(small_circle)) == pytest.approx(1.0)
+
+    def test_bias_matches_theorem8_scale(self):
+        """max/min pick ratio grows roughly like n log n (intro claim)."""
+        import statistics
+
+        medians = {}
+        for n in (128, 2048):
+            ratios = [
+                max_min_ratio(
+                    naive_selection_probabilities(
+                        SortedCircle.random(n, random.Random(seed))
+                    )
+                )
+                for seed in range(20)
+            ]
+            medians[n] = statistics.median(ratios)
+        expected_growth = (2048 * math.log(2048)) / (128 * math.log(128))
+        observed_growth = medians[2048] / medians[128]
+        assert observed_growth > expected_growth / 4.0

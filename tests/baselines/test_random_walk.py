@@ -1,0 +1,120 @@
+"""Tests for the random-walk baseline samplers."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.analysis.stats import total_variation, total_variation_from_uniform
+from repro.baselines.random_walk import (
+    RandomWalkSampler,
+    stationary_distribution,
+    walk_distribution,
+)
+
+
+@pytest.fixture
+def ring_with_chords() -> nx.Graph:
+    # Even-offset chords create odd cycles, keeping the simple walk
+    # aperiodic (the bare even cycle is bipartite, hence periodic).
+    g = nx.cycle_graph(40)
+    for i in range(0, 40, 4):
+        g.add_edge(i, (i + 10) % 40)
+    return g
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self, ring_with_chords):
+        with pytest.raises(ValueError):
+            RandomWalkSampler(ring_with_chords, 5, kind="levy")
+
+    def test_rejects_negative_steps(self, ring_with_chords):
+        with pytest.raises(ValueError):
+            RandomWalkSampler(ring_with_chords, -1)
+
+    def test_rejects_isolated_nodes(self):
+        g = nx.Graph()
+        g.add_nodes_from([1, 2])
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(ValueError):
+            RandomWalkSampler(g, 5)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            RandomWalkSampler(nx.Graph(), 5)
+
+
+class TestWalkMechanics:
+    def test_zero_steps_returns_start(self, ring_with_chords):
+        sampler = RandomWalkSampler(ring_with_chords, 0, rng=random.Random(0))
+        assert sampler.sample(7) == 7
+
+    def test_simple_walk_moves_to_neighbors(self, ring_with_chords):
+        sampler = RandomWalkSampler(ring_with_chords, 1, kind="simple", rng=random.Random(1))
+        for _ in range(50):
+            end = sampler.sample(0)
+            assert end in set(ring_with_chords.neighbors(0))
+
+    def test_metropolis_can_stay_put(self):
+        # A star graph: from a leaf, MH proposes the hub but accepts with
+        # prob deg(leaf)/deg(hub) = 1/k, so staying is common.
+        g = nx.star_graph(10)
+        sampler = RandomWalkSampler(g, 1, kind="metropolis", rng=random.Random(2))
+        stays = sum(1 for _ in range(300) if sampler.sample(1) == 1)
+        assert stays > 150
+
+    def test_sample_many(self, ring_with_chords):
+        sampler = RandomWalkSampler(ring_with_chords, 3, rng=random.Random(3))
+        assert len(sampler.sample_many(0, 9)) == 9
+
+
+class TestExactDistributions:
+    def test_walk_distribution_is_probability(self, ring_with_chords):
+        dist = walk_distribution(ring_with_chords, "simple", 10, start=0)
+        assert math.fsum(dist.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in dist.values())
+
+    def test_simple_walk_converges_to_degree_bias(self, ring_with_chords):
+        dist = walk_distribution(ring_with_chords, "simple", 400, start=0)
+        target = stationary_distribution(ring_with_chords, "simple")
+        assert total_variation(dist, target) < 0.02
+
+    def test_metropolis_converges_to_uniform(self, ring_with_chords):
+        dist = walk_distribution(ring_with_chords, "metropolis", 600, start=0)
+        assert total_variation_from_uniform(dist) < 0.02
+
+    def test_max_degree_converges_to_uniform(self, ring_with_chords):
+        dist = walk_distribution(ring_with_chords, "max-degree", 600, start=0)
+        assert total_variation_from_uniform(dist) < 0.02
+
+    def test_simple_walk_is_biased_on_irregular_graph(self, ring_with_chords):
+        """The paper's point: without correction, endpoints are not uniform
+        even after long walks."""
+        dist = walk_distribution(ring_with_chords, "simple", 2000, start=0)
+        assert total_variation_from_uniform(dist) > 0.03
+
+    def test_short_walks_are_far_from_uniform(self, ring_with_chords):
+        near = walk_distribution(ring_with_chords, "metropolis", 2, start=0)
+        far = walk_distribution(ring_with_chords, "metropolis", 200, start=0)
+        assert total_variation_from_uniform(near) > 5 * total_variation_from_uniform(far)
+
+    def test_empirical_matches_exact(self, ring_with_chords):
+        steps = 12
+        sampler = RandomWalkSampler(ring_with_chords, steps, kind="metropolis",
+                                    rng=random.Random(5))
+        counts = {u: 0 for u in ring_with_chords.nodes}
+        draws = 30_000
+        for _ in range(draws):
+            counts[sampler.sample(0)] += 1
+        empirical = {u: c / draws for u, c in counts.items()}
+        exact = walk_distribution(ring_with_chords, "metropolis", steps, start=0)
+        assert total_variation(empirical, exact) < 0.03
+
+    def test_stationary_distributions_normalized(self, ring_with_chords):
+        for kind in ("simple", "metropolis", "max-degree"):
+            dist = stationary_distribution(ring_with_chords, kind)
+            assert math.fsum(dist.values()) == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""Tests for the unstructured overlay generators (open problem 2)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.analysis.spectra import spectral_report
+from repro.baselines.unstructured import OVERLAY_KINDS, make_overlay
+
+
+class TestMakeOverlay:
+    def test_rejects_unknown_kind(self, rng):
+        with pytest.raises(ValueError):
+            make_overlay("hypercube", 50, rng)
+
+    def test_rejects_tiny(self, rng):
+        with pytest.raises(ValueError):
+            make_overlay("power-law", 5, rng)
+
+    @pytest.mark.parametrize("kind", OVERLAY_KINDS)
+    def test_connected_and_sized(self, kind, rng):
+        g = make_overlay(kind, 100, rng)
+        assert g.number_of_nodes() == 100
+        assert nx.is_connected(g)
+        assert min(d for _, d in g.degree()) >= 1
+
+    @pytest.mark.parametrize("kind", OVERLAY_KINDS)
+    def test_odd_sizes_supported(self, kind, rng):
+        g = make_overlay(kind, 101, rng)
+        assert g.number_of_nodes() == 101
+        assert nx.is_connected(g)
+
+    def test_deterministic_for_seeded_rng(self):
+        a = make_overlay("power-law", 80, random.Random(3))
+        b = make_overlay("power-law", 80, random.Random(3))
+        assert sorted(a.edges) == sorted(b.edges)
+
+    def test_power_law_has_hubs(self, rng):
+        g = make_overlay("power-law", 300, rng)
+        degrees = sorted((d for _, d in g.degree()), reverse=True)
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_regular_graph_is_regular(self, rng):
+        g = make_overlay("random-regular", 100, rng)
+        degrees = {d for _, d in g.degree()}
+        assert degrees == {6}
+
+    def test_spectral_ordering_matches_structure(self, rng):
+        """Expander-like regular graphs mix faster than ring lattices --
+        the fact that makes walk-sampling quality topology-dependent."""
+        regular = spectral_report(make_overlay("random-regular", 200, rng), "metropolis")
+        lattice = spectral_report(make_overlay("ring-lattice", 200, rng), "metropolis")
+        assert regular.spectral_gap > 3 * lattice.spectral_gap

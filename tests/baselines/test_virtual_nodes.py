@@ -1,0 +1,86 @@
+"""Tests for the virtual-nodes load-balancing baseline."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.analysis.stats import max_min_ratio
+from repro.baselines.virtual_nodes import (
+    VirtualNodeRing,
+    maintenance_messages_per_round,
+)
+
+
+class TestVirtualNodeRing:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            VirtualNodeRing.random(0, 4, rng)
+        with pytest.raises(ValueError):
+            VirtualNodeRing.random(4, 0, rng)
+
+    def test_sizes(self, rng):
+        ring = VirtualNodeRing.random(10, 4, rng)
+        assert len(ring.circle) == 40
+        assert len(ring.owner) == 40
+        assert ring.n_peers == 10
+        assert ring.v == 4
+
+    def test_each_peer_owns_v_points(self, rng):
+        ring = VirtualNodeRing.random(12, 5, rng)
+        counts = {p: 0 for p in range(12)}
+        for owner in ring.owner:
+            counts[owner] += 1
+        assert all(c == 5 for c in counts.values())
+
+    def test_probabilities_normalized(self, rng):
+        ring = VirtualNodeRing.random(20, 8, rng)
+        probs = ring.selection_probabilities()
+        assert math.fsum(probs) == pytest.approx(1.0)
+        assert all(p >= 0 for p in probs)
+
+    def test_more_virtual_nodes_balance_better(self):
+        """The related-work claim: v = Theta(log n) smooths the shares."""
+        n = 200
+        medians = {}
+        for v in (1, 8):
+            ratios = [
+                max_min_ratio(
+                    VirtualNodeRing.random(n, v, random.Random(seed))
+                    .selection_probabilities()
+                )
+                for seed in range(15)
+            ]
+            medians[v] = statistics.median(ratios)
+        assert medians[8] < medians[1] / 3.0
+
+    def test_max_share_shrinks_with_v(self):
+        n = 200
+        shares = {
+            v: statistics.median(
+                VirtualNodeRing.random(n, v, random.Random(seed)).max_share()
+                for seed in range(15)
+            )
+            for v in (1, 8)
+        }
+        assert shares[8] < shares[1]
+
+
+class TestMaintenanceCost:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            maintenance_messages_per_round(0, 1)
+
+    def test_scales_linearly_in_v(self):
+        base = maintenance_messages_per_round(100, 1)
+        heavy = maintenance_messages_per_round(100, 8)
+        assert heavy > 7 * base  # ~8x points, mildly superlinear log factor
+
+    def test_paper_tradeoff_visible(self):
+        """v = log n improves balance but multiplies maintenance ~log n."""
+        n = 1024
+        v = int(math.log2(n))
+        assert maintenance_messages_per_round(n, v) > 9 * maintenance_messages_per_round(n, 1)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdealDHT, SortedCircle
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG, fresh per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def registry() -> RngRegistry:
+    return RngRegistry(root_seed=42)
+
+
+@pytest.fixture
+def small_circle(rng) -> SortedCircle:
+    """A fixed 64-peer random ring."""
+    return SortedCircle.random(64, rng)
+
+
+@pytest.fixture
+def medium_dht(rng) -> IdealDHT:
+    """A fixed 512-peer ideal DHT."""
+    return IdealDHT.random(512, rng)

@@ -1,0 +1,147 @@
+"""Tests for the exact interval-assignment analysis (Theorem 6 machinery)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SortedCircle
+from repro.core.assignment import AssignmentReport, compute_assignment, trial_on_circle
+from repro.core.sampler import SamplerParams, TrialOutcome
+
+
+def params_for(n: int) -> SamplerParams:
+    return SamplerParams.from_estimate(float(n))
+
+
+class TestComputeAssignment:
+    def test_rejects_bad_arguments(self, small_circle):
+        with pytest.raises(ValueError):
+            compute_assignment(small_circle, 0.0, 10)
+        with pytest.raises(ValueError):
+            compute_assignment(small_circle, 0.01, 0)
+
+    def test_measures_are_nonnegative_and_bounded(self, small_circle):
+        p = params_for(64)
+        report = compute_assignment(small_circle, p.lam, p.walk_budget)
+        assert all(0.0 <= m <= p.lam + 1e-15 for m in report.measures)
+
+    def test_total_measure_at_most_one(self, small_circle):
+        p = params_for(64)
+        report = compute_assignment(small_circle, p.lam, p.walk_budget)
+        assert math.fsum(report.measures) <= 1.0 + 1e-12
+        assert report.unassigned >= 0.0
+
+    def test_uniform_on_random_ring(self, small_circle):
+        p = params_for(64)
+        report = compute_assignment(small_circle, p.lam, p.walk_budget)
+        assert report.is_exactly_uniform(1e-12)
+        assert report.max_abs_error < 1e-15
+
+    def test_success_probability_equals_n_lambda_when_uniform(self, small_circle):
+        p = params_for(64)
+        report = compute_assignment(small_circle, p.lam, p.walk_budget)
+        assert report.success_probability == pytest.approx(64 * p.lam, abs=1e-12)
+
+    def test_two_peer_extreme_ring(self):
+        # One arc nearly the whole circle, one arc almost empty.
+        circle = SortedCircle([0.5, 0.5 + 1e-9])
+        p = params_for(2)
+        report = compute_assignment(circle, p.lam, p.walk_budget)
+        assert report.is_exactly_uniform(1e-12)
+
+    def test_insufficient_budget_starves_crowded_peers(self):
+        # A tight cluster of many peers after one long arc: with a walk
+        # budget of 1 the deep-cluster peers cannot be reached from the
+        # long arc and end up under-assigned.
+        points = [0.5] + [0.5 + (i + 1) * 1e-6 for i in range(30)]
+        circle = SortedCircle(points)
+        lam = 1.0 / (7.0 * len(points))
+        generous = compute_assignment(circle, lam, walk_budget=200)
+        starved = compute_assignment(circle, lam, walk_budget=1)
+        assert generous.max_abs_error <= starved.max_abs_error
+        assert starved.max_abs_error > 1e-9
+
+    def test_single_peer_gets_lambda(self):
+        circle = SortedCircle([0.42])
+        report = compute_assignment(circle, 0.01, walk_budget=5)
+        # SMALL region plus up to walk_budget lap-steps each worth lambda.
+        assert report.measures[0] == pytest.approx(0.01)
+
+    def test_report_fields(self, small_circle):
+        p = params_for(64)
+        report = compute_assignment(small_circle, p.lam, p.walk_budget)
+        assert isinstance(report, AssignmentReport)
+        assert report.lam == p.lam
+        assert report.walk_budget == p.walk_budget
+        assert len(report.measures) == 64
+
+
+class TestTrialOnCircle:
+    def test_small_hit_at_peer_point(self, small_circle):
+        p = params_for(64)
+        outcome, idx = trial_on_circle(small_circle, p, small_circle[5])
+        assert outcome is TrialOutcome.SMALL_HIT
+        assert idx == 5
+
+    def test_outcomes_have_consistent_indices(self, small_circle, rng):
+        p = params_for(64)
+        for _ in range(500):
+            outcome, idx = trial_on_circle(small_circle, p, 1.0 - rng.random())
+            if outcome is TrialOutcome.EXHAUSTED:
+                assert idx is None
+            else:
+                assert 0 <= idx < 64
+
+
+class TestMonteCarloAgreement:
+    """The closed-form measures must match Monte-Carlo frequencies."""
+
+    def test_frequencies_match_measures(self):
+        n = 40
+        circle = SortedCircle.random(n, random.Random(77))
+        p = params_for(n)
+        report = compute_assignment(circle, p.lam, p.walk_budget)
+        rng = random.Random(78)
+        draws = 200_000
+        hits = [0] * n
+        misses = 0
+        for _ in range(draws):
+            outcome, idx = trial_on_circle(circle, p, 1.0 - rng.random())
+            if idx is None:
+                misses += 1
+            else:
+                hits[idx] += 1
+        # Success mass.
+        assert misses / draws == pytest.approx(report.unassigned, abs=0.01)
+        # Per-peer mass (each expectation is draws*lam ~ 700).
+        for i in range(n):
+            assert hits[i] / draws == pytest.approx(report.measures[i], abs=0.005)
+
+    @given(st.integers(min_value=2, max_value=80), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=80, deadline=None)
+    def test_uniformity_invariant_over_random_rings(self, n, seed):
+        """Property-based Theorem 6: every random ring yields an exactly
+        uniform assignment under the paper's default parameters."""
+        circle = SortedCircle.random(n, random.Random(seed))
+        p = params_for(n)
+        report = compute_assignment(circle, p.lam, p.walk_budget)
+        assert report.is_exactly_uniform(1e-12)
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniformity_robust_to_estimate_error(self, n, seed, ratio):
+        """Theorem 6 only needs n_hat >= gamma1 * n; sweep the ratio."""
+        circle = SortedCircle.random(n, random.Random(seed))
+        p = SamplerParams.from_estimate(max(1.0, ratio * n))
+        report = compute_assignment(circle, p.lam, p.walk_budget)
+        if ratio >= 2.0 / 7.0:
+            assert report.is_exactly_uniform(1e-12)

@@ -1,0 +1,149 @@
+"""Tests for biased peer sampling (the paper's open problem 3)."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro import IdealDHT
+from repro.core.biased import (
+    BiasedPeerSampler,
+    inverse_distance_weight,
+)
+from repro.core.errors import SamplingError
+from repro.core.intervals import clockwise_distance
+
+
+class TestValidation:
+    def test_rejects_bad_bound(self, medium_dht, rng):
+        with pytest.raises(ValueError):
+            BiasedPeerSampler(medium_dht, lambda p: 1.0, 0.0, rng=rng)
+
+    def test_rejects_bad_max_rejections(self, medium_dht, rng):
+        with pytest.raises(ValueError):
+            BiasedPeerSampler(
+                medium_dht, lambda p: 1.0, 1.0, rng=rng, max_rejections=0
+            )
+
+    def test_negative_weight_raises(self, medium_dht, rng):
+        sampler = BiasedPeerSampler(
+            medium_dht, lambda p: -1.0, 1.0, n_hat=512.0, rng=rng
+        )
+        with pytest.raises(ValueError):
+            sampler.sample()
+
+    def test_weight_above_bound_raises(self, medium_dht, rng):
+        sampler = BiasedPeerSampler(
+            medium_dht, lambda p: 5.0, 1.0, n_hat=512.0, rng=rng
+        )
+        with pytest.raises(ValueError):
+            sampler.sample()
+
+    def test_sample_many_negative(self, medium_dht, rng):
+        sampler = BiasedPeerSampler(
+            medium_dht, lambda p: 1.0, 1.0, n_hat=512.0, rng=rng
+        )
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1)
+
+
+class TestDistribution:
+    def test_constant_weight_reduces_to_uniform(self, rng):
+        n = 64
+        dht = IdealDHT.random(n, rng)
+        sampler = BiasedPeerSampler(dht, lambda p: 1.0, 1.0, n_hat=float(n), rng=rng)
+        stats = sampler.sample_with_stats()
+        assert stats.uniform_draws == 1  # weight == bound: always accept
+        assert stats.acceptance_probability == 1.0
+
+    def test_two_to_one_bias(self):
+        n = 40
+        dht = IdealDHT.random(n, random.Random(7))
+        # Even-indexed peers weigh 2, odd-indexed weigh 1.
+        sampler = BiasedPeerSampler(
+            dht,
+            lambda p: 2.0 if p.peer_id % 2 == 0 else 1.0,
+            2.0,
+            n_hat=float(n),
+            rng=random.Random(8),
+        )
+        counts = Counter(p.peer_id % 2 for p in sampler.sample_many(6000))
+        ratio = counts[0] / counts[1]
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_zero_weight_peers_never_sampled(self):
+        n = 30
+        dht = IdealDHT.random(n, random.Random(9))
+        forbidden = set(range(0, n, 3))
+        sampler = BiasedPeerSampler(
+            dht,
+            lambda p: 0.0 if p.peer_id in forbidden else 1.0,
+            1.0,
+            n_hat=float(n),
+            rng=random.Random(10),
+        )
+        drawn = {p.peer_id for p in sampler.sample_many(1500)}
+        assert drawn.isdisjoint(forbidden)
+        assert drawn == set(range(n)) - forbidden
+
+    def test_inverse_distance_bias(self):
+        """The paper's example: probability inversely proportional to
+        clockwise distance from the caller."""
+        n = 64
+        dht = IdealDHT.random(n, random.Random(11))
+        origin = dht.any_peer().point
+        weight, bound = inverse_distance_weight(origin, floor=0.01)
+        sampler = BiasedPeerSampler(
+            dht, weight, bound, n_hat=float(n), rng=random.Random(12)
+        )
+        draws = sampler.sample_many(4000)
+        near = sum(1 for p in draws if clockwise_distance(origin, p.point) < 0.1)
+        far = sum(1 for p in draws if clockwise_distance(origin, p.point) > 0.9)
+        assert near > 3 * max(far, 1)
+
+    def test_expected_draws_matches_theory(self):
+        n = 50
+        dht = IdealDHT.random(n, random.Random(13))
+        # Half the peers weigh 1, half weigh 0: acceptance rate ~ 1/2.
+        sampler = BiasedPeerSampler(
+            dht,
+            lambda p: 1.0 if p.peer_id < n // 2 else 0.0,
+            1.0,
+            n_hat=float(n),
+            rng=random.Random(14),
+        )
+        draws = [sampler.sample_with_stats().uniform_draws for _ in range(400)]
+        assert sum(draws) / len(draws) == pytest.approx(2.0, rel=0.25)
+
+    def test_max_rejections_enforced(self, rng):
+        dht = IdealDHT.random(16, rng)
+        sampler = BiasedPeerSampler(
+            dht, lambda p: 0.0, 1.0, n_hat=16.0, rng=rng, max_rejections=10
+        )
+        with pytest.raises(SamplingError):
+            sampler.sample()
+
+
+class TestInverseDistanceWeight:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inverse_distance_weight(0.5, floor=0.0)
+        with pytest.raises(ValueError):
+            inverse_distance_weight(0.5, floor=1.0)
+
+    def test_bound_is_respected(self, medium_dht):
+        weight, bound = inverse_distance_weight(0.25, floor=0.05)
+        assert bound == pytest.approx(20.0)
+        for peer in list(medium_dht.peers)[:50]:
+            assert 0.0 < weight(peer) <= bound + 1e-12
+
+    def test_closer_means_heavier(self):
+        from repro.dht.api import PeerRef
+
+        weight, _ = inverse_distance_weight(0.5, floor=1e-4)
+        close = PeerRef(0, 0.51)
+        distant = PeerRef(1, 0.9)
+        assert weight(close) > weight(distant)

@@ -1,0 +1,94 @@
+"""Tests for Estimate-n (Section 2 / Lemma 3)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import IdealDHT, estimate_n
+from repro.core.errors import EstimationError
+from repro.core.estimate import EstimateResult
+from repro.core.sampler import GAMMA1, GAMMA2
+
+
+class TestEstimateBasics:
+    def test_returns_result_type(self, medium_dht):
+        assert isinstance(estimate_n(medium_dht), EstimateResult)
+
+    def test_rejects_nonpositive_c1(self, medium_dht):
+        with pytest.raises(EstimationError):
+            estimate_n(medium_dht, c1=0.0)
+        with pytest.raises(EstimationError):
+            estimate_n(medium_dht, c1=-1.0)
+
+    def test_single_peer_is_exact(self, rng):
+        dht = IdealDHT.random(1, rng)
+        result = estimate_n(dht)
+        assert result.exact
+        assert result.n_hat == 1.0
+
+    def test_tiny_ring_lap_detection(self, rng):
+        # With n=3 and default c1 the hop budget usually exceeds n, so the
+        # walk laps and the estimate becomes exact.
+        dht = IdealDHT.random(3, rng)
+        result = estimate_n(dht, c1=8.0)
+        assert result.exact
+        assert result.n_hat == 3.0
+
+    def test_defaults_to_any_peer(self, medium_dht):
+        explicit = estimate_n(medium_dht, medium_dht.any_peer())
+        implicit = estimate_n(medium_dht)
+        assert explicit.n_hat == implicit.n_hat
+
+    def test_hops_are_logarithmic(self, rng):
+        n = 4096
+        dht = IdealDHT.random(n, rng)
+        result = estimate_n(dht)
+        assert not result.exact
+        # s = ceil(c1 * ln(n_hat_1)) and n_hat_1 <= n^3 w.h.p. (Lemma 1),
+        # so hops stay within a small multiple of c1 * ln n.
+        assert result.hops <= 4.0 * 3.0 * math.log(n) + 1
+
+    def test_cost_is_next_only(self, rng):
+        dht = IdealDHT.random(1000, rng)
+        before = dht.cost.snapshot()
+        result = estimate_n(dht)
+        delta = dht.cost.snapshot() - before
+        assert delta.h_calls == 0
+        assert delta.next_calls == result.hops
+
+
+class TestEstimateAccuracy:
+    """Lemma 3: the estimate is a constant-factor approximation w.h.p."""
+
+    @pytest.mark.parametrize("n", [256, 1024, 4096])
+    def test_within_lemma3_band_across_seeds(self, n):
+        inside = 0
+        trials = 40
+        for seed in range(trials):
+            dht = IdealDHT.random(n, random.Random(seed))
+            ratio = estimate_n(dht).n_hat / n
+            if GAMMA1 <= ratio <= GAMMA2:
+                inside += 1
+        # Lemma 3 promises probability >= 1 - 2/n; allow a couple of
+        # unlucky vantage points at these finite sizes.
+        assert inside >= trials - 2
+
+    def test_larger_c1_tightens_estimate(self):
+        n = 2048
+        spreads = {}
+        for c1 in (1.0, 16.0):
+            ratios = [
+                estimate_n(IdealDHT.random(n, random.Random(seed)), c1=c1).n_hat / n
+                for seed in range(30)
+            ]
+            spreads[c1] = max(ratios) / min(ratios)
+        assert spreads[16.0] < spreads[1.0]
+
+    def test_estimate_scales_with_n(self):
+        # The estimate must track n, not hover near a constant.
+        small = estimate_n(IdealDHT.random(128, random.Random(5))).n_hat
+        large = estimate_n(IdealDHT.random(8192, random.Random(5))).n_hat
+        assert large / small > 16

@@ -1,0 +1,118 @@
+"""Tests for the estimator/sampler extensions: median-of-vantages
+estimation, distinct sampling, and CSV export."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdealDHT, RandomPeerSampler
+from repro.bench.harness import Table
+from repro.core.errors import EstimationError, SamplingError
+from repro.core.estimate import estimate_n, estimate_n_median
+
+
+class TestEstimateMedian:
+    def test_validation(self, medium_dht):
+        with pytest.raises(EstimationError):
+            estimate_n_median(medium_dht, vantages=0)
+
+    def test_returns_constant_factor_estimate(self):
+        n = 1024
+        dht = IdealDHT.random(n, random.Random(180))
+        result = estimate_n_median(dht, vantages=5, rng=random.Random(181))
+        assert 2.0 / 7.0 <= result.n_hat / n <= 6.0
+
+    def test_tightens_spread_over_single_vantage(self):
+        n = 1024
+        singles = []
+        medians = []
+        for seed in range(25):
+            dht = IdealDHT.random(n, random.Random(seed))
+            singles.append(estimate_n(dht).n_hat / n)
+            medians.append(
+                estimate_n_median(dht, vantages=5, rng=random.Random(seed + 500)).n_hat
+                / n
+            )
+        spread_single = max(singles) / min(singles)
+        spread_median = max(medians) / min(medians)
+        assert spread_median <= spread_single
+
+    def test_exact_lap_short_circuits(self, rng):
+        dht = IdealDHT.random(3, rng)
+        result = estimate_n_median(dht, vantages=3, c1=8.0, rng=rng)
+        assert result.exact
+        assert result.n_hat == 3.0
+
+    def test_costs_scale_with_vantages(self):
+        n = 512
+        dht = IdealDHT.random(n, random.Random(182))
+        before = dht.cost.snapshot()
+        estimate_n_median(dht, vantages=4, rng=random.Random(183))
+        delta = dht.cost.snapshot() - before
+        assert delta.h_calls == 4  # one vantage lookup each
+
+
+class TestSampleDistinct:
+    def test_validation(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        with pytest.raises(ValueError):
+            sampler.sample_distinct(-1)
+
+    def test_returns_distinct_peers(self, rng):
+        n = 64
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        peers = sampler.sample_distinct(20)
+        ids = [p.peer_id for p in peers]
+        assert len(ids) == 20
+        assert len(set(ids)) == 20
+
+    def test_zero_is_empty(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        assert sampler.sample_distinct(0) == []
+
+    def test_k_equal_n_collects_everyone(self):
+        n = 12
+        dht = IdealDHT.random(n, random.Random(184))
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(185))
+        peers = sampler.sample_distinct(n, max_draws=5000)
+        assert {p.peer_id for p in peers} == set(range(n))
+
+    def test_k_beyond_n_raises(self):
+        n = 8
+        dht = IdealDHT.random(n, random.Random(186))
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(187))
+        with pytest.raises(SamplingError):
+            sampler.sample_distinct(n + 1, max_draws=400)
+
+    def test_subsets_are_uniform(self):
+        """Each peer appears in a random k-subset with probability k/n."""
+        n, k, rounds = 16, 4, 1500
+        dht = IdealDHT.random(n, random.Random(188))
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(189))
+        counts = {i: 0 for i in range(n)}
+        for _ in range(rounds):
+            for peer in sampler.sample_distinct(k):
+                counts[peer.peer_id] += 1
+        expected = rounds * k / n
+        for c in counts.values():
+            assert c == pytest.approx(expected, rel=0.25)
+
+
+class TestTableCsv:
+    def test_csv_round_trip(self):
+        t = Table("t", ["n", "value"])
+        t.add_row(10, 0.5)
+        t.add_row(20, 0.25)
+        csv = t.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "n,value"
+        assert lines[1] == "10,0.5"
+        assert len(lines) == 3
+
+    def test_csv_ends_with_newline(self):
+        t = Table("t", ["a"])
+        t.add_row(1)
+        assert t.to_csv().endswith("\n")

@@ -1,0 +1,238 @@
+"""Unit and property tests for the unit-circle geometry."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import (
+    Interval,
+    SortedCircle,
+    clockwise_distance,
+    normalize,
+)
+
+points = st.floats(min_value=1e-12, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+class TestNormalize:
+    def test_identity_inside_circle(self):
+        assert normalize(0.25) == 0.25
+
+    def test_zero_maps_to_one(self):
+        assert normalize(0.0) == 1.0
+
+    def test_integers_map_to_one(self):
+        assert normalize(3.0) == 1.0
+        assert normalize(-2.0) == 1.0
+
+    def test_wraps_above_one(self):
+        assert normalize(1.25) == pytest.approx(0.25)
+
+    def test_wraps_negative(self):
+        assert normalize(-0.25) == pytest.approx(0.75)
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_always_lands_on_circle(self, x):
+        assert 0.0 < normalize(x) <= 1.0
+
+
+class TestClockwiseDistance:
+    def test_paper_definition_forward(self):
+        assert clockwise_distance(0.2, 0.5) == pytest.approx(0.3)
+
+    def test_paper_definition_wrapping(self):
+        assert clockwise_distance(0.8, 0.1) == pytest.approx(0.3)
+
+    def test_self_distance_is_zero(self):
+        assert clockwise_distance(0.4, 0.4) == 0.0
+
+    def test_rejects_points_outside_circle(self):
+        with pytest.raises(ValueError):
+            clockwise_distance(0.0, 0.5)
+        with pytest.raises(ValueError):
+            clockwise_distance(0.5, 1.5)
+
+    def test_asymmetric(self):
+        assert clockwise_distance(0.1, 0.9) == pytest.approx(0.8)
+        assert clockwise_distance(0.9, 0.1) == pytest.approx(0.2)
+
+    @given(points, points)
+    def test_range(self, x, y):
+        d = clockwise_distance(x, y)
+        assert 0.0 <= d < 1.0
+
+    @given(points, points)
+    def test_round_trip_sums_to_circle(self, x, y):
+        if x == y:
+            return
+        assert clockwise_distance(x, y) + clockwise_distance(y, x) == pytest.approx(1.0)
+
+    @given(points, points, points)
+    def test_triangle_path_additivity(self, x, y, z):
+        """Going x->y->z either equals direct distance or adds a full lap."""
+        total = clockwise_distance(x, y) + clockwise_distance(y, z)
+        direct = clockwise_distance(x, z)
+        assert math.isclose(total, direct, abs_tol=1e-9) or math.isclose(
+            total, direct + 1.0, abs_tol=1e-9
+        )
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(0.2, 0.7).length == pytest.approx(0.5)
+
+    def test_wrapping_length(self):
+        assert Interval(0.7, 0.2).length == pytest.approx(0.5)
+
+    def test_empty_interval(self):
+        empty = Interval(0.5, 0.5)
+        assert empty.length == 0.0
+        assert not empty.contains(0.5)
+
+    def test_contains_endpoint_semantics(self):
+        # I(a, b] excludes a, includes b.
+        interval = Interval(0.2, 0.7)
+        assert not interval.contains(0.2)
+        assert interval.contains(0.7)
+        assert interval.contains(0.5)
+        assert not interval.contains(0.8)
+
+    def test_contains_wrapping(self):
+        interval = Interval(0.8, 0.3)
+        assert interval.contains(0.9)
+        assert interval.contains(0.1)
+        assert interval.contains(0.3)
+        assert not interval.contains(0.8)
+        assert not interval.contains(0.5)
+
+    def test_is_small_strict(self):
+        assert Interval(0.25, 0.375).is_small(0.25)
+        assert not Interval(0.25, 0.5).is_small(0.25)  # equality is big
+
+    def test_rejects_bad_endpoints(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 0.5)
+
+    @given(points, points, points)
+    def test_contains_matches_distance_definition(self, a, b, x):
+        # Ground truth computed in exact rational arithmetic: membership
+        # is 0 < d(a, x) <= d(a, b) with the paper's clockwise distance.
+        from fractions import Fraction
+
+        fa, fb, fx = Fraction(a), Fraction(b), Fraction(x)
+        d_ax = fx - fa if fx >= fa else (1 - fa) + fx
+        d_ab = fb - fa if fb >= fa else (1 - fa) + fb
+        expected = 0 < d_ax <= d_ab
+        assert Interval(a, b).contains(x) == expected
+
+
+class TestSortedCircle:
+    def test_sorts_points(self):
+        c = SortedCircle([0.9, 0.1, 0.5])
+        assert list(c.points) == [0.1, 0.5, 0.9]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SortedCircle([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SortedCircle([0.5, 1.2])
+
+    def test_random_respects_n(self, rng):
+        assert len(SortedCircle.random(17, rng)) == 17
+
+    def test_random_points_in_circle(self, rng):
+        assert all(0.0 < p <= 1.0 for p in SortedCircle.random(100, rng))
+
+    def test_successor_basic(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.successor(0.3) == 0.5
+        assert c.successor(0.5) == 0.5  # a peer is its own successor
+        assert c.successor(0.9) == 0.2  # wraps
+
+    def test_successor_index_wraps(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.successor_index(0.85) == 0
+
+    def test_getitem_wraps(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c[3] == 0.2
+        assert c[-1] == 0.8
+
+    def test_next_index_cycles(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.next_index(2) == 0
+
+    def test_arcs_sum_to_one(self, small_circle):
+        assert math.fsum(small_circle.arcs()) == pytest.approx(1.0)
+
+    def test_arc_matches_pairwise_distance(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.arc(0) == pytest.approx(clockwise_distance(0.8, 0.2))
+        assert c.arc(1) == pytest.approx(0.3)
+
+    def test_single_peer_arc_is_full_circle(self):
+        assert SortedCircle([0.4]).arc(0) == 1.0
+
+    def test_forward_distance_within_ring(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.forward_distance(0, 1) == pytest.approx(0.3)
+        assert c.forward_distance(0, 2) == pytest.approx(0.6)
+
+    def test_forward_distance_counts_laps(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.forward_distance(0, 3) == pytest.approx(1.0)
+        assert c.forward_distance(0, 4) == pytest.approx(1.3)
+
+    def test_count_in_simple(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.count_in(Interval(0.1, 0.6)) == 2
+        assert c.count_in(Interval(0.2, 0.5)) == 1  # excludes 0.2, includes 0.5
+
+    def test_count_in_wrapping(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.count_in(Interval(0.7, 0.3)) == 2  # 0.8 and 0.2
+
+    def test_count_in_empty_interval(self):
+        c = SortedCircle([0.2, 0.5, 0.8])
+        assert c.count_in(Interval(0.4, 0.4)) == 0
+
+    def test_duplicates_allowed(self):
+        c = SortedCircle([0.5, 0.5, 0.2])
+        assert len(c) == 3
+        assert c.arc(2) == 0.0  # duplicate has zero-length arc
+
+    def test_equality_and_hash(self):
+        a = SortedCircle([0.1, 0.9])
+        b = SortedCircle([0.9, 0.1])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(st.lists(points, min_size=1, max_size=40), points)
+    @settings(max_examples=200)
+    def test_successor_minimizes_clockwise_distance(self, pts, x):
+        c = SortedCircle(pts)
+        best = min(clockwise_distance(x, p) for p in c)
+        assert clockwise_distance(x, c.successor(x)) == pytest.approx(best)
+
+    @given(st.lists(points, min_size=2, max_size=40, unique=True))
+    @settings(max_examples=200)
+    def test_arcs_partition_circle(self, pts):
+        # Distinct points (the paper's model almost surely): predecessor
+        # arcs tile the circle.  Full-collision rings degenerate to 0.
+        c = SortedCircle(pts)
+        assert math.fsum(c.arcs()) == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.lists(points, min_size=1, max_size=30), points, points)
+    @settings(max_examples=200)
+    def test_count_in_matches_bruteforce(self, pts, a, b):
+        c = SortedCircle(pts)
+        interval = Interval(a, b)
+        brute = sum(1 for p in c if interval.contains(p))
+        assert c.count_in(interval) == brute

@@ -1,0 +1,98 @@
+"""Symmetry and scaling invariants of the assignment map.
+
+These are properties the paper's construction must satisfy by symmetry;
+violating any of them would indicate an implementation artifact (e.g. a
+hidden dependence on coordinates rather than arc structure).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SortedCircle, compute_assignment, normalize
+from repro.core.sampler import SamplerParams
+
+
+def rotate(circle: SortedCircle, delta: float) -> tuple[SortedCircle, list[int]]:
+    """Rotate every point by ``delta``; return the new circle and the
+    permutation mapping old peer index -> new peer index."""
+    moved = [(normalize(p + delta), i) for i, p in enumerate(circle)]
+    moved.sort()
+    new_circle = SortedCircle(p for p, _ in moved)
+    permutation = [0] * len(circle)
+    for new_index, (_, old_index) in enumerate(moved):
+        permutation[old_index] = new_index
+    return new_circle, permutation
+
+
+class TestRotationInvariance:
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_measures_commute_with_rotation(self, n, seed, delta):
+        """Rotating the ring permutes the per-peer measures exactly."""
+        circle = SortedCircle.random(n, random.Random(seed))
+        params = SamplerParams.from_estimate(float(n))
+        base = compute_assignment(circle, params.lam, params.walk_budget)
+        rotated, perm = rotate(circle, delta)
+        rotated_report = compute_assignment(rotated, params.lam, params.walk_budget)
+        for old_index, measure in enumerate(base.measures):
+            assert rotated_report.measures[perm[old_index]] == pytest.approx(
+                measure, abs=1e-12
+            )
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unassigned_mass_rotation_invariant(self, n, seed):
+        circle = SortedCircle.random(n, random.Random(seed))
+        params = SamplerParams.from_estimate(float(n))
+        base = compute_assignment(circle, params.lam, params.walk_budget)
+        rotated, _ = rotate(circle, 0.37)
+        other = compute_assignment(rotated, params.lam, params.walk_budget)
+        assert other.unassigned == pytest.approx(base.unassigned, abs=1e-12)
+
+
+class TestParameterScaling:
+    @given(st.floats(min_value=2.0, max_value=1e6))
+    @settings(max_examples=60)
+    def test_lambda_inverse_in_estimate(self, n_hat):
+        """lambda scales as 1/n_hat with fixed constants."""
+        a = SamplerParams.from_estimate(n_hat)
+        b = SamplerParams.from_estimate(2.0 * n_hat)
+        assert b.lam == pytest.approx(a.lam / 2.0)
+
+    @given(st.floats(min_value=2.0, max_value=1e6))
+    @settings(max_examples=60)
+    def test_budget_monotone_in_estimate(self, n_hat):
+        a = SamplerParams.from_estimate(n_hat)
+        b = SamplerParams.from_estimate(4.0 * n_hat)
+        assert b.walk_budget >= a.walk_budget
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_success_probability_is_n_lambda_when_uniform(self, n, seed):
+        circle = SortedCircle.random(n, random.Random(seed))
+        params = SamplerParams.from_estimate(float(n))
+        report = compute_assignment(circle, params.lam, params.walk_budget)
+        if report.is_exactly_uniform(1e-12):
+            assert report.success_probability == pytest.approx(
+                n * params.lam, abs=1e-9
+            )
+
+    def test_budget_formula_exact(self):
+        params = SamplerParams.from_estimate(100.0)
+        assert params.walk_budget == math.ceil(6.0 * math.log(100.0 / (2.0 / 7.0)))

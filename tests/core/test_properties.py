@@ -1,0 +1,180 @@
+"""Tests for the Lemma 1/2/4 and Theorem 8 property checkers."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import SortedCircle
+from repro.core.properties import (
+    arc_extremes,
+    check_lemma1,
+    check_lemma2,
+    check_lemma4,
+)
+
+
+class TestLemma1:
+    def test_needs_two_peers(self):
+        with pytest.raises(ValueError):
+            check_lemma1(SortedCircle([0.5]))
+
+    def test_holds_on_random_rings(self):
+        # Lemma 1 holds with probability >= 1 - 1/n; check many rings.
+        failures = sum(
+            0 if check_lemma1(SortedCircle.random(512, random.Random(seed))).holds else 1
+            for seed in range(30)
+        )
+        assert failures <= 1
+
+    def test_bounds_are_correct_formulas(self):
+        circle = SortedCircle.random(256, random.Random(1))
+        report = check_lemma1(circle)
+        assert report.lower_bound == pytest.approx(
+            math.log(256) - math.log(math.log(256)) - 2.0
+        )
+        assert report.upper_bound == pytest.approx(3.0 * math.log(256))
+
+    def test_detects_violating_ring(self):
+        # Two peers separated by ~1/n^4: ln(1/d) >> 3 ln n.
+        n = 16
+        base = [i / n + 1e-9 for i in range(n)]
+        base[1] = base[0] + 1e-12  # pathologically tight arc
+        report = check_lemma1(SortedCircle(base))
+        assert not report.holds
+        assert report.violations >= 1
+
+    def test_collision_counts_as_violation(self):
+        points = [0.1, 0.1] + [0.2 + 0.01 * i for i in range(10)]
+        report = check_lemma1(SortedCircle(points))
+        assert not report.holds
+
+
+class TestLemma2:
+    def test_needs_two_peers(self):
+        with pytest.raises(ValueError):
+            check_lemma2(SortedCircle([0.5]))
+
+    def test_rejects_bad_alphas(self, small_circle):
+        with pytest.raises(ValueError):
+            check_lemma2(small_circle, alpha1=2.0, alpha2=1.0)
+
+    def test_holds_with_generous_constants(self):
+        # With a wide (alpha1, alpha2, eps) envelope the property holds
+        # comfortably on uniform rings.
+        failures = 0
+        for seed in range(10):
+            circle = SortedCircle.random(1024, random.Random(seed))
+            report = check_lemma2(circle, alpha1=0.5, alpha2=8.0, eps=0.9, big_c=4.0)
+            if not report.holds:
+                failures += 1
+        assert failures == 0
+
+    def test_detects_clustered_ring(self):
+        # Hundreds of peers crammed into a tiny interval: an anchored
+        # interval with Theta(log n) peers is far shorter than the bound.
+        n = 512
+        points = [0.5 + (i + 1) * 1e-9 for i in range(n)]
+        report = check_lemma2(SortedCircle(points), alpha1=0.5, alpha2=4.0, eps=0.5)
+        assert not report.holds
+
+    def test_vacuous_when_count_band_is_empty(self):
+        # For tiny n the count band (C a1 log n, C a2 log n) may contain no
+        # integers; the property is then vacuously true.
+        circle = SortedCircle([0.1, 0.6])
+        report = check_lemma2(circle, alpha1=1.0, alpha2=1.1, eps=0.5, big_c=1.0)
+        assert report.holds
+
+
+class TestLemma4:
+    def test_needs_two_peers(self):
+        with pytest.raises(ValueError):
+            check_lemma4(SortedCircle([0.5]))
+
+    def test_window_and_bound_formulas(self):
+        circle = SortedCircle.random(256, random.Random(2))
+        report = check_lemma4(circle)
+        assert report.window == math.ceil(6.0 * math.log(256))
+        assert report.bound == pytest.approx(math.log(256) / 256)
+
+    def test_holds_on_random_rings(self):
+        failures = sum(
+            0 if check_lemma4(SortedCircle.random(1024, random.Random(seed))).holds else 1
+            for seed in range(30)
+        )
+        assert failures <= 1
+
+    def test_vacuous_when_window_spans_ring(self):
+        # n small enough that 6 ln n >= n: any window wraps the circle.
+        circle = SortedCircle.random(8, random.Random(3))
+        report = check_lemma4(circle)
+        assert report.window >= 8
+        assert report.holds
+        assert report.min_window_sum == 1.0
+
+    def test_detects_dense_cluster(self):
+        # 6 ln n consecutive arcs inside a cluster of width 1e-9 sum far
+        # below (ln n)/n.
+        n = 600
+        cluster = [0.5 + (i + 1) * 1e-12 for i in range(n - 1)]
+        report = check_lemma4(SortedCircle([0.5] + cluster))
+        assert not report.holds
+        assert report.min_window_sum < report.bound
+
+    def test_min_window_sum_is_a_true_minimum(self):
+        circle = SortedCircle.random(128, random.Random(5))
+        report = check_lemma4(circle)
+        arcs = circle.arcs()
+        w = report.window
+        brute = min(
+            math.fsum(arcs[(s + j) % 128] for j in range(w)) for s in range(128)
+        )
+        assert report.min_window_sum == pytest.approx(brute)
+
+
+class TestArcExtremes:
+    def test_needs_two_peers(self):
+        with pytest.raises(ValueError):
+            arc_extremes(SortedCircle([0.5]))
+
+    def test_extremes_are_true_extremes(self, small_circle):
+        report = arc_extremes(small_circle)
+        arcs = small_circle.arcs()
+        assert report.shortest == min(arcs)
+        assert report.longest == max(arcs)
+
+    def test_scales(self):
+        report = arc_extremes(SortedCircle.random(100, random.Random(9)))
+        assert report.shortest_scale == pytest.approx(1e-4)
+        assert report.longest_scale == pytest.approx(math.log(100) / 100)
+
+    def test_theorem8_ratios_are_order_one(self):
+        """Across sizes, shortest/(1/n^2) and longest/(ln n/n) stay O(1)."""
+        for n in (256, 1024, 4096):
+            ratios_short = []
+            ratios_long = []
+            for seed in range(10):
+                rep = arc_extremes(SortedCircle.random(n, random.Random(seed)))
+                ratios_short.append(rep.shortest_ratio)
+                ratios_long.append(rep.longest_ratio)
+            mean_short = sum(ratios_short) / len(ratios_short)
+            mean_long = sum(ratios_long) / len(ratios_long)
+            assert 0.05 < mean_short < 20.0
+            assert 0.3 < mean_long < 3.0
+
+    def test_naive_bias_ratio_grows_superlinearly(self):
+        # The shortest arc is ~1/n^2 with a heavy-tailed reciprocal, so the
+        # bias ratio's mean is outlier-dominated; medians show the trend.
+        import statistics
+
+        medians = {}
+        for n in (128, 2048):
+            vals = [
+                arc_extremes(SortedCircle.random(n, random.Random(seed))).naive_bias_ratio
+                for seed in range(30)
+            ]
+            medians[n] = statistics.median(vals)
+        # Theory: Theta(n log n) bias => 2048/128 alone is a 16x factor.
+        assert medians[2048] > 6.0 * medians[128]

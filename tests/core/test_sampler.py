@@ -1,0 +1,216 @@
+"""Tests for Choose-Random-Peer (Figure 1, Theorems 6-7)."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IdealDHT, RandomPeerSampler, SortedCircle, choose_random_peer
+from repro.core.assignment import compute_assignment, trial_on_circle
+from repro.core.errors import SamplingError
+from repro.core.sampler import SamplerParams, TrialOutcome
+
+
+class TestSamplerParams:
+    def test_lambda_definition(self):
+        params = SamplerParams.from_estimate(700.0, gamma1=2.0 / 7.0)
+        assert params.n_prime == pytest.approx(2450.0)
+        assert params.lam == pytest.approx(1.0 / (7.0 * 2450.0))
+
+    def test_walk_budget_is_6_ln_nprime(self):
+        params = SamplerParams.from_estimate(700.0, gamma1=2.0 / 7.0)
+        assert params.walk_budget == math.ceil(6.0 * math.log(2450.0))
+
+    def test_lambda_upper_bound_claim(self):
+        """The paper's claim lambda <= 1/(7n) holds whenever n_hat >= gamma1*n."""
+        n = 1000
+        for ratio in (2.0 / 7.0, 1.0, 6.0):
+            params = SamplerParams.from_estimate(ratio * n)
+            assert params.lam <= 1.0 / (7.0 * n) + 1e-15
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            SamplerParams.from_estimate(0.5)
+        with pytest.raises(ValueError):
+            SamplerParams.from_estimate(10.0, gamma1=0.0)
+        with pytest.raises(ValueError):
+            SamplerParams.from_estimate(10.0, lambda_slack=1.0)
+
+
+class TestTrialMechanics:
+    def test_small_hit_returns_h_of_s(self, rng):
+        dht = IdealDHT.random(100, rng)
+        sampler = RandomPeerSampler(dht, n_hat=100.0, rng=rng)
+        # A point immediately counterclockwise of a peer point lands SMALL.
+        # Use the peer with the longest arc so no other peer intervenes.
+        arcs = dht.circle.arcs()
+        idx = arcs.index(max(arcs))
+        peer_point = dht.circle[idx]
+        s = peer_point - sampler.params.lam / 2.0
+        if s <= 0.0:
+            s += 1.0
+        result = sampler.trial(s)
+        assert result.outcome is TrialOutcome.SMALL_HIT
+        assert result.peer.point == peer_point
+        assert result.walk_hops == 0
+
+    def test_exact_peer_point_is_small_hit(self, rng):
+        dht = IdealDHT.random(50, rng)
+        sampler = RandomPeerSampler(dht, n_hat=50.0, rng=rng)
+        s = dht.circle[7]
+        result = sampler.trial(s)
+        assert result.outcome is TrialOutcome.SMALL_HIT
+        assert result.peer.point == s
+
+    def test_walk_hit_walks_clockwise(self, rng):
+        # Construct a ring with one huge arc followed by tight clusters, so
+        # a point deep in the huge arc must walk to be assigned.
+        points = [0.5] + [0.5 + (i + 1) * 1e-4 for i in range(50)]
+        dht = IdealDHT.from_points(points)
+        sampler = RandomPeerSampler(dht, n_hat=float(len(points)))
+        result = sampler.trial(0.4)  # 0.1 before the cluster: a big interval
+        assert result.outcome in (TrialOutcome.WALK_HIT, TrialOutcome.EXHAUSTED)
+        if result.outcome is TrialOutcome.WALK_HIT:
+            assert result.walk_hops >= 1
+
+    def test_trial_is_deterministic(self, rng):
+        dht = IdealDHT.random(200, rng)
+        sampler = RandomPeerSampler(dht, n_hat=200.0, rng=rng)
+        s = 0.37
+        first = sampler.trial(s)
+        second = sampler.trial(s)
+        assert first == second
+
+    def test_walk_budget_respected(self, rng):
+        dht = IdealDHT.random(300, rng)
+        sampler = RandomPeerSampler(dht, n_hat=300.0, rng=rng)
+        for _ in range(200):
+            result = sampler.trial(1.0 - rng.random())
+            assert result.walk_hops <= sampler.params.walk_budget
+
+
+class TestSampling:
+    def test_sample_returns_live_peer(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        peer = sampler.sample()
+        assert peer in medium_dht.peers
+
+    def test_sample_many_length_and_validity(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        peers = sampler.sample_many(25)
+        assert len(peers) == 25
+        assert all(p in medium_dht.peers for p in peers)
+
+    def test_sample_many_rejects_negative(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1)
+
+    def test_auto_estimate_when_n_hat_omitted(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, rng=rng)
+        assert sampler.params.n_hat > 1.0
+        assert sampler.sample() in medium_dht.peers
+
+    def test_stats_account_trials_and_cost(self, medium_dht, rng):
+        sampler = RandomPeerSampler(medium_dht, n_hat=512.0, rng=rng)
+        stats = sampler.sample_with_stats()
+        assert stats.trials >= 1
+        assert stats.cost.h_calls == stats.trials
+        assert stats.cost.next_calls == stats.walk_hops_total
+        assert stats.outcome in (TrialOutcome.SMALL_HIT, TrialOutcome.WALK_HIT)
+
+    def test_max_trials_enforced(self, rng):
+        # An absurd overestimate makes lambda tiny; with max_trials=1 the
+        # first miss must raise.
+        dht = IdealDHT.random(10, rng)
+        sampler = RandomPeerSampler(dht, n_hat=1e9, rng=random.Random(3), max_trials=1)
+        with pytest.raises(SamplingError):
+            for _ in range(200):
+                sampler.sample()
+
+    def test_one_shot_wrapper(self, medium_dht, rng):
+        peer = choose_random_peer(medium_dht, n_hat=512.0, rng=rng)
+        assert peer in medium_dht.peers
+
+    def test_single_peer_ring(self, rng):
+        dht = IdealDHT.random(1, rng)
+        sampler = RandomPeerSampler(dht, rng=rng)
+        assert sampler.sample().peer_id == dht.any_peer().peer_id
+
+
+class TestTheorem7Costs:
+    def test_expected_trials_bounded(self, rng):
+        """E[trials] <= 1/(n*lambda); with n_hat == n that is 7/gamma1."""
+        n = 1024
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        bound = 1.0 / (n * sampler.params.lam)
+        trials = [sampler.sample_with_stats().trials for _ in range(300)]
+        mean_trials = sum(trials) / len(trials)
+        assert mean_trials <= 1.5 * bound  # generous Monte-Carlo headroom
+
+    def test_message_cost_scales_logarithmically(self):
+        means = {}
+        for n in (256, 4096):
+            dht = IdealDHT.random(n, random.Random(11))
+            sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(12))
+            msgs = [sampler.sample_with_stats().cost.messages for _ in range(200)]
+            means[n] = sum(msgs) / len(msgs)
+        # 16x more peers should cost ~log-factor more, far less than 4x.
+        assert means[4096] < 4.0 * means[256]
+        assert means[4096] > means[256]  # but it does grow
+
+
+class TestUniformityStatistical:
+    def test_empirical_counts_pass_chi_square(self):
+        from repro.analysis.stats import chi_square_uniform
+
+        n = 64
+        draws = 6400
+        dht = IdealDHT.random(n, random.Random(21))
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(22))
+        counts = Counter(sampler.sample().peer_id for _ in range(draws))
+        observed = [counts.get(i, 0) for i in range(n)]
+        result = chi_square_uniform(observed)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    def test_every_peer_reachable(self):
+        n = 32
+        dht = IdealDHT.random(n, random.Random(31))
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(32))
+        seen = {sampler.sample().peer_id for _ in range(4000)}
+        assert seen == set(range(n))
+
+
+class TestSamplerMatchesExactAssignment:
+    """The sampler's deterministic trial must agree with the closed-form
+    assignment map everywhere -- this is the heart of Theorem 6."""
+
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_trial_agrees_with_reference(self, n, seed):
+        rng = random.Random(seed)
+        dht = IdealDHT.random(n, rng)
+        sampler = RandomPeerSampler(dht, n_hat=float(n), rng=rng)
+        for _ in range(20):
+            s = 1.0 - rng.random()
+            trial = sampler.trial(s)
+            outcome, idx = trial_on_circle(dht.circle, sampler.params, s)
+            assert trial.outcome is outcome
+            if idx is None:
+                assert trial.peer is None
+            else:
+                assert trial.peer.point == dht.circle[idx]
+
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_assigned_measure_is_lambda_for_every_peer(self, n, seed):
+        circle = SortedCircle.random(n, random.Random(seed))
+        params = SamplerParams.from_estimate(float(n))
+        report = compute_assignment(circle, params.lam, params.walk_budget)
+        assert report.is_exactly_uniform(tol=1e-12)

@@ -1,0 +1,198 @@
+"""Integration tests for ChordNetwork: bootstrap, churn, repair, adapters."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.dht.chord import ChordDHT, ChordNetwork, LookupError_
+from repro.dht.chord.idspace import id_to_point
+
+
+class TestBuild:
+    def test_perfect_build_is_correct(self, rng):
+        net = ChordNetwork.build(50, m=16, rng=rng, perfect=True)
+        assert len(net) == 50
+        assert net.ring_is_correct()
+        assert net.predecessors_correct()
+
+    def test_incremental_build_converges(self):
+        net = ChordNetwork.build(25, m=16, rng=random.Random(8), perfect=False)
+        assert net.ring_is_correct()
+
+    def test_distinct_ids(self, rng):
+        net = ChordNetwork.build(100, m=16, rng=rng)
+        assert len(set(net.nodes)) == 100
+
+    def test_rejects_silly_sizes(self, rng):
+        with pytest.raises(ValueError):
+            ChordNetwork.build(0, rng=rng)
+        with pytest.raises(ValueError):
+            ChordNetwork.build(20, m=4, rng=rng)  # 16 slots < 20 nodes
+
+    def test_single_node_network(self, rng):
+        net = ChordNetwork.build(1, m=10, rng=rng)
+        assert net.ring_is_correct()
+        node = next(iter(net.nodes.values()))
+        assert node.get_successor() == node.node_id
+
+
+class TestMembershipDynamics:
+    def test_joins_then_stabilize(self):
+        net = ChordNetwork.build(20, m=16, rng=random.Random(5))
+        for _ in range(10):
+            net.join_node()
+        net.run_stabilization(8)
+        assert len(net) == 30
+        assert net.ring_is_correct()
+
+    def test_crashes_then_stabilize(self):
+        net = ChordNetwork.build(30, m=16, rng=random.Random(6))
+        victims = list(net.nodes)[:6]
+        for v in victims:
+            net.crash_node(v)
+        net.run_stabilization(12)
+        assert len(net) == 24
+        assert net.ring_is_correct()
+        assert net.predecessors_correct()
+
+    def test_graceful_leaves_keep_ring_correct_immediately(self):
+        net = ChordNetwork.build(30, m=16, rng=random.Random(7))
+        victims = list(net.nodes)[:5]
+        for v in victims:
+            net.leave_node(v)
+        # Graceful departure splices without waiting for stabilization.
+        assert net.ring_is_correct()
+
+    def test_mixed_churn_storm(self):
+        net = ChordNetwork.build(40, m=18, rng=random.Random(9))
+        rng = random.Random(10)
+        for round_ in range(15):
+            action = rng.random()
+            if action < 0.4:
+                net.join_node()
+            elif len(net) > 10:
+                victim = rng.choice(list(net.nodes))
+                if action < 0.7:
+                    net.crash_node(victim)
+                else:
+                    net.leave_node(victim)
+            net.run_stabilization(2)
+        net.run_stabilization(10)
+        assert net.ring_is_correct()
+
+    def test_crash_unknown_node_raises(self, rng):
+        net = ChordNetwork.build(5, m=16, rng=rng)
+        with pytest.raises(KeyError):
+            net.crash_node(999999999)
+
+    def test_duplicate_join_rejected(self, rng):
+        net = ChordNetwork.build(5, m=16, rng=rng)
+        existing = next(iter(net.nodes))
+        with pytest.raises(ValueError):
+            net.join_node(existing)
+
+
+class TestOracles:
+    def test_to_circle_matches_ids(self, rng):
+        net = ChordNetwork.build(20, m=16, rng=rng)
+        circle = net.to_circle()
+        expected = sorted(id_to_point(i, 16) for i in net.nodes)
+        assert list(circle.points) == expected
+
+    def test_overlay_graph_connected(self, rng):
+        import networkx as nx
+
+        net = ChordNetwork.build(60, m=16, rng=rng)
+        g = net.overlay_graph()
+        assert g.number_of_nodes() == 60
+        assert nx.is_connected(g)
+
+    def test_overlay_graph_without_fingers_is_cycle(self, rng):
+        net = ChordNetwork.build(30, m=16, rng=rng)
+        g = net.overlay_graph(include_fingers=False)
+        assert g.number_of_edges() == 30
+        assert all(d == 2 for _, d in g.degree())
+
+
+class TestChordDHTAdapter:
+    def test_h_matches_circle_successor(self):
+        net = ChordNetwork.build(64, m=16, rng=random.Random(13))
+        dht = net.dht()
+        circle = net.to_circle()
+        rng = random.Random(14)
+        for _ in range(100):
+            x = 1.0 - rng.random()
+            assert dht.h(x).point == circle.successor(x)
+
+    def test_next_matches_ring_order(self):
+        net = ChordNetwork.build(32, m=16, rng=random.Random(15))
+        dht = net.dht()
+        ids = net.sorted_ids()
+        for i, node_id in enumerate(ids):
+            ref = dht._ref(node_id)
+            assert dht.next(ref).peer_id == ids[(i + 1) % len(ids)]
+
+    def test_h_cost_scales_logarithmically(self):
+        costs = {}
+        for n in (32, 512):
+            net = ChordNetwork.build(n, m=20, rng=random.Random(16))
+            dht = net.dht()
+            rng = random.Random(17)
+            before = dht.cost.snapshot()
+            for _ in range(50):
+                dht.h(1.0 - rng.random())
+            delta = dht.cost.snapshot() - before
+            costs[n] = delta.messages / 50
+        assert costs[512] < 3.0 * costs[32]
+        assert costs[512] <= 4.0 * math.log2(512)
+
+    def test_next_is_constant_cost(self):
+        net = ChordNetwork.build(128, m=16, rng=random.Random(18))
+        dht = net.dht()
+        ref = dht.any_peer()
+        before = dht.cost.snapshot()
+        for _ in range(20):
+            ref = dht.next(ref)
+        delta = dht.cost.snapshot() - before
+        assert delta.next_calls == 20
+        assert delta.messages == 40  # one request + one reply each
+
+    def test_next_falls_back_when_peer_crashes(self):
+        net = ChordNetwork.build(16, m=16, rng=random.Random(19))
+        dht = net.dht()
+        ids = net.sorted_ids()
+        victim = ids[5]
+        ref = dht._ref(victim)
+        net.crash_node(victim)
+        net.run_stabilization(6)
+        nxt = dht.next(ref)
+        assert nxt.peer_id in net.nodes
+        assert nxt.peer_id == ids[6]  # successor of the dead peer's point
+
+    def test_entry_node_failover(self):
+        net = ChordNetwork.build(8, m=16, rng=random.Random(20))
+        entry = min(net.nodes)
+        dht = net.dht(entry_id=entry)
+        net.crash_node(entry)
+        net.run_stabilization(6)
+        assert dht.h(0.5).peer_id in net.nodes
+
+    def test_rejects_empty_or_bad_entry(self, rng):
+        net = ChordNetwork.build(4, m=16, rng=rng)
+        with pytest.raises(KeyError):
+            net.dht(entry_id=123456789)
+
+
+class TestSamplingOnChord:
+    def test_sampler_runs_on_chord(self):
+        from repro import RandomPeerSampler
+
+        net = ChordNetwork.build(64, m=16, rng=random.Random(23))
+        dht = net.dht()
+        sampler = RandomPeerSampler(dht, rng=random.Random(24))
+        seen = {sampler.sample().peer_id for _ in range(200)}
+        assert seen <= set(net.nodes)
+        assert len(seen) > 30  # a healthy spread of the 64 peers

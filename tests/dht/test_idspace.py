@@ -1,0 +1,119 @@
+"""Tests for Chord identifier-space arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import clockwise_distance
+from repro.dht.chord.idspace import (
+    id_to_point,
+    in_open_closed,
+    in_open_open,
+    point_to_target_id,
+)
+
+M = 10
+SIZE = 1 << M
+ids = st.integers(min_value=0, max_value=SIZE - 1)
+
+
+class TestIdToPoint:
+    def test_zero_maps_to_one(self):
+        assert id_to_point(0, M) == 1.0
+
+    def test_midpoint(self):
+        assert id_to_point(SIZE // 2, M) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            id_to_point(SIZE, M)
+        with pytest.raises(ValueError):
+            id_to_point(-1, M)
+
+    @given(ids)
+    def test_always_on_circle(self, node_id):
+        assert 0.0 < id_to_point(node_id, M) <= 1.0
+
+    @given(ids, ids)
+    def test_order_preserved(self, a, b):
+        """Clockwise id distance equals clockwise point distance (scaled)."""
+        pa, pb = id_to_point(a, M), id_to_point(b, M)
+        id_dist = (b - a) % SIZE
+        assert clockwise_distance(pa, pb) == pytest.approx(id_dist / SIZE)
+
+
+class TestPointToTargetId:
+    def test_rejects_out_of_circle(self):
+        with pytest.raises(ValueError):
+            point_to_target_id(0.0, M)
+        with pytest.raises(ValueError):
+            point_to_target_id(1.5, M)
+
+    def test_one_maps_to_zero(self):
+        assert point_to_target_id(1.0, M) == 0
+
+    def test_exact_grid_point(self):
+        assert point_to_target_id(0.5, M) == SIZE // 2
+
+    @given(st.floats(min_value=1e-9, max_value=1.0, allow_nan=False))
+    @settings(max_examples=300)
+    def test_roundtrip_successor_semantics(self, x):
+        """The target id's point is the clockwise-closest grid point to x."""
+        target = point_to_target_id(x, M)
+        point = id_to_point(target, M)
+        d = clockwise_distance(x, point)
+        assert d < 1.0 / SIZE  # within one grid cell
+
+    @given(ids)
+    def test_node_point_maps_to_itself(self, node_id):
+        assert point_to_target_id(id_to_point(node_id, M), M) == node_id
+
+
+class TestIntervals:
+    def test_open_closed_simple(self):
+        assert in_open_closed(5, 3, 8)
+        assert in_open_closed(8, 3, 8)
+        assert not in_open_closed(3, 3, 8)
+        assert not in_open_closed(9, 3, 8)
+
+    def test_open_closed_wrapping(self):
+        assert in_open_closed(1, 900, 10)
+        assert in_open_closed(950, 900, 10)
+        assert not in_open_closed(500, 900, 10)
+
+    def test_open_closed_degenerate_is_full_ring(self):
+        assert in_open_closed(123, 7, 7)
+        assert in_open_closed(7, 7, 7)
+
+    def test_open_open_simple(self):
+        assert in_open_open(5, 3, 8)
+        assert not in_open_open(8, 3, 8)
+        assert not in_open_open(3, 3, 8)
+
+    def test_open_open_wrapping(self):
+        assert in_open_open(950, 900, 10)
+        assert in_open_open(5, 900, 10)
+        assert not in_open_open(10, 900, 10)
+
+    def test_open_open_degenerate_excludes_only_endpoint(self):
+        assert in_open_open(8, 7, 7)
+        assert not in_open_open(7, 7, 7)
+
+    @given(ids, ids, ids)
+    def test_open_closed_matches_modular_arithmetic(self, x, a, b):
+        if a == b:
+            assert in_open_closed(x, a, b)
+        else:
+            expected = (x - a) % SIZE <= (b - a) % SIZE and x != a
+            assert in_open_closed(x, a, b) == expected
+
+    @given(ids, ids, ids)
+    def test_open_open_is_open_closed_minus_endpoint(self, x, a, b):
+        if a == b:
+            assert in_open_open(x, a, b) == (x != a)
+        else:
+            assert in_open_open(x, a, b) == (in_open_closed(x, a, b) and x != b)

@@ -1,0 +1,90 @@
+"""Tests for virtual-node Chord (measured balance/bandwidth trade-off)."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro import RandomPeerSampler
+from repro.analysis.stats import max_min_ratio
+from repro.dht.chord.virtual import VirtualChordNetwork
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualChordNetwork(0, 4)
+        with pytest.raises(ValueError):
+            VirtualChordNetwork(4, 0)
+
+    def test_sizes(self):
+        vnet = VirtualChordNetwork(10, 4, m=18, rng=random.Random(0))
+        assert len(vnet) == 10
+        assert len(vnet.network) == 40
+        assert len(vnet.to_peer_circle()) == 40
+
+    def test_ownership_complete_and_balanced(self):
+        vnet = VirtualChordNetwork(12, 5, m=18, rng=random.Random(1))
+        counts = {p: 0 for p in range(12)}
+        for node_id in vnet.network.nodes:
+            counts[vnet.owner_of(node_id)] += 1
+        assert all(c == 5 for c in counts.values())
+
+    def test_virtual_ring_is_correct(self):
+        vnet = VirtualChordNetwork(8, 4, m=18, rng=random.Random(2))
+        assert vnet.network.ring_is_correct()
+
+
+class TestSampling:
+    def test_physical_sampling_is_uniform(self):
+        n_peers, v = 24, 4
+        vnet = VirtualChordNetwork(n_peers, v, m=18, rng=random.Random(3))
+        sampler = RandomPeerSampler(
+            vnet.dht(), n_hat=float(n_peers * v), rng=random.Random(4)
+        )
+        counts = {p: 0 for p in range(n_peers)}
+        draws = 3000
+        for _ in range(draws):
+            counts[vnet.sample_physical(sampler)] += 1
+        from repro.analysis.stats import chi_square_uniform
+
+        assert not chi_square_uniform(list(counts.values())).rejects_uniformity(
+            alpha=0.001
+        )
+
+    def test_naive_balance_improves_with_v(self):
+        ratios = {}
+        for v in (1, 8):
+            vals = [
+                max_min_ratio(
+                    VirtualChordNetwork(
+                        40, v, m=20, rng=random.Random(seed)
+                    ).selection_probabilities()
+                )
+                for seed in range(5)
+            ]
+            ratios[v] = statistics.median(vals)
+        assert ratios[8] < ratios[1]
+
+
+class TestMaintenanceCost:
+    def test_measured_cost_scales_with_v(self):
+        costs = {}
+        for v in (1, 4):
+            vnet = VirtualChordNetwork(16, v, m=18, rng=random.Random(5))
+            costs[v] = vnet.measured_maintenance_messages(rounds=2)
+        # 4x the virtual nodes => at least ~3x the measured messages.
+        assert costs[4] > 3 * costs[1]
+
+    def test_analytic_model_tracks_measurement(self):
+        """The closed-form model in baselines.virtual_nodes must be within
+        a small factor of the real protocol's measured cost."""
+        from repro.baselines.virtual_nodes import maintenance_messages_per_round
+
+        vnet = VirtualChordNetwork(16, 4, m=18, rng=random.Random(6))
+        measured = vnet.measured_maintenance_messages(rounds=1)
+        modelled = maintenance_messages_per_round(16, 4)
+        assert modelled / 4 < measured < modelled * 4

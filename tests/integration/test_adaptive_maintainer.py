@@ -1,0 +1,137 @@
+"""Tests for the adaptive sampler and the random-link maintainer under
+churn -- the operational layers completing the paper's motivations."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro import ChordNetwork, IdealDHT
+from repro.apps.linkmaintainer import RandomLinkMaintainer
+from repro.core.adaptive import AdaptiveSampler
+
+
+class TestAdaptiveSamplerBasics:
+    def test_validation(self, medium_dht, rng):
+        with pytest.raises(ValueError):
+            AdaptiveSampler(medium_dht, refresh_every=0, rng=rng)
+        with pytest.raises(ValueError):
+            AdaptiveSampler(medium_dht, trial_alarm_factor=1.0, rng=rng)
+        sampler = AdaptiveSampler(medium_dht, rng=rng)
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1)
+
+    def test_samples_are_valid_peers(self, medium_dht, rng):
+        sampler = AdaptiveSampler(medium_dht, rng=rng)
+        for peer in sampler.sample_many(20):
+            assert peer in medium_dht.peers
+
+    def test_initial_estimate_runs_once(self, medium_dht, rng):
+        sampler = AdaptiveSampler(medium_dht, rng=rng)
+        assert sampler.refreshes == 1
+        assert sampler.n_hat > 1.0
+
+    def test_periodic_refresh(self, rng):
+        dht = IdealDHT.random(128, rng)
+        sampler = AdaptiveSampler(dht, refresh_every=10, rng=rng)
+        sampler.sample_many(35)
+        assert sampler.refreshes >= 3
+
+    def test_forced_refresh(self, medium_dht, rng):
+        sampler = AdaptiveSampler(medium_dht, rng=rng)
+        before = sampler.refreshes
+        sampler.refresh()
+        assert sampler.refreshes == before + 1
+
+
+class TestAdaptiveUnderChurn:
+    def test_tracks_population_growth(self):
+        net = ChordNetwork.build(32, m=20, rng=random.Random(200))
+        sampler = AdaptiveSampler(
+            net.dht(), refresh_every=20, rng=random.Random(201)
+        )
+        stale = sampler.n_hat
+        # Quadruple the network, then keep sampling: the estimate must
+        # catch up via periodic refresh.
+        for _ in range(96):
+            net.join_node()
+            net.run_stabilization(1)
+        net.run_stabilization(8)
+        sampler.sample_many(50)
+        assert sampler.n_hat > 2.0 * stale
+
+    def test_survives_population_collapse(self):
+        net = ChordNetwork.build(64, m=20, rng=random.Random(202))
+        sampler = AdaptiveSampler(
+            net.dht(), refresh_every=10_000, rng=random.Random(203),
+            max_trials=400,
+        )
+        victims = list(net.nodes)[: 48]
+        for v in victims:
+            net.crash_node(v)
+        net.run_stabilization(12)
+        # n dropped 4x: per-trial success shrank 4x; sampling must still
+        # work (possibly triggering the trial alarm), never raise.
+        for _ in range(25):
+            assert sampler.sample().peer_id in net.nodes
+
+
+class TestRandomLinkMaintainer:
+    def test_validation(self):
+        net = ChordNetwork.build(16, m=18, rng=random.Random(204))
+        with pytest.raises(ValueError):
+            RandomLinkMaintainer(net, links_per_node=0)
+
+    def test_initial_repair_provisions_everyone(self):
+        net = ChordNetwork.build(40, m=18, rng=random.Random(205))
+        maintainer = RandomLinkMaintainer(net, links_per_node=4,
+                                          rng=random.Random(206))
+        report = maintainer.repair()
+        assert report["added"] >= 40 * 4
+        assert maintainer.is_fully_provisioned()
+        g = maintainer.graph()
+        assert g.number_of_nodes() == 40
+        assert nx.is_connected(g)
+
+    def test_no_self_links_or_duplicates(self):
+        net = ChordNetwork.build(30, m=18, rng=random.Random(207))
+        maintainer = RandomLinkMaintainer(net, links_per_node=3,
+                                          rng=random.Random(208))
+        maintainer.repair()
+        for owner, targets in maintainer.links.items():
+            assert owner not in targets
+            assert len(targets) == 3  # set semantics: distinct by type
+
+    def test_repair_replaces_dead_links(self):
+        net = ChordNetwork.build(40, m=18, rng=random.Random(209))
+        maintainer = RandomLinkMaintainer(net, links_per_node=4,
+                                          rng=random.Random(210))
+        maintainer.repair()
+        victims = list(net.nodes)[:10]
+        for v in victims:
+            net.crash_node(v)
+        net.run_stabilization(10)
+        report = maintainer.repair()
+        assert report["dropped"] >= 1
+        assert maintainer.is_fully_provisioned()
+        alive = set(net.nodes)
+        for owner, targets in maintainer.links.items():
+            assert owner in alive
+            assert targets <= alive
+
+    def test_overlay_stays_connected_through_churn_epochs(self):
+        net = ChordNetwork.build(50, m=18, rng=random.Random(211))
+        maintainer = RandomLinkMaintainer(net, links_per_node=4,
+                                          rng=random.Random(212))
+        maintainer.repair()
+        rng = random.Random(213)
+        for _ in range(6):
+            for _ in range(5):
+                net.crash_node(rng.choice(list(net.nodes)))
+                net.join_node()
+            net.run_stabilization(6)
+            maintainer.repair()
+            assert nx.is_connected(maintainer.graph())
+        assert maintainer.is_fully_provisioned()

@@ -1,0 +1,147 @@
+"""Failure-injection tests: the stack under lossy networks, crashes, and
+stale estimates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ChordNetwork, IdealDHT, RandomPeerSampler
+from repro.core.errors import SamplingError
+from repro.dht.chord.node import LookupError_
+from repro.sim.network import RpcTimeout
+
+
+class TestLossyTransport:
+    def test_stabilization_converges_despite_loss(self):
+        net = ChordNetwork.build(
+            25, m=18, rng=random.Random(1), loss_rate=0.1, perfect=True
+        )
+        # Churn under a 10%-loss network, then repair.  Under sustained
+        # loss correctness is *eventual*: a lost ping can transiently
+        # demote a live successor, so poll instead of checking one
+        # arbitrary final round.
+        victims = list(net.nodes)[:5]
+        for v in victims:
+            net.crash_node(v)
+        for _ in range(5):
+            net.join_node()
+        converged_at = None
+        for round_number in range(1, 61):
+            net.stabilize_round()
+            if net.ring_is_correct():
+                converged_at = round_number
+                break
+        assert converged_at is not None, "ring never converged under loss"
+
+    def test_lookups_eventually_succeed_under_loss(self):
+        net = ChordNetwork.build(
+            30, m=18, rng=random.Random(2), loss_rate=0.15, perfect=True
+        )
+        dht = net.dht()
+        rng = random.Random(3)
+        successes = 0
+        for _ in range(30):
+            try:
+                peer = dht.h(1.0 - rng.random())
+                successes += 1
+                assert peer.peer_id in net.nodes
+            except LookupError_:
+                pass  # acceptable under sustained loss; must be rare
+        assert successes >= 25
+
+    def test_timeouts_are_counted(self):
+        net = ChordNetwork.build(
+            20, m=18, rng=random.Random(4), loss_rate=0.2, perfect=True
+        )
+        net.run_stabilization(5)
+        assert net.transport.metrics.counter("rpc.timeouts").value > 0
+
+
+class TestCrashDuringOperation:
+    def test_next_handles_peer_crashing_mid_walk(self):
+        net = ChordNetwork.build(24, m=18, rng=random.Random(5))
+        dht = net.dht()
+        ids = net.sorted_ids()
+        ref = dht._ref(ids[3])
+        net.crash_node(ids[3])
+        # next() on a dead PeerRef falls back to h(point): the next live
+        # clockwise peer.
+        nxt = dht.next(ref)
+        assert nxt.peer_id == ids[4]
+
+    def test_sampling_continues_after_half_the_ring_crashes(self):
+        net = ChordNetwork.build(40, m=18, rng=random.Random(6))
+        victims = list(net.nodes)[::2]
+        for v in victims:
+            net.crash_node(v)
+        net.run_stabilization(15)
+        assert net.ring_is_correct()
+        dht = net.dht()
+        sampler = RandomPeerSampler(dht, rng=random.Random(7))
+        for _ in range(20):
+            assert sampler.sample().peer_id in net.nodes
+
+    def test_rpc_timeout_charges_latency(self):
+        net = ChordNetwork.build(10, m=18, rng=random.Random(8))
+        victim = min(net.nodes)
+        net.crash_node(victim)
+        before = net.transport.elapsed
+        with pytest.raises(RpcTimeout):
+            net.transport.rpc(victim, "ping")
+        assert net.transport.elapsed > before
+
+
+class TestStaleEstimates:
+    def test_gross_overestimate_still_uniform_but_slow(self):
+        """n_hat >> n keeps correctness (Theorem 6 needs only n_hat >=
+        gamma1 * n) at the price of more retries."""
+        n = 64
+        dht = IdealDHT.random(n, random.Random(9))
+        sampler = RandomPeerSampler(
+            dht, n_hat=float(16 * n), rng=random.Random(10), max_trials=100_000
+        )
+        from repro.core.assignment import compute_assignment
+
+        report = compute_assignment(
+            dht.circle, sampler.params.lam, sampler.params.walk_budget
+        )
+        assert report.is_exactly_uniform(1e-12)
+        stats = sampler.sample_with_stats()
+        assert stats.trials >= 1  # works, just needs patience
+
+    def test_absurd_overestimate_raises_cleanly(self):
+        dht = IdealDHT.random(8, random.Random(11))
+        sampler = RandomPeerSampler(
+            dht, n_hat=1e12, rng=random.Random(12), max_trials=50
+        )
+        with pytest.raises(SamplingError):
+            sampler.sample()
+
+    def test_underestimate_biases_toward_crowded_regions(self):
+        """n_hat < gamma1*n shrinks the walk budget below what crowded
+        regions need: the assignment is no longer exactly uniform.  This
+        is the failure mode Theorem 6's precondition excludes."""
+        from repro.core.assignment import compute_assignment
+        from repro.core.sampler import SamplerParams
+
+        dht = IdealDHT.random(200, random.Random(20))
+        good = SamplerParams.from_estimate(200.0)
+        # A gross underestimate makes lambda bigger than 1/n: assigning
+        # measure lambda to all n peers is then impossible.
+        bad = SamplerParams.from_estimate(2.0)
+        good_report = compute_assignment(dht.circle, good.lam, good.walk_budget)
+        bad_report = compute_assignment(dht.circle, bad.lam, bad.walk_budget)
+        assert good_report.is_exactly_uniform(1e-12)
+        assert not bad_report.is_exactly_uniform(1e-12)
+
+    def test_reestimating_recovers_from_staleness(self):
+        """The operational fix for staleness: run Estimate-n again."""
+        from repro import estimate_n
+
+        n = 128
+        dht = IdealDHT.random(n, random.Random(13))
+        fresh = estimate_n(dht)
+        sampler = RandomPeerSampler(dht, n_hat=fresh.n_hat, rng=random.Random(14))
+        assert sampler.sample() in dht.peers

@@ -1,0 +1,78 @@
+"""Tests for the Poisson churn process on a Chord network."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.chord import ChordNetwork
+from repro.sim.churn import ChurnProcess
+from repro.sim.kernel import Simulator
+
+
+def make_network(n=20, seed=0):
+    sim = Simulator()
+    net = ChordNetwork.build(n, m=18, rng=random.Random(seed), sim=sim)
+    return net, sim
+
+
+class TestChurnProcess:
+    def test_rejects_bad_parameters(self):
+        net, sim = make_network()
+        with pytest.raises(ValueError):
+            ChurnProcess(net, sim, rate=0.0)
+        with pytest.raises(ValueError):
+            ChurnProcess(net, sim, rate=1.0, crash_fraction=2.0)
+
+    def test_generates_events_at_roughly_rate(self):
+        net, sim = make_network()
+        churn = ChurnProcess(net, sim, rate=1.0, rng=random.Random(1))
+        churn.start()
+        sim.run(until=200.0)
+        # Poisson(200) events expected; allow wide slack.
+        assert 120 <= len(churn.events) <= 300
+
+    def test_population_stays_near_target(self):
+        net, sim = make_network(n=20)
+        churn = ChurnProcess(
+            net, sim, rate=2.0, rng=random.Random(2), target_size=20, min_size=5
+        )
+        churn.start()
+        sim.run(until=100.0)
+        populations = [e.population for e in churn.events]
+        assert min(populations) >= 5
+        assert max(populations) <= 40
+
+    def test_event_kinds_mixed(self):
+        net, sim = make_network(n=30)
+        churn = ChurnProcess(net, sim, rate=2.0, rng=random.Random(3), crash_fraction=0.5)
+        churn.start()
+        sim.run(until=100.0)
+        kinds = {e.kind for e in churn.events}
+        assert "join" in kinds
+        assert kinds & {"leave", "crash"}
+
+    def test_stop_halts_events(self):
+        net, sim = make_network()
+        churn = ChurnProcess(net, sim, rate=5.0, rng=random.Random(4))
+        churn.start()
+        sim.run(until=10.0)
+        count = len(churn.events)
+        churn.stop()
+        sim.run(until=50.0)
+        assert len(churn.events) == count
+
+    def test_ring_recovers_after_churn_with_maintenance(self):
+        net, sim = make_network(n=25, seed=5)
+        net.start_periodic_maintenance(interval=1.0)
+        churn = ChurnProcess(
+            net, sim, rate=0.2, rng=random.Random(6), target_size=25, crash_fraction=0.5
+        )
+        churn.start()
+        sim.run(until=120.0)
+        churn.stop()
+        # Let maintenance quiesce, then the ring must be perfect again.
+        net.run_stabilization(15)
+        assert net.ring_is_correct()
+        assert net.predecessors_correct()

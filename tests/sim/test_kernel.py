@@ -1,0 +1,151 @@
+"""Tests for the event queue and discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventQueue
+from repro.sim.kernel import Simulator
+
+
+class TestEventQueue:
+    def test_fifo_at_same_time(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("a"))
+        q.push(1.0, lambda: order.append("b"))
+        q.pop().action()
+        q.pop().action()
+        assert order == ["a", "b"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        first = q.push(1.0, lambda: None)
+        assert q.pop() is first
+
+    def test_cancel_skipped(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        e2 = q.push(2.0, lambda: None)
+        e1.cancel()
+        assert q.pop() is e2
+        assert q.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        e1.cancel()
+        assert q.peek_time() == 3.0
+
+    def test_len_counts_live_only(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e1.cancel()
+        assert len(q) == 1
+
+    def test_bool_empty(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, lambda: None)
+        assert q
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_for_advances_relative(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_for(3.0)
+        assert sim.now == 3.0
+        sim.run_for(2.0)
+        assert sim.now == 5.0
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: count.append(1))
+        sim.run(max_events=4)
+        assert len(count) == 4
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(sim.now)
+            if depth > 0:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(1.0, lambda: chain(3))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_periodic_task_fires_and_cancels(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(2.0, lambda: ticks.append(sim.now))
+        sim.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+        task.cancel()
+        sim.run(until=20.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_periodic_first_delay(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(5.0, lambda: ticks.append(sim.now), first_delay=1.0)
+        sim.run(until=11.0)
+        assert ticks == [1.0, 6.0, 11.0]
+
+    def test_periodic_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().every(0.0, lambda: None)
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2

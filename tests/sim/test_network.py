@@ -1,0 +1,182 @@
+"""Tests for the RPC transport, latency models, metrics, and RNG streams."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.metrics import Counter, Histogram, MetricsRegistry
+from repro.sim.network import (
+    ConstantLatency,
+    ExponentialLatency,
+    RpcTimeout,
+    RpcTransport,
+    UniformLatency,
+)
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class Echo:
+    """Minimal RPC target."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def ping(self):
+        self.calls += 1
+        return "pong"
+
+    def add(self, a, b=0):
+        return a + b
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        assert ConstantLatency(2.5).sample(random.Random(0)) == 2.5
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(1.0, 3.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 1.0 <= model.sample(rng) <= 3.0
+
+    def test_exponential_positive_with_mean(self):
+        model = ExponentialLatency(mean=2.0)
+        rng = random.Random(2)
+        draws = [model.sample(rng) for _ in range(5000)]
+        assert all(d >= 0 for d in draws)
+        assert sum(draws) / len(draws) == pytest.approx(2.0, rel=0.1)
+
+
+class TestRpcTransport:
+    def test_basic_call(self):
+        t = RpcTransport(rng=random.Random(0))
+        t.register(1, Echo())
+        assert t.rpc(1, "ping") == "pong"
+
+    def test_arguments_forwarded(self):
+        t = RpcTransport(rng=random.Random(0))
+        t.register(1, Echo())
+        assert t.rpc(1, "add", 2, b=3) == 5
+
+    def test_messages_counted_per_call(self):
+        t = RpcTransport(rng=random.Random(0))
+        t.register(1, Echo())
+        t.rpc(1, "ping")
+        t.rpc(1, "ping")
+        assert t.messages_sent == 4  # request + reply, twice
+
+    def test_latency_accumulates(self):
+        t = RpcTransport(latency=ConstantLatency(1.5), rng=random.Random(0))
+        t.register(1, Echo())
+        t.rpc(1, "ping")
+        assert t.elapsed == 3.0  # round trip
+
+    def test_dead_target_times_out(self):
+        t = RpcTransport(rng=random.Random(0), timeout=9.0)
+        with pytest.raises(RpcTimeout):
+            t.rpc(42, "ping")
+        assert t.elapsed == 9.0
+        assert t.metrics.counter("rpc.timeouts").value == 1
+
+    def test_deregistered_target_times_out(self):
+        t = RpcTransport(rng=random.Random(0))
+        t.register(1, Echo())
+        t.deregister(1)
+        with pytest.raises(RpcTimeout):
+            t.rpc(1, "ping")
+
+    def test_duplicate_registration_rejected(self):
+        t = RpcTransport(rng=random.Random(0))
+        t.register(1, Echo())
+        with pytest.raises(ValueError):
+            t.register(1, Echo())
+
+    def test_loss_rate_drops_calls(self):
+        t = RpcTransport(rng=random.Random(7), loss_rate=0.5)
+        t.register(1, Echo())
+        outcomes = []
+        for _ in range(200):
+            try:
+                t.rpc(1, "ping")
+                outcomes.append(True)
+            except RpcTimeout:
+                outcomes.append(False)
+        losses = outcomes.count(False)
+        assert 60 <= losses <= 140  # ~50%
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            RpcTransport(loss_rate=1.0)
+
+    def test_node_oracle_access(self):
+        t = RpcTransport(rng=random.Random(0))
+        echo = Echo()
+        t.register(5, echo)
+        assert t.node(5) is echo
+        assert t.is_registered(5)
+        assert t.node_ids == [5]
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.increment(-1)
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == 2.5
+        assert h.minimum == 1.0
+        assert h.maximum == 4.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 4.0
+
+    def test_histogram_empty(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_histogram_percentile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_registry_reuses_instances(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("y") is reg.histogram("y")
+        reg.counter("x").increment(3)
+        assert reg.counters() == {"x": 3}
+
+
+class TestRngRegistry:
+    def test_streams_are_deterministic(self):
+        a = RngRegistry(7).stream("churn").random()
+        b = RngRegistry(7).stream("churn").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        reg = RngRegistry(7)
+        assert reg.stream("a").random() != reg.stream("b").random()
+
+    def test_stream_cached(self):
+        reg = RngRegistry(7)
+        assert reg.stream("x") is reg.stream("x")
+        assert "x" in reg
+
+    def test_fresh_not_cached(self):
+        reg = RngRegistry(7)
+        assert reg.fresh("x") is not reg.fresh("x")
+        assert reg.fresh("x").random() == reg.fresh("x").random()
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")

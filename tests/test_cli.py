@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_each_subcommand(self):
+        parser = build_parser()
+        assert parser.parse_args(["estimate", "--n", "50"]).command == "estimate"
+        assert parser.parse_args(["sample"]).command == "sample"
+        assert parser.parse_args(["uniformity"]).command == "uniformity"
+        assert parser.parse_args(["chord", "--m", "16"]).command == "chord"
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "9", "estimate"])
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_estimate_reports_ratio(self, capsys):
+        assert main(["--seed", "1", "estimate", "--n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "n_hat" in out
+        assert "next-calls" in out
+
+    def test_estimate_rejects_bad_n(self, capsys):
+        assert main(["estimate", "--n", "0"]) == 2
+
+    def test_estimate_median_mode(self, capsys):
+        assert main(["--seed", "6", "estimate", "--n", "500", "--vantages", "3"]) == 0
+        assert "n_hat" in capsys.readouterr().out
+
+    def test_estimate_rejects_bad_vantages(self, capsys):
+        assert main(["estimate", "--vantages", "0"]) == 2
+
+    def test_sample_prints_each_draw(self, capsys):
+        assert main(["--seed", "2", "sample", "--n", "200", "--samples", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("sample ") == 3
+        assert "lambda=" in out
+
+    def test_sample_rejects_bad_args(self):
+        assert main(["sample", "--n", "0"]) == 2
+        assert main(["sample", "--samples", "0"]) == 2
+
+    def test_uniformity_compares_samplers(self, capsys):
+        assert main(["--seed", "3", "uniformity", "--n", "32", "--draws", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "king-saia" in out
+        assert "naive h(U)" in out
+
+    def test_uniformity_rejects_insufficient_draws(self):
+        assert main(["uniformity", "--n", "100", "--draws", "10"]) == 2
+
+    def test_chord_runs_pipeline(self, capsys):
+        assert main(["--seed", "4", "chord", "--n", "24", "--m", "16",
+                     "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ring correct=True" in out
+        assert "mean messages/sample" in out
+
+    def test_chord_rejects_small_id_space(self):
+        assert main(["chord", "--n", "100", "--m", "4"]) == 2
+
+    def test_reproducible_given_seed(self, capsys):
+        main(["--seed", "5", "sample", "--n", "100", "--samples", "2"])
+        first = capsys.readouterr().out
+        main(["--seed", "5", "sample", "--n", "100", "--samples", "2"])
+        second = capsys.readouterr().out
+        assert first == second
