@@ -1,0 +1,119 @@
+"""E17 -- bulk sampling throughput: scalar loop vs. the batch engine.
+
+Not a paper claim but an engineering baseline: the same Choose-Random-
+Peer algorithm, drawn one sample at a time through the per-call path
+versus in bulk through :class:`repro.core.engine.BatchSampler`.  The
+table reports samples/second on the ideal DHT at several ring sizes and
+the speedup ratio; results are also written to ``BENCH_throughput.json``
+at the repo root so the perf trajectory is tracked across PRs.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_e17_throughput.py``,
+add ``--quick`` for the CI smoke configuration) or under pytest, which
+executes the quick configuration and asserts a minimum speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro import IdealDHT, RandomPeerSampler
+from repro.bench.harness import Table, time_call, write_bench_json
+from repro.core.engine import BatchSampler
+
+FULL_SIZES = [1_000, 10_000, 100_000]
+FULL_K = 10_000
+QUICK_SIZES = [1_000, 10_000]
+QUICK_K = 500
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def measure(n: int, k: int, repeat: int = 2) -> dict:
+    """Samples/second for the scalar loop and the batch engine at size ``n``."""
+    dht = IdealDHT.random(n, random.Random(n))
+
+    scalar_sampler = RandomPeerSampler(dht, n_hat=float(n), rng=random.Random(n + 1))
+    scalar_s = time_call(lambda: [scalar_sampler.sample() for _ in range(k)], repeat=repeat)
+
+    batch = BatchSampler(dht, n_hat=float(n), rng=random.Random(n + 2))
+    batch_s = time_call(lambda: batch.sample_many(k), repeat=repeat)
+
+    scalar_sps = k / scalar_s
+    batch_sps = k / batch_s
+    return {
+        "n": n,
+        "k": k,
+        "scalar_seconds": scalar_s,
+        "batch_seconds": batch_s,
+        "scalar_samples_per_sec": scalar_sps,
+        "batch_samples_per_sec": batch_sps,
+        "speedup": batch_sps / scalar_sps,
+    }
+
+
+def run(sizes, k, repeat: int = 2) -> tuple[Table, list[dict]]:
+    table = Table(
+        "E17: bulk sampling throughput on the ideal DHT (samples/sec)",
+        ["n", "k", "scalar sps", "batch sps", "speedup"],
+    )
+    results = []
+    for n in sizes:
+        row = measure(n, k, repeat=repeat)
+        results.append(row)
+        table.add_row(
+            n, k, row["scalar_samples_per_sec"], row["batch_samples_per_sec"], row["speedup"]
+        )
+    table.note("scalar = per-sample RandomPeerSampler.sample() loop (seed path)")
+    table.note("batch = BatchSampler.sample_many(k): vectorized classify + lockstep walks")
+    return table, results
+
+
+def emit(results: list[dict], out: Path, quick: bool) -> Path:
+    record = {
+        "benchmark": "e17_throughput",
+        "substrate": "IdealDHT",
+        "quick": quick,
+        "unit": "samples/sec",
+        "generated_unix": time.time(),
+        "results": results,
+    }
+    return write_bench_json(out, record)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        table, results = run(QUICK_SIZES, QUICK_K, repeat=1)
+    else:
+        table, results = run(FULL_SIZES, FULL_K, repeat=2)
+    table.show()
+    path = emit(results, args.out, quick=args.quick)
+    print(f"wrote {path}")
+
+    worst = min(r["speedup"] for r in results)
+    floor = 3.0 if args.quick else 10.0
+    if worst < floor:
+        print(f"FAIL: worst speedup {worst:.1f}x below the {floor:.0f}x floor", file=sys.stderr)
+        return 1
+    print(f"worst speedup {worst:.1f}x (floor {floor:.0f}x)")
+    return 0
+
+
+def test_e17_throughput_quick(show, tmp_path):
+    """Smoke configuration: the batch engine must beat the scalar loop."""
+    table, results = run([4096], 400, repeat=1)
+    show(table)
+    emit(results, tmp_path / "BENCH_throughput.json", quick=True)
+    assert all(r["speedup"] > 2.0 for r in results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

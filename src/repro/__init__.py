@@ -31,6 +31,7 @@ from .core import (
     GAMMA2,
     LAMBDA_SLACK,
     AssignmentReport,
+    BatchSampler,
     EstimateResult,
     EstimationError,
     Interval,
@@ -54,13 +55,15 @@ from .core import (
 )
 from .apps import RandomLinkMaintainer
 from .core import AdaptiveSampler, BiasedPeerSampler, inverse_distance_weight
-from .dht import CostMeter, CostSnapshot, IdealDHT, LogCost, PeerRef
+from .dht import BulkDHT, CostMeter, CostSnapshot, IdealDHT, LogCost, PeerRef
 from .dht.chord import ChordDHT, ChordNetwork, VirtualChordNetwork
 from .sim import RngRegistry, Simulator
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchSampler",
+    "BulkDHT",
     "GAMMA1",
     "GAMMA2",
     "LAMBDA_SLACK",

@@ -7,11 +7,21 @@ so each ``benchmarks/bench_eNN_*.py`` stays focused on its experiment.
 
 from __future__ import annotations
 
+import json
 import math
+import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
-__all__ = ["Table", "fmt", "geometric_mean", "sweep"]
+__all__ = [
+    "Table",
+    "fmt",
+    "geometric_mean",
+    "sweep",
+    "time_call",
+    "write_bench_json",
+]
 
 
 def fmt(value, digits: int = 4) -> str:
@@ -92,3 +102,34 @@ def geometric_mean(values: Iterable[float]) -> float:
 def sweep(values: Sequence, fn: Callable) -> list:
     """Apply ``fn`` to each parameter value, collecting results in order."""
     return [fn(v) for v in values]
+
+
+def time_call(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for one call of ``fn``.
+
+    Uses ``time.perf_counter`` and keeps the minimum, the standard way
+    to suppress scheduler noise in throughput baselines.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def write_bench_json(path, record: dict) -> Path:
+    """Persist a benchmark record as pretty-printed JSON.
+
+    Creates parent directories as needed and returns the resolved path,
+    so ``BENCH_*.json`` artifacts accumulate a perf trajectory across
+    PRs.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return out

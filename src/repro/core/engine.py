@@ -1,0 +1,354 @@
+"""Batch sampling engine: vectorized Choose-Random-Peer.
+
+The scalar :class:`~repro.core.sampler.RandomPeerSampler` pays Python
+method-call, dataclass-allocation and metering overhead *per trial*,
+which dominates wall-clock long before the algorithm's own
+O(1)-trials / O(log n)-latency guarantees do.  :class:`BatchSampler`
+runs the identical algorithm over a whole vector of trials at once:
+
+- all trial points are drawn up front and resolved to their ``h``
+  successors in one pass over the substrate's flat point array
+  (``numpy.searchsorted`` when available and worthwhile, else a
+  pure-Python ``bisect`` loop);
+- small-hit classification is a single vectorized comparison;
+- the clockwise walks run in lockstep over raw floats and sorted
+  indices -- no :class:`~repro.dht.api.PeerRef` or
+  :class:`~repro.core.sampler.TrialResult` allocation inside the loop --
+  with results materialized once at the end;
+- failed trials are rejection-retried in batched rounds sized by the
+  observed per-trial success rate;
+- the cost meter is charged once per round via
+  :meth:`~repro.dht.api.CostMeter.charge_bulk` with totals identical to
+  what the per-call path would have accumulated.
+
+Every float operation matches the scalar path's expression tree
+exactly, so for the same trial points the engine and
+:meth:`RandomPeerSampler.trial` produce *identical* outcomes (asserted
+by the seeded equivalence tests).  On substrates that do not satisfy
+:class:`~repro.dht.api.BulkDHT` (e.g. the live Chord simulator) the
+engine degrades to the shared per-call trial helper, preserving
+semantics at per-call speed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_left
+from collections.abc import Sequence
+
+try:  # optional acceleration; the pure-Python path is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional dependency
+    _np = None
+
+from ..dht.api import DHT, NUMPY_MIN_BATCH, BulkDHT, PeerRef
+from .errors import SamplingError
+from .estimate import DEFAULT_C1, estimate_n
+from .sampler import (
+    GAMMA1,
+    LAMBDA_SLACK,
+    SamplerParams,
+    TrialOutcome,
+    TrialResult,
+    _trial_from_first,
+)
+
+__all__ = ["BatchSampler"]
+
+#: Largest double strictly below 1.0 -- the clamp value
+#: :func:`~repro.core.intervals.clockwise_distance` uses to keep wrap
+#: distances inside ``[0, 1)``.
+_ONE_BELOW = math.nextafter(1.0, 0.0)
+
+#: Cap on trial points drawn per rejection round (bounds peak memory).
+_MAX_ROUND = 1 << 18
+
+# Outcome codes used inside the classification kernels (cheap ints in
+# the hot loop; mapped to TrialOutcome only at materialization time).
+_SMALL, _WALK, _EXHAUSTED = 0, 1, 2
+
+
+class BatchSampler:
+    """Bulk uniform peer sampling over any :class:`~repro.dht.api.DHT`.
+
+    Construction mirrors :class:`~repro.core.sampler.RandomPeerSampler`;
+    alternatively pass a resolved ``params`` to share a scalar sampler's
+    parameters (this is what :meth:`RandomPeerSampler.sample_many` does
+    when delegating).
+    """
+
+    def __init__(
+        self,
+        dht: DHT,
+        n_hat: float | None = None,
+        *,
+        params: SamplerParams | None = None,
+        gamma1: float = GAMMA1,
+        lambda_slack: float = LAMBDA_SLACK,
+        c1: float = DEFAULT_C1,
+        rng: random.Random | None = None,
+        max_trials: int = 10_000,
+    ):
+        self._dht = dht
+        self._rng = rng if rng is not None else random.Random()
+        if params is None:
+            if n_hat is None:
+                n_hat = estimate_n(dht, c1=c1).n_hat
+            params = SamplerParams.from_estimate(
+                n_hat, gamma1=gamma1, lambda_slack=lambda_slack
+            )
+        self.params = params
+        if max_trials < 1:
+            raise ValueError("max_trials must be at least 1")
+        self._max_trials = max_trials
+        self._bulk = isinstance(dht, BulkDHT)
+
+    # -- vectorized classification kernels --------------------------------
+
+    def _classify_charged(self, points: Sequence[float]):
+        """Run Figure 1 on every point against the flat point array.
+
+        Returns ``(codes, out_idx, hops)`` parallel sequences: the
+        outcome code, the assigned peer's sorted index (``-1`` if none)
+        and the walk length of each trial.  Charges the substrate's
+        meter once for the whole batch.
+        """
+        pts = self._dht.points_array()
+        n = len(pts)
+        lam = self.params.lam
+        budget = self.params.walk_budget
+        if _np is not None and len(points) >= NUMPY_MIN_BATCH:
+            codes, out_idx, hops, total_hops = _kernel_numpy(pts, n, lam, budget, points)
+        else:
+            codes, out_idx, hops, total_hops = _kernel_python(pts, n, lam, budget, points)
+        hm, hl, nm, nl = self._dht.bulk_op_costs()
+        k = len(points)
+        self._dht.cost.charge_bulk(
+            h_calls=k,
+            next_calls=total_hops,
+            messages=k * hm + total_hops * nm,
+            latency=k * hl + total_hops * nl,
+        )
+        return codes, out_idx, hops
+
+    # -- public API --------------------------------------------------------
+
+    def trial_many(self, points: Sequence[float]) -> list[TrialResult]:
+        """Run Figure 1 once per point (no retries), batch-classified.
+
+        Result ``j`` equals ``RandomPeerSampler.trial(points[j])`` for a
+        sampler sharing this engine's parameters -- same peer, same
+        :class:`~repro.core.sampler.TrialOutcome`, same walk length.
+        """
+        points = list(points)
+        if not self._bulk:
+            return self._trials_fallback(points)
+        codes, out_idx, hops = self._classify_charged(points)
+        succ = self._dht.successor_of_index
+        results = []
+        for s, code, idx, h in zip(points, codes, out_idx, hops):
+            if code == _SMALL:
+                results.append(
+                    TrialResult(s=s, outcome=TrialOutcome.SMALL_HIT, peer=succ(int(idx)), walk_hops=0)
+                )
+            elif code == _WALK:
+                results.append(
+                    TrialResult(s=s, outcome=TrialOutcome.WALK_HIT, peer=succ(int(idx)), walk_hops=int(h))
+                )
+            else:
+                results.append(
+                    TrialResult(s=s, outcome=TrialOutcome.EXHAUSTED, peer=None, walk_hops=int(h))
+                )
+        return results
+
+    def _trials_fallback(self, points: Sequence[float]) -> list[TrialResult]:
+        """Per-call path for substrates without a flat point array."""
+        dht = self._dht
+        h_many = getattr(dht, "h_many", None)
+        firsts = h_many(points) if h_many is not None else [dht.h(s) for s in points]
+        lam = self.params.lam
+        budget = self.params.walk_budget
+        return [
+            _trial_from_first(dht, lam, budget, s, first)
+            for s, first in zip(points, firsts)
+        ]
+
+    def _round_successes(self, points: list[float]) -> list[PeerRef]:
+        """Successful trials of one round, as peers in draw order."""
+        if not self._bulk:
+            return [r.peer for r in self._trials_fallback(points) if r.peer is not None]
+        codes, out_idx, _hops = self._classify_charged(points)
+        succ = self._dht.successor_of_index
+        return [succ(int(i)) for c, i in zip(codes, out_idx) if c != _EXHAUSTED]
+
+    def sample_many(self, k: int) -> list[PeerRef]:
+        """Draw ``k`` independent uniform samples (with replacement).
+
+        Trials are drawn in rounds sized ``need / p`` where ``p`` is the
+        success-rate estimate (seeded from ``n_hat * lambda``, then
+        updated from observation), so the expected number of rounds is
+        O(1).  The total trial budget is ``max_trials * k``; exceeding
+        it raises :class:`~repro.core.errors.SamplingError`, mirroring
+        the scalar sampler's per-sample cap.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        out: list[PeerRef] = []
+        budget = self._max_trials * k
+        used = 0
+        p_est = min(max(self.params.n_hat * self.params.lam, 1e-4), 1.0)
+        rand = self._rng.random
+        while len(out) < k:
+            if used >= budget:
+                raise SamplingError(
+                    f"only {len(out)} of {k} samples after {used} trials "
+                    f"(n_hat={self.params.n_hat:.3g}); the size estimate is likely stale"
+                )
+            need = k - len(out)
+            round_size = min(
+                budget - used,
+                _MAX_ROUND,
+                max(need, int(need / p_est * 1.15) + 8),
+            )
+            points = [1.0 - rand() for _ in range(round_size)]
+            used += round_size
+            successes = self._round_successes(points)
+            p_est = min(max((len(successes) + 1) / (round_size + 2), 1e-4), 1.0)
+            out.extend(successes[:need])
+        return out
+
+    def sample_distinct(self, k: int, max_draws: int | None = None) -> list[PeerRef]:
+        """Draw ``k`` *distinct* peers, uniform over k-subsets.
+
+        Batched analogue of the scalar rejection loop: each round draws
+        the outstanding deficit through :meth:`sample_many` and dedupes
+        by ``peer_id`` in draw order, which is exactly sequential simple
+        random sampling.  The ``max_draws`` contract (default
+        ``50 k + 50`` successful draws before
+        :class:`~repro.core.errors.SamplingError`) is unchanged.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        cap = max_draws if max_draws is not None else 50 * k + 50
+        chosen: dict[int, PeerRef] = {}
+        draws = 0
+        while len(chosen) < k:
+            if draws >= cap:
+                raise SamplingError(
+                    f"only {len(chosen)} distinct peers after {draws} draws; "
+                    f"is k={k} larger than the network?"
+                )
+            round_size = min(cap - draws, k - len(chosen))
+            batch = self.sample_many(round_size)
+            draws += len(batch)
+            for peer in batch:
+                chosen.setdefault(peer.peer_id, peer)
+        return list(chosen.values())
+
+
+# -- classification kernels (module-level: no self lookups in hot loops) --
+
+
+def _kernel_numpy(pts, n, lam, budget, points):
+    """Lockstep-vectorized Figure 1 over all trials at once.
+
+    Every elementwise expression mirrors the scalar path's float
+    arithmetic (same operand order, same wrap clamp), so outcomes are
+    bit-identical to :meth:`RandomPeerSampler.trial`.
+    """
+    ss = _np.asarray(points, dtype=_np.float64)
+    ok = (ss > 0.0) & (ss <= 1.0)  # negated form would let NaN slip through
+    if not ok.all():
+        bad = ss[~ok][0]
+        raise ValueError(f"point {bad!r} is outside the unit circle (0, 1]")
+    pts = _np.asarray(pts, dtype=_np.float64)
+    idx = _np.searchsorted(pts, ss, side="left")
+    idx[idx == n] = 0
+    first = pts[idx]
+    arc = _np.where(first >= ss, first - ss, (1.0 - ss) + first)
+    _np.minimum(arc, _ONE_BELOW, out=arc)  # the wrap clamp of clockwise_distance
+    small = arc < lam
+    codes = _np.where(small, _SMALL, _EXHAUSTED).astype(_np.int8)
+    out_idx = _np.where(small, idx, -1)
+    hops = _np.zeros(ss.shape, dtype=_np.int64)
+    active = ~small
+    if n == 1:
+        # A self-successor lap adds 1 - lam > 0 per hop, so T never
+        # drops: every non-small trial exhausts the full budget.
+        hops[active] = budget
+        return codes, out_idx, hops, int(active.sum()) * budget
+    t = arc - lam
+    cur_idx = idx
+    cur_pt = first
+    for hop in range(1, budget + 1):
+        if not active.any():
+            break
+        nxt_idx = cur_idx + 1
+        nxt_idx[nxt_idx == n] = 0
+        nxt_pt = pts[nxt_idx]
+        step = _np.where(nxt_pt >= cur_pt, nxt_pt - cur_pt, (1.0 - cur_pt) + nxt_pt)
+        _np.minimum(step, _ONE_BELOW, out=step)
+        t += step - lam
+        hit = active & (t <= 0.0)
+        if hit.any():
+            out_idx[hit] = nxt_idx[hit]
+            hops[hit] = hop
+            codes[hit] = _WALK
+            active &= ~hit
+        cur_idx = nxt_idx
+        cur_pt = nxt_pt
+    hops[active] = budget  # leftovers exhausted their walk budget
+    return codes, out_idx, hops, int(hops.sum())
+
+
+def _kernel_python(pts, n, lam, budget, points):
+    """Pure-Python fast path: raw floats and indices, zero allocations
+    per hop.  Identical arithmetic to the scalar trial."""
+    codes: list[int] = []
+    out_idx: list[int] = []
+    hops_list: list[int] = []
+    total_hops = 0
+    for s in points:
+        if not 0.0 < s <= 1.0:
+            raise ValueError(f"point {s!r} is outside the unit circle (0, 1]")
+        i = bisect_left(pts, s)
+        if i == n:
+            i = 0
+        cur = pts[i]
+        arc = cur - s if cur >= s else (1.0 - s) + cur
+        if arc >= 1.0:
+            arc = _ONE_BELOW
+        if arc < lam:
+            codes.append(_SMALL)
+            out_idx.append(i)
+            hops_list.append(0)
+            continue
+        t = arc - lam
+        code = _EXHAUSTED
+        assigned = -1
+        taken = 0
+        if n == 1:
+            taken = budget
+        else:
+            for hop in range(1, budget + 1):
+                ni = i + 1
+                if ni == n:
+                    ni = 0
+                npt = pts[ni]
+                step = npt - cur if npt >= cur else (1.0 - cur) + npt
+                if step >= 1.0:
+                    step = _ONE_BELOW
+                t += step - lam
+                taken = hop
+                if t <= 0.0:
+                    code = _WALK
+                    assigned = ni
+                    break
+                i = ni
+                cur = npt
+        codes.append(code)
+        out_idx.append(assigned)
+        hops_list.append(taken)
+        total_hops += taken
+    return codes, out_idx, hops_list, total_hops

@@ -66,7 +66,7 @@ class TrialOutcome(enum.Enum):
     EXHAUSTED = "exhausted"  # walk budget spent with T still positive
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TrialResult:
     """One deterministic trial: the drawn point, outcome, and walk length."""
 
@@ -74,6 +74,32 @@ class TrialResult:
     outcome: TrialOutcome
     peer: PeerRef | None
     walk_hops: int
+
+
+def _trial_from_first(dht: DHT, lam: float, walk_budget: int, s: float, first: PeerRef) -> TrialResult:
+    """Figure 1 for point ``s`` given an already-resolved ``first = h(s)``.
+
+    Shared by the scalar :meth:`RandomPeerSampler.trial` and the batch
+    engine's per-call fallback path, so both run byte-identical float
+    arithmetic and cannot drift apart.
+    """
+    arc = clockwise_distance(s, first.point)
+    if arc < lam:  # line 2: the interval I(s, l(h(s))] is SMALL
+        return TrialResult(s=s, outcome=TrialOutcome.SMALL_HIT, peer=first, walk_hops=0)
+
+    t_value = arc - lam
+    hops = 0
+    for _ in range(walk_budget):
+        nxt = dht.next(first)
+        hops += 1
+        step = clockwise_distance(first.point, nxt.point)
+        if nxt.peer_id == first.peer_id:
+            step = 1.0  # a self-successor means a full lap of the circle
+        t_value += step - lam
+        if t_value <= 0.0:
+            return TrialResult(s=s, outcome=TrialOutcome.WALK_HIT, peer=nxt, walk_hops=hops)
+        first = nxt
+    return TrialResult(s=s, outcome=TrialOutcome.EXHAUSTED, peer=None, walk_hops=hops)
 
 
 @dataclass(frozen=True)
@@ -87,7 +113,7 @@ class SampleStats:
     cost: CostSnapshot
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SamplerParams:
     """Resolved parameters of the sampler, derived from ``n_hat``.
 
@@ -162,6 +188,7 @@ class RandomPeerSampler:
         if max_trials < 1:
             raise ValueError("max_trials must be at least 1")
         self._max_trials = max_trials
+        self._engine = None  # lazily-built BatchSampler for bulk substrates
 
     # -- the deterministic inner trial (Figure 1) -------------------------
 
@@ -171,27 +198,9 @@ class RandomPeerSampler:
         Exposed separately so tests and the exact-assignment analysis can
         drive the deterministic part of the algorithm directly.
         """
-        lam = self.params.lam
-        first = self._dht.h(s)
-        arc = clockwise_distance(s, first.point)
-        if arc < lam:  # line 2: the interval I(s, l(h(s))] is SMALL
-            return TrialResult(s=s, outcome=TrialOutcome.SMALL_HIT, peer=first, walk_hops=0)
-
-        t_value = arc - lam
-        hops = 0
-        for _ in range(self.params.walk_budget):
-            nxt = self._dht.next(first)
-            hops += 1
-            step = clockwise_distance(first.point, nxt.point)
-            if nxt.peer_id == first.peer_id:
-                step = 1.0  # a self-successor means a full lap of the circle
-            t_value += step - lam
-            if t_value <= 0.0:
-                return TrialResult(
-                    s=s, outcome=TrialOutcome.WALK_HIT, peer=nxt, walk_hops=hops
-                )
-            first = nxt
-        return TrialResult(s=s, outcome=TrialOutcome.EXHAUSTED, peer=None, walk_hops=hops)
+        return _trial_from_first(
+            self._dht, self.params.lam, self.params.walk_budget, s, self._dht.h(s)
+        )
 
     # -- public sampling API ----------------------------------------------
 
@@ -220,10 +229,39 @@ class RandomPeerSampler:
         """Draw one peer uniformly at random from the DHT."""
         return self.sample_with_stats().peer
 
+    def _batch_engine(self):
+        """The :class:`~repro.core.engine.BatchSampler` for bulk substrates.
+
+        Built lazily (sharing this sampler's params, rng and trial cap)
+        and only when the substrate satisfies
+        :class:`~repro.dht.api.BulkDHT`; returns ``None`` otherwise so
+        callers keep the per-call path.
+        """
+        if self._engine is None:
+            from ..dht.api import BulkDHT
+            from .engine import BatchSampler
+
+            if isinstance(self._dht, BulkDHT):
+                self._engine = BatchSampler(
+                    self._dht,
+                    params=self.params,
+                    rng=self._rng,
+                    max_trials=self._max_trials,
+                )
+        return self._engine
+
     def sample_many(self, k: int) -> list[PeerRef]:
-        """Draw ``k`` independent uniform samples (with replacement)."""
+        """Draw ``k`` independent uniform samples (with replacement).
+
+        On a bulk-capable substrate this delegates to the vectorized
+        batch engine (same semantics, one meter charge per round); on
+        per-call substrates it loops :meth:`sample`.
+        """
         if k < 0:
             raise ValueError("k must be non-negative")
+        engine = self._batch_engine()
+        if engine is not None:
+            return engine.sample_many(k)
         return [self.sample() for _ in range(k)]
 
     def sample_distinct(self, k: int, max_draws: int | None = None) -> list[PeerRef]:
@@ -239,6 +277,9 @@ class RandomPeerSampler:
         """
         if k < 0:
             raise ValueError("k must be non-negative")
+        engine = self._batch_engine()
+        if engine is not None:
+            return engine.sample_distinct(k, max_draws=max_draws)
         cap = max_draws if max_draws is not None else 50 * k + 50
         chosen: dict[int, PeerRef] = {}
         draws = 0

@@ -1,10 +1,11 @@
 """DHT substrates: the abstract interface, the ideal oracle, and Chord."""
 
-from .api import DHT, CostMeter, CostSnapshot, PeerRef
+from .api import DHT, BulkDHT, CostMeter, CostSnapshot, PeerRef
 from .ideal import CostModel, IdealDHT, LogCost
 
 __all__ = [
     "DHT",
+    "BulkDHT",
     "CostMeter",
     "CostSnapshot",
     "PeerRef",

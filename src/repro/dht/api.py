@@ -12,17 +12,52 @@ Everything above the substrate (Estimate-n, Choose-Random-Peer, the
 baselines) talks to this interface, so the same algorithm code runs
 against the analytic :class:`~repro.dht.ideal.IdealDHT` oracle and the
 message-level Chord simulator.
+
+Bulk extension
+--------------
+
+:class:`BulkDHT` is an *optional* widening of the interface for
+substrates that can answer many queries per call.  It exists for the
+batch sampling engine (:mod:`repro.core.engine`), whose hot loop would
+otherwise pay one Python method call, one :class:`PeerRef` allocation
+and one meter update per trial.  A bulk-capable substrate provides:
+
+- ``h_many(xs)`` -- ``h`` applied to a whole vector of points, metered
+  with a single :meth:`CostMeter.charge_bulk` call;
+- ``points_array()`` -- the sorted peer points as a flat indexable
+  array of floats.  This is *raw substrate access*: reading it charges
+  nothing, and a caller that resolves queries against it directly is
+  responsible for charging ``cost.charge_bulk`` with the operation
+  counts it logically performed (the batch engine does exactly this);
+- ``successor_of_index(i)`` -- materialize the :class:`PeerRef` at
+  sorted position ``i`` (wrapping), free of cost;
+- ``bulk_op_costs()`` -- the per-operation ``(h_messages, h_latency,
+  next_messages, next_latency)`` unit costs, so bulk callers can charge
+  the meter amounts identical to what the per-call path would have.
+
+Fallback semantics: substrates that cannot answer from a flat array
+(the live Chord simulator) may still implement ``h_many`` as a
+per-call loop -- :class:`~repro.dht.chord.ChordDHT` does -- but they do
+*not* satisfy :class:`BulkDHT`, and batch callers must detect this
+(``isinstance(dht, BulkDHT)``) and fall back to the per-call ``h`` /
+``next`` protocol.  The semantics of both paths are identical; only the
+constant factors differ.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
-__all__ = ["PeerRef", "CostMeter", "CostSnapshot", "DHT"]
+__all__ = ["PeerRef", "CostMeter", "CostSnapshot", "DHT", "BulkDHT"]
+
+#: Shared numpy-vs-pure-Python crossover: below this many items per
+#: batch, numpy's per-call overhead exceeds its vectorization win, so
+#: bulk implementations and the batch engine take the bisect path.
+NUMPY_MIN_BATCH = 64
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class PeerRef:
     """A handle on a peer: a stable identifier plus its peer point.
 
@@ -36,7 +71,7 @@ class PeerRef:
     point: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CostSnapshot:
     """Immutable view of a :class:`CostMeter`, usable for before/after diffs."""
 
@@ -89,6 +124,27 @@ class CostMeter:
         self.messages += messages
         self.latency += latency
 
+    def charge_bulk(
+        self,
+        *,
+        h_calls: int = 0,
+        next_calls: int = 0,
+        messages: int = 0,
+        latency: float = 0.0,
+    ) -> None:
+        """Record a whole batch of operations in one meter update.
+
+        The amounts are the *totals* for the batch; callers compute them
+        from :meth:`BulkDHT.bulk_op_costs` so the accumulated figures are
+        identical to what per-call ``charge_h``/``charge_next`` would
+        have produced.  This amortizes metering overhead to one Python
+        call per batch instead of one per operation.
+        """
+        self.h_calls += h_calls
+        self.next_calls += next_calls
+        self.messages += messages
+        self.latency += latency
+
     def snapshot(self) -> CostSnapshot:
         return CostSnapshot(self.h_calls, self.next_calls, self.messages, self.latency)
 
@@ -115,4 +171,41 @@ class DHT(Protocol):
 
     def any_peer(self) -> PeerRef:
         """Some live peer, used as the local vantage point of an algorithm."""
+        ...
+
+
+@runtime_checkable
+class BulkDHT(Protocol):
+    """Optional widening of :class:`DHT` for batch-capable substrates.
+
+    See the module docstring for the contract.  Detection is structural:
+    ``isinstance(dht, BulkDHT)`` is how the batch engine decides between
+    the vectorized fast path and the per-call fallback.
+    """
+
+    cost: CostMeter
+
+    def h(self, x: float) -> PeerRef:
+        ...
+
+    def next(self, peer: PeerRef) -> PeerRef:
+        ...
+
+    def any_peer(self) -> PeerRef:
+        ...
+
+    def h_many(self, xs: Sequence[float]) -> list[PeerRef]:
+        """``h`` applied to every point of ``xs``, metered as one batch."""
+        ...
+
+    def points_array(self) -> Sequence[float]:
+        """The sorted peer points as a flat indexable float array (uncharged)."""
+        ...
+
+    def successor_of_index(self, i: int) -> PeerRef:
+        """The :class:`PeerRef` at sorted position ``i % n`` (uncharged)."""
+        ...
+
+    def bulk_op_costs(self) -> tuple[int, float, int, float]:
+        """Unit costs ``(h_messages, h_latency, next_messages, next_latency)``."""
         ...

@@ -304,6 +304,18 @@ class ChordDHT:
             )
         return self._ref(result.node_id)
 
+    def h_many(self, xs) -> list[PeerRef]:
+        """Graceful per-call fallback: one iterative lookup per point.
+
+        A live Chord overlay has no flat point array to resolve against,
+        so there is nothing to vectorize -- each point still costs one
+        real lookup and is metered per call.  ``ChordDHT`` deliberately
+        does *not* implement ``points_array``/``successor_of_index`` and
+        therefore fails the ``BulkDHT`` check: batch callers detect that
+        and keep their per-call walk path, preserving exact semantics.
+        """
+        return [self.h(x) for x in xs]
+
     def next(self, peer: PeerRef) -> PeerRef:
         """``next(p)`` via one ``get_successor`` RPC (cost: O(1))."""
         transport = self._network.transport

@@ -13,11 +13,18 @@ which realizes the same interface on a simulated Chord overlay.
 from __future__ import annotations
 
 import math
+from array import array
+from bisect import bisect_left
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+try:  # optional acceleration for the bulk interface
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional dependency
+    _np = None
+
 from ..core.intervals import SortedCircle
-from .api import CostMeter, PeerRef
+from .api import NUMPY_MIN_BATCH, CostMeter, PeerRef
 
 __all__ = ["CostModel", "LogCost", "IdealDHT"]
 
@@ -52,6 +59,14 @@ class IdealDHT:
         self._peers = tuple(
             PeerRef(peer_id=i, point=p) for i, p in enumerate(circle.points)
         )
+        # Flat array-backed storage for the bulk interface: peer points in
+        # sorted order, so index arithmetic replaces object traversal.
+        self._flat = array("d", circle.points)
+        if _np is not None:
+            self._flat_np = _np.frombuffer(self._flat, dtype=_np.float64)
+            self._flat_np.setflags(write=False)  # it's a view into _flat
+        else:
+            self._flat_np = None
         self.cost = CostMeter()
 
     @classmethod
@@ -78,6 +93,57 @@ class IdealDHT:
     def any_peer(self) -> PeerRef:
         """An arbitrary live peer, the algorithms' local vantage point."""
         return self._peers[0]
+
+    # -- BulkDHT interface ------------------------------------------------
+
+    def h_many(self, xs: Sequence[float]) -> list[PeerRef]:
+        """``h`` over a whole vector of points, metered as one batch.
+
+        Resolution is a vectorized ``searchsorted`` when numpy is
+        available and the batch is large enough to amortize its call
+        overhead, else a pure-Python ``bisect`` loop over the flat point
+        array.  Both charge the meter once via
+        :meth:`~repro.dht.api.CostMeter.charge_bulk` with totals
+        identical to per-call :meth:`h`.
+        """
+        k = len(xs)
+        peers = self._peers
+        n = len(peers)
+        if self._flat_np is not None and k >= NUMPY_MIN_BATCH:
+            arr = _np.asarray(xs, dtype=_np.float64)
+            ok = (arr > 0.0) & (arr <= 1.0)  # negated form would let NaN slip through
+            if not ok.all():
+                bad = arr[~ok][0]
+                raise ValueError(f"point {bad!r} is outside the unit circle (0, 1]")
+            idx = _np.searchsorted(self._flat_np, arr, side="left")
+            idx[idx == n] = 0
+            refs = [peers[i] for i in idx.tolist()]
+        else:
+            flat = self._flat
+            refs = []
+            for x in xs:
+                if not 0.0 < x <= 1.0:
+                    raise ValueError(f"point {x!r} is outside the unit circle (0, 1]")
+                refs.append(peers[bisect_left(flat, x) % n])
+        self.cost.charge_bulk(
+            h_calls=k,
+            messages=k * self._model.h_messages,
+            latency=k * self._model.h_latency,
+        )
+        return refs
+
+    def points_array(self) -> Sequence[float]:
+        """Sorted peer points as a flat float array (raw, uncharged access)."""
+        return self._flat_np if self._flat_np is not None else self._flat
+
+    def successor_of_index(self, i: int) -> PeerRef:
+        """Materialize the peer at sorted position ``i % n`` (uncharged)."""
+        return self._peers[i % len(self._peers)]
+
+    def bulk_op_costs(self) -> tuple[int, float, int, float]:
+        """Per-op unit costs for callers charging the meter in bulk."""
+        m = self._model
+        return (m.h_messages, m.h_latency, m.next_messages, m.next_latency)
 
     # -- oracle-only conveniences (not part of the DHT interface) --------
 

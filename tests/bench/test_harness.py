@@ -6,7 +6,14 @@ import math
 
 import pytest
 
-from repro.bench.harness import Table, fmt, geometric_mean, sweep
+from repro.bench.harness import (
+    Table,
+    fmt,
+    geometric_mean,
+    sweep,
+    time_call,
+    write_bench_json,
+)
 from repro.bench.workloads import make_ideal_dht, make_sampler, selection_counts
 
 
@@ -73,6 +80,32 @@ class TestMathHelpers:
 
     def test_sweep_preserves_order(self):
         assert sweep([1, 2, 3], lambda x: x * x) == [1, 4, 9]
+
+
+class TestTiming:
+    def test_time_call_runs_fn_and_returns_seconds(self):
+        calls = []
+        elapsed = time_call(lambda: calls.append(1), repeat=3)
+        assert len(calls) == 3
+        assert elapsed >= 0.0
+
+    def test_time_call_validates_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+
+
+class TestBenchJson:
+    def test_round_trip(self, tmp_path):
+        import json
+
+        record = {"benchmark": "test", "results": [{"n": 10, "sps": 123.5}]}
+        path = write_bench_json(tmp_path / "sub" / "BENCH_test.json", record)
+        assert path.exists()
+        assert json.loads(path.read_text()) == record
+
+    def test_output_ends_with_newline(self, tmp_path):
+        path = write_bench_json(tmp_path / "b.json", {"a": 1})
+        assert path.read_text().endswith("\n")
 
 
 class TestWorkloads:
