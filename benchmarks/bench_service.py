@@ -1,0 +1,211 @@
+"""Service load benchmark: micro-batch vs. per-request dispatch.
+
+Open-loop Poisson traffic drives the sampling service
+(:mod:`repro.service`) at several shard counts, comparing micro-batch
+dispatch (coalesce up to ``max_batch`` requests, execute through the
+PR-1 vectorized engine) against per-request dispatch (batch size 1
+through the scalar sampler).  Reported per configuration:
+
+- *sustained req/s* -- completed requests per wall-clock second of
+  simulation, the end-to-end serving throughput of this process;
+- *sim throughput* -- completed requests per simulated time unit, the
+  queueing-model capacity under the service-time model;
+- queue/service/total latency tails (p50/p99, simulated units) and the
+  rejection count (admission-control backpressure).
+
+A second sweep varies the batch window ``max_wait`` to expose the
+batching latency/throughput trade-off.  Results go to
+``BENCH_service.json`` at the repo root; the full configuration serves
+n=100k-peer shards and asserts micro-batch beats per-request dispatch
+on sustained req/s at every shard count.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_service.py``,
+add ``--quick`` for the CI smoke configuration) or under pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import Table, write_bench_json
+from repro.service import build_load, build_service
+
+FULL_N = 100_000
+FULL_REQUESTS = 3_000
+FULL_SHARDS = [1, 4]
+FULL_WINDOWS = [0.25, 1.0, 4.0, 16.0]
+QUICK_N = 2_000
+QUICK_REQUESTS = 500
+QUICK_SHARDS = [1, 2]
+QUICK_WINDOWS = [0.5, 2.0]
+
+#: Offered load per shard (requests per simulated time unit) -- chosen
+#: above the scalar path's sim-time capacity so per-request dispatch
+#: saturates (exercising admission control) while micro-batch keeps up.
+RATE_PER_SHARD = 0.5
+
+MAX_BATCH = 32
+SEED = 0
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def measure(
+    n: int,
+    shards: int,
+    dispatch: str,
+    requests: int,
+    *,
+    max_wait: float = 2.0,
+    rate_per_shard: float = RATE_PER_SHARD,
+) -> dict:
+    """Drive one configuration to completion; return its scorecard."""
+    service = build_service(
+        n=n,
+        shards=shards,
+        seed=SEED,
+        dispatch=dispatch,  # scalar mode forces per-request (batch size 1)
+        max_batch=MAX_BATCH,
+        max_wait=max_wait,
+    )
+    generator = build_load(
+        service, rate=rate_per_shard * shards, total=requests, seed=SEED
+    )
+    generator.start()
+    start = time.perf_counter()
+    service.run()
+    wall = time.perf_counter() - start
+    summary = service.summary()
+    lat = summary["latency"]
+    return {
+        "n": n,
+        "shards": shards,
+        "dispatch": dispatch,
+        "max_wait": max_wait,
+        "offered": requests,
+        "completed": summary["completed"],
+        "rejected": summary["rejected"],
+        "wall_seconds": wall,
+        "sustained_rps": summary["completed"] / wall if wall > 0 else 0.0,
+        "sim_elapsed": summary["elapsed"],
+        "sim_throughput": summary["throughput"],
+        "mean_batch": summary["batch_size"]["mean"],
+        "queue_p50": lat["queue_latency"]["p50"],
+        "queue_p99": lat["queue_latency"]["p99"],
+        "service_p99": lat["service_latency"]["p99"],
+        "total_p99": lat["total_latency"]["p99"],
+    }
+
+
+def run_dispatch_comparison(n: int, shard_counts, requests: int):
+    table = Table(
+        f"service throughput: micro-batch vs per-request dispatch (n={n}/shard)",
+        ["shards", "dispatch", "completed", "rejected", "sustained req/s",
+         "sim thr", "q p99", "total p99"],
+    )
+    results = []
+    for shards in shard_counts:
+        for dispatch in ("batch", "scalar"):
+            row = measure(n, shards, dispatch, requests)
+            results.append(row)
+            table.add_row(
+                shards, dispatch, row["completed"], row["rejected"],
+                row["sustained_rps"], row["sim_throughput"],
+                row["queue_p99"], row["total_p99"],
+            )
+    table.note("batch = coalesced sample_many on the bulk engine (max_batch=32)")
+    table.note("scalar = one dispatch per request through the per-call sampler")
+    table.note("latency in simulated time units; req/s in wall-clock seconds")
+    return table, results
+
+
+def run_window_sweep(n: int, windows, requests: int):
+    table = Table(
+        f"batch window sweep (n={n}, 1 shard, micro-batch)",
+        ["max_wait", "mean batch", "sustained req/s", "q p50", "q p99", "total p99"],
+    )
+    results = []
+    for window in windows:
+        row = measure(n, 1, "batch", requests, max_wait=window, rate_per_shard=0.3)
+        results.append(row)
+        table.add_row(
+            window, row["mean_batch"], row["sustained_rps"],
+            row["queue_p50"], row["queue_p99"], row["total_p99"],
+        )
+    table.note("longer windows grow batches (amortization) at queue-latency cost")
+    return table, results
+
+
+def emit(dispatch_results, window_results, out: Path, quick: bool) -> Path:
+    record = {
+        "benchmark": "service_load",
+        "substrate": "IdealDHT",
+        "quick": quick,
+        "seed": SEED,
+        "rate_per_shard": RATE_PER_SHARD,
+        "max_batch": MAX_BATCH,
+        "generated_unix": time.time(),
+        "dispatch_comparison": dispatch_results,
+        "window_sweep": window_results,
+    }
+    return write_bench_json(out, record)
+
+
+def check_batch_wins(dispatch_results) -> float:
+    """Worst micro-batch/per-request sustained-req/s ratio across shard counts."""
+    worst = float("inf")
+    by_key = {(r["shards"], r["dispatch"]): r for r in dispatch_results}
+    for shards in {r["shards"] for r in dispatch_results}:
+        ratio = (
+            by_key[(shards, "batch")]["sustained_rps"]
+            / by_key[(shards, "scalar")]["sustained_rps"]
+        )
+        worst = min(worst, ratio)
+    return worst
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n, requests, shard_counts, windows = QUICK_N, QUICK_REQUESTS, QUICK_SHARDS, QUICK_WINDOWS
+    else:
+        n, requests, shard_counts, windows = FULL_N, FULL_REQUESTS, FULL_SHARDS, FULL_WINDOWS
+
+    d_table, d_results = run_dispatch_comparison(n, shard_counts, requests)
+    d_table.show()
+    w_table, w_results = run_window_sweep(n, windows, requests)
+    w_table.show()
+    path = emit(d_results, w_results, args.out, quick=args.quick)
+    print(f"wrote {path}")
+
+    worst = check_batch_wins(d_results)
+    floor = 1.5
+    if worst < floor:
+        print(f"FAIL: micro-batch/per-request sustained ratio {worst:.2f}x "
+              f"below the {floor:.1f}x floor", file=sys.stderr)
+        return 1
+    print(f"micro-batch beats per-request dispatch {worst:.1f}x (floor {floor:.1f}x)")
+    return 0
+
+
+def test_service_bench_quick(show, tmp_path):
+    """Smoke configuration: micro-batch must beat per-request dispatch."""
+    d_table, d_results = run_dispatch_comparison(QUICK_N, [1, 2], 300)
+    show(d_table)
+    w_table, w_results = run_window_sweep(QUICK_N, [0.5, 2.0], 300)
+    show(w_table)
+    emit(d_results, w_results, tmp_path / "BENCH_service.json", quick=True)
+    assert check_batch_wins(d_results) > 1.2
+    # the window sweep must show amortization: batches grow with the window
+    assert w_results[-1]["mean_batch"] >= w_results[0]["mean_batch"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

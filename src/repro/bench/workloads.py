@@ -11,16 +11,34 @@ import random
 from collections import Counter
 
 from ..core.sampler import RandomPeerSampler
+from ..dht.chord.network import ChordDHT, ChordNetwork
 from ..dht.ideal import IdealDHT
 from ..sim.rng import RngRegistry
 
-__all__ = ["make_ideal_dht", "make_sampler", "selection_counts"]
+__all__ = ["make_ideal_dht", "make_chord_dht", "make_sampler", "selection_counts"]
 
 
 def make_ideal_dht(n: int, seed: int, stream: str = "ring") -> IdealDHT:
     """An ``IdealDHT`` of ``n`` uniform peers from a named seed stream."""
     rng = RngRegistry(seed).stream(stream)
     return IdealDHT.random(n, rng)
+
+
+def make_chord_dht(
+    n: int,
+    seed: int,
+    m: int = 20,
+    stream: str = "chord",
+    lookup_mode: str = "iterative",
+) -> ChordDHT:
+    """A perfectly-wired simulated Chord ring's ``h``/``next`` adapter.
+
+    The underlying :class:`~repro.dht.chord.network.ChordNetwork` is
+    reachable as ``dht._network`` for experiments that perturb the
+    overlay, but most workloads only need the adapter.
+    """
+    rng = RngRegistry(seed).stream(stream)
+    return ChordNetwork.build_dht(n, m=m, rng=rng, lookup_mode=lookup_mode)
 
 
 def make_sampler(

@@ -4,8 +4,10 @@ Subcommands::
 
     python -m repro estimate   --n 5000             # Estimate-n accuracy
     python -m repro sample     --n 5000 --samples 5 # uniform draws + costs
+    python -m repro sample     --n 5000 --samples 500 --batch  # bulk engine
     python -m repro uniformity --n 256 --draws 20000
     python -m repro chord      --n 128 --samples 20 # on simulated Chord
+    python -m repro serve      --n 5000 --rate 1.0 --shards 2 --requests 2000
 
 Every subcommand accepts ``--seed`` for reproducibility and prints a
 plain-text report; exit status is non-zero on invalid arguments.
@@ -21,10 +23,12 @@ from collections.abc import Sequence
 
 from .analysis.stats import chi_square_uniform, max_min_ratio
 from .baselines.naive import NaiveSampler
+from .core.engine import BatchSampler
 from .core.estimate import estimate_n, estimate_n_median
 from .core.sampler import RandomPeerSampler
 from .dht.chord.network import ChordNetwork
 from .dht.ideal import IdealDHT
+from .service import DISPATCH_MODES, POLICIES, SUBSTRATES, build_load, build_service
 
 __all__ = ["build_parser", "main"]
 
@@ -48,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample = sub.add_parser("sample", help="draw uniform peers with cost stats")
     p_sample.add_argument("--n", type=int, default=1000)
     p_sample.add_argument("--samples", type=int, default=5)
+    p_sample.add_argument(
+        "--batch", action="store_true",
+        help="draw all samples in one BatchSampler.sample_many call "
+             "(the PR-1 vectorized engine) instead of a scalar loop",
+    )
 
     p_uni = sub.add_parser("uniformity", help="chi-square vs the naive heuristic")
     p_uni.add_argument("--n", type=int, default=256)
@@ -57,6 +66,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_chord.add_argument("--n", type=int, default=128)
     p_chord.add_argument("--m", type=int, default=20, help="identifier bits")
     p_chord.add_argument("--samples", type=int, default=10)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the micro-batching sampling service under open-loop load",
+    )
+    p_serve.add_argument("--n", type=int, default=1000, help="peers per shard substrate")
+    p_serve.add_argument("--rate", type=float, default=1.0, help="Poisson arrivals per time unit")
+    p_serve.add_argument("--shards", type=int, default=2, help="substrate shard count")
+    p_serve.add_argument("--requests", type=int, default=2000, help="total requests to offer")
+    p_serve.add_argument("--max-batch", type=int, default=32, help="micro-batch size cap")
+    p_serve.add_argument("--max-wait", type=float, default=2.0,
+                         help="max time units a request may wait for batchmates")
+    p_serve.add_argument("--max-queue", type=int, default=256, help="per-shard admission bound")
+    p_serve.add_argument("--policy", choices=POLICIES, default="round-robin")
+    p_serve.add_argument("--dispatch", choices=DISPATCH_MODES, default="batch")
+    p_serve.add_argument("--substrate", choices=SUBSTRATES, default="ideal")
+    p_serve.add_argument("--chord-m", type=int, default=20, help="Chord identifier bits")
     return parser
 
 
@@ -86,6 +112,21 @@ def _cmd_sample(args) -> int:
         return 2
     rng = random.Random(args.seed)
     dht = IdealDHT.random(args.n, rng)
+    if args.batch:
+        engine = BatchSampler(dht, rng=rng)
+        print(f"n={args.n}  n_hat={engine.params.n_hat:.1f}  "
+              f"lambda={engine.params.lam:.3e}  walk_budget={engine.params.walk_budget}  "
+              f"mode=batch")
+        result = engine.sample_many_attributed(args.samples)
+        shown = min(args.samples, 10)
+        for i, peer in enumerate(result.peers[:shown]):
+            print(f"sample {i}: peer {peer.peer_id:>6} point {peer.point:.6f}")
+        if args.samples > shown:
+            print(f"... {args.samples - shown} more")
+        print(f"batch totals: trials {result.trials}  rounds {result.rounds}  "
+              f"messages {result.cost.messages}  "
+              f"messages/sample {result.cost.messages / args.samples:.1f}")
+        return 0
     sampler = RandomPeerSampler(dht, rng=rng)
     print(f"n={args.n}  n_hat={sampler.params.n_hat:.1f}  "
           f"lambda={sampler.params.lam:.3e}  walk_budget={sampler.params.walk_budget}")
@@ -138,11 +179,66 @@ def _cmd_chord(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    if args.n < 1 or args.shards < 1 or args.requests < 1:
+        print("error: --n, --shards and --requests must be positive", file=sys.stderr)
+        return 2
+    if args.rate <= 0 or args.max_batch < 1 or args.max_wait < 0 or args.max_queue < 1:
+        print("error: --rate must be positive, --max-batch/--max-queue at least 1, "
+              "--max-wait non-negative", file=sys.stderr)
+        return 2
+    try:
+        service = build_service(
+            n=args.n,
+            shards=args.shards,
+            substrate=args.substrate,
+            seed=args.seed,
+            chord_m=args.chord_m,
+            policy=args.policy,
+            dispatch=args.dispatch,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            max_queue=args.max_queue,
+        )
+    except ValueError as exc:  # e.g. chord id space too small for --n
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    generator = build_load(
+        service, rate=args.rate, total=args.requests, seed=args.seed
+    )
+    generator.start()
+    service.run()
+    s = service.summary()
+    print(f"serve: n={args.n}/shard  shards={args.shards}  substrate={args.substrate}  "
+          f"dispatch={args.dispatch}  policy={args.policy}")
+    batching = (
+        f"micro-batch: max_batch={args.max_batch}, max_wait={args.max_wait:g}"
+        if args.dispatch == "batch"
+        else "per-request dispatch"
+    )
+    print(f"offered {args.requests} requests at rate {args.rate:g} ({batching})")
+    print(f"completed {s['completed']}  rejected {s['rejected']}  "
+          f"elapsed {s['elapsed']:.1f}  throughput {s['throughput']:.3f} req/unit")
+    for name in ("queue_latency", "service_latency", "total_latency"):
+        lat = s["latency"][name]
+        print(f"{name:>16}: mean {lat['mean']:.2f}  p50 {lat['p50']:.2f}  "
+              f"p95 {lat['p95']:.2f}  p99 {lat['p99']:.2f}")
+    bs = s["batch_size"]
+    print(f"      batch_size: mean {bs['mean']:.1f}  p99 {bs['p99']:.0f}  "
+          f"batches {bs['count']}")
+    for shard_id, shard in s["shards"].items():
+        print(f"shard {shard_id}: completed {shard['completed']:>6}  "
+              f"rejected {shard['rejected']:>6}  batches {shard['batches']:>5}  "
+              f"throughput {shard.get('throughput', 0.0):.3f}")
+    return 0
+
+
 _COMMANDS = {
     "estimate": _cmd_estimate,
     "sample": _cmd_sample,
     "uniformity": _cmd_uniformity,
     "chord": _cmd_chord,
+    "serve": _cmd_serve,
 }
 
 

@@ -10,7 +10,7 @@ Theorem 8 checkers.
 from .adaptive import AdaptiveSampler
 from .assignment import AssignmentReport, compute_assignment, trial_on_circle
 from .biased import BiasedPeerSampler, BiasedSampleStats, inverse_distance_weight
-from .engine import BatchSampler
+from .engine import BatchSampler, BatchSampleResult
 from .errors import EstimationError, ReproError, SamplingError
 from .estimate import DEFAULT_C1, EstimateResult, estimate_n, estimate_n_median
 from .intervals import Interval, SortedCircle, clockwise_distance, normalize
@@ -40,6 +40,7 @@ __all__ = [
     "AdaptiveSampler",
     "AssignmentReport",
     "BatchSampler",
+    "BatchSampleResult",
     "compute_assignment",
     "trial_on_circle",
     "BiasedPeerSampler",

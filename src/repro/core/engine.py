@@ -42,7 +42,9 @@ try:  # optional acceleration; the pure-Python path is always available
 except ImportError:  # pragma: no cover - numpy is an optional dependency
     _np = None
 
-from ..dht.api import DHT, NUMPY_MIN_BATCH, BulkDHT, PeerRef
+from dataclasses import dataclass
+
+from ..dht.api import DHT, NUMPY_MIN_BATCH, BulkDHT, CostSnapshot, PeerRef
 from .errors import SamplingError
 from .estimate import DEFAULT_C1, estimate_n
 from .sampler import (
@@ -54,7 +56,7 @@ from .sampler import (
     _trial_from_first,
 )
 
-__all__ = ["BatchSampler"]
+__all__ = ["BatchSampler", "BatchSampleResult"]
 
 #: Largest double strictly below 1.0 -- the clamp value
 #: :func:`~repro.core.intervals.clockwise_distance` uses to keep wrap
@@ -67,6 +69,24 @@ _MAX_ROUND = 1 << 18
 # Outcome codes used inside the classification kernels (cheap ints in
 # the hot loop; mapped to TrialOutcome only at materialization time).
 _SMALL, _WALK, _EXHAUSTED = 0, 1, 2
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSampleResult:
+    """One metered :meth:`BatchSampler.sample_many` execution.
+
+    ``peers`` are the ``k`` successful draws *in draw order*, so a caller
+    that coalesced ``k`` single-sample requests may attribute
+    ``peers[j]`` to request ``j``: the draws are i.i.d. uniform, making
+    any fixed assignment of results to requests exchangeable.  ``cost``
+    is the substrate meter delta attributable to this call, which is
+    what serving layers convert into simulated service time.
+    """
+
+    peers: tuple[PeerRef, ...]
+    trials: int
+    rounds: int
+    cost: CostSnapshot
 
 
 class BatchSampler:
@@ -192,11 +212,25 @@ class BatchSampler:
         it raises :class:`~repro.core.errors.SamplingError`, mirroring
         the scalar sampler's per-sample cap.
         """
+        return list(self.sample_many_attributed(k).peers)
+
+    def sample_many_attributed(self, k: int) -> BatchSampleResult:
+        """Like :meth:`sample_many`, plus per-call attribution metadata.
+
+        Returns a :class:`BatchSampleResult` whose ``peers`` are the
+        draws in order (result ``j`` belongs to coalesced request ``j``),
+        ``trials``/``rounds`` count the rejection work performed, and
+        ``cost`` is this call's substrate meter delta.  The serving layer
+        (:mod:`repro.service`) uses this hook to stamp per-request
+        latency without re-deriving batch internals.
+        """
         if k < 0:
             raise ValueError("k must be non-negative")
+        before = self._dht.cost.snapshot()
         out: list[PeerRef] = []
         budget = self._max_trials * k
         used = 0
+        rounds = 0
         p_est = min(max(self.params.n_hat * self.params.lam, 1e-4), 1.0)
         rand = self._rng.random
         while len(out) < k:
@@ -213,10 +247,16 @@ class BatchSampler:
             )
             points = [1.0 - rand() for _ in range(round_size)]
             used += round_size
+            rounds += 1
             successes = self._round_successes(points)
             p_est = min(max((len(successes) + 1) / (round_size + 2), 1e-4), 1.0)
             out.extend(successes[:need])
-        return out
+        return BatchSampleResult(
+            peers=tuple(out),
+            trials=used,
+            rounds=rounds,
+            cost=self._dht.cost.snapshot() - before,
+        )
 
     def sample_distinct(self, k: int, max_draws: int | None = None) -> list[PeerRef]:
         """Draw ``k`` *distinct* peers, uniform over k-subsets.

@@ -231,6 +231,25 @@ class ChordNetwork:
         """An ``h``/``next`` adapter rooted at ``entry_id`` (default: any)."""
         return ChordDHT(self, entry_id=entry_id, lookup_mode=lookup_mode)
 
+    @classmethod
+    def build_dht(
+        cls,
+        n: int,
+        m: int = 20,
+        rng: random.Random | None = None,
+        lookup_mode: str = "iterative",
+        **kwargs,
+    ) -> "ChordDHT":
+        """Build a perfectly-wired ring and return its DHT adapter.
+
+        The one shared constructor for workloads, the serving layer and
+        the CLI, so every consumer builds identically-configured rings.
+        Validates that the identifier space can hold ``n`` distinct ids.
+        """
+        if n > (1 << m):
+            raise ValueError(f"identifier space 2^{m} too small for n={n}")
+        return cls.build(n, m=m, rng=rng, **kwargs).dht(lookup_mode=lookup_mode)
+
 
 class ChordDHT:
     """The paper's DHT interface over a live :class:`ChordNetwork`.

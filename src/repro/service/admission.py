@@ -1,0 +1,34 @@
+"""Admission control: bounded queues with explicit, counted rejection.
+
+An open-loop workload does not slow down when the service falls behind,
+so without admission the shard queues -- and queue latency -- grow
+without bound.  The controller caps each shard's *load* (queued plus
+in-flight requests); a request routed to a saturated shard is rejected
+immediately with a :class:`~repro.service.request.RequestStatus.REJECTED`
+response.  Rejection is a first-class outcome: the service stamps and
+counts it (see :class:`~repro.service.metrics.ServiceMetrics`), never a
+silent drop, so load-test results always account for every request.
+"""
+
+from __future__ import annotations
+
+from .batching import ShardWorker
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Per-shard load bound shared by all shards of a service."""
+
+    def __init__(self, max_queue_depth: int = 256):
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        self.max_queue_depth = max_queue_depth
+
+    def admit(self, shard: ShardWorker) -> bool:
+        """Whether ``shard`` may accept one more request right now."""
+        return shard.load < self.max_queue_depth
+
+    def headroom(self, shard: ShardWorker) -> int:
+        """How many more requests ``shard`` can take before rejecting."""
+        return max(0, self.max_queue_depth - shard.load)

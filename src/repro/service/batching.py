@@ -1,0 +1,149 @@
+"""Micro-batching shard worker: coalesce, dispatch, stamp latencies.
+
+A :class:`ShardWorker` owns one substrate's dispatch strategy behind a
+FIFO queue and models a single-server station on the simulation clock:
+
+- arriving requests wait in the queue;
+- a batch is *flushed* when the queue holds ``max_batch`` requests or
+  the oldest waiting request has aged ``max_wait`` time units, whichever
+  comes first (the classic micro-batching dispatch rule);
+- while a batch is in service the worker is busy; completion is a
+  scheduled event ``service_time`` later, at which point responses are
+  stamped (queue latency = dispatch - arrival, service latency =
+  completion - dispatch) and the next flush is considered.
+
+Queue *bounds* are not enforced here -- admission control
+(:mod:`repro.service.admission`) rejects before ``offer`` so
+backpressure is an explicit, counted decision rather than a silent
+queue property.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+from .dispatch import ServiceTimeModel
+from .metrics import ServiceMetrics
+from .request import RequestStatus, SampleRequest, SampleResponse
+
+__all__ = ["ShardWorker"]
+
+
+class ShardWorker:
+    """One shard: a bounded-latency micro-batching queue over a sampler."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        sim: Simulator,
+        dispatch,
+        *,
+        time_model: ServiceTimeModel | None = None,
+        metrics: ServiceMetrics | None = None,
+        sink: Callable[[SampleResponse], None] | None = None,
+        max_batch: int = 32,
+        max_wait: float = 2.0,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.shard_id = shard_id
+        self._sim = sim
+        self._dispatch = dispatch
+        self._time_model = time_model if time_model is not None else ServiceTimeModel()
+        self._metrics = metrics
+        self._sink = sink
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._queue: deque[SampleRequest] = deque()
+        self._timer: Event | None = None
+        self._in_flight = 0
+        self.batches_served = 0
+
+    # -- load signals (read by routing and admission) ---------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for dispatch (excludes the batch in service)."""
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently in service (0 or one batch's worth)."""
+        return self._in_flight
+
+    @property
+    def load(self) -> int:
+        """Queued plus in-flight requests -- the least-loaded signal."""
+        return len(self._queue) + self._in_flight
+
+    @property
+    def busy(self) -> bool:
+        return self._in_flight > 0
+
+    # -- the micro-batching state machine ---------------------------------
+
+    def offer(self, request: SampleRequest) -> None:
+        """Enqueue an admitted request and re-evaluate the dispatch rule."""
+        self._queue.append(request)
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        """Flush if the batch is full; otherwise arm the age timer."""
+        if self.busy:
+            return  # single server: completion will call us again
+        if len(self._queue) >= self.max_batch:
+            self._flush()
+            return
+        if self._queue and self._timer is None:
+            deadline = self._queue[0].arrival_time + self.max_wait
+            self._timer = self._sim.schedule(
+                max(0.0, deadline - self._sim.now), self._on_timer
+            )
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        if not self.busy and self._queue:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Dispatch up to ``max_batch`` queued requests as one batch."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch = [self._queue.popleft() for _ in range(min(self.max_batch, len(self._queue)))]
+        self._in_flight = len(batch)
+        dispatched_at = self._sim.now
+        execution = self._dispatch.execute(len(batch))
+        service_time = self._time_model.service_time(execution)
+        self._sim.schedule(
+            service_time, lambda: self._complete(batch, execution.peers, dispatched_at)
+        )
+
+    def _complete(self, batch, peers, dispatched_at: float) -> None:
+        now = self._sim.now
+        responses = [
+            SampleResponse(
+                request_id=req.request_id,
+                status=RequestStatus.OK,
+                shard_id=self.shard_id,
+                peer=peer,
+                queue_latency=dispatched_at - req.arrival_time,
+                service_latency=now - dispatched_at,
+                completion_time=now,
+                batch_size=len(batch),
+            )
+            for req, peer in zip(batch, peers)
+        ]
+        self._in_flight = 0
+        self.batches_served += 1
+        if self._metrics is not None:
+            self._metrics.record_batch(responses)
+        if self._sink is not None:
+            for response in responses:
+                self._sink(response)
+        self._maybe_flush()

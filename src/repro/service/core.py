@@ -1,0 +1,254 @@
+"""The sampling service: substrates + routing + batching + admission.
+
+:class:`SamplingService` is the assembly: each substrate becomes a
+shard (a :class:`~repro.service.batching.ShardWorker` over a dispatch
+strategy), a :class:`~repro.service.router.ShardRouter` spreads
+requests, an :class:`~repro.service.admission.AdmissionController`
+bounds queues, and one :class:`~repro.service.metrics.ServiceMetrics`
+aggregates the run.  Everything advances on one deterministic
+:class:`~repro.sim.kernel.Simulator` clock, and all randomness (trial
+points, ring construction, arrivals) comes from named
+:class:`~repro.sim.rng.RngRegistry` streams -- two runs with the same
+seed produce the same request-to-peer assignments and metric counts.
+
+Shards are independent *replicas* of the sampling capability: each owns
+a full substrate (its own ring) and serves uniform draws from it, so
+adding shards multiplies serving capacity without coordination.  The
+:func:`build_service` convenience constructs homogeneous or mixed
+(ideal + Chord) shard sets from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.engine import BatchSampler
+from ..core.sampler import RandomPeerSampler
+from ..dht.chord.network import ChordNetwork
+from ..dht.ideal import IdealDHT
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+from .admission import AdmissionController
+from .batching import ShardWorker
+from .dispatch import BatchDispatch, ScalarDispatch, ServiceTimeModel
+from .loadgen import LoadGenerator
+from .metrics import DEFAULT_RESERVOIR, ServiceMetrics
+from .request import RequestStatus, SampleRequest, SampleResponse
+from .router import ShardRouter
+
+__all__ = [
+    "SamplingService",
+    "build_load",
+    "build_service",
+    "build_substrates",
+    "DISPATCH_MODES",
+    "SUBSTRATES",
+]
+
+DISPATCH_MODES = ("batch", "scalar")
+SUBSTRATES = ("ideal", "chord", "mixed")
+
+
+class SamplingService:
+    """A micro-batching single-sample frontend over sharded substrates."""
+
+    def __init__(
+        self,
+        substrates,
+        *,
+        sim: Simulator | None = None,
+        rngs: RngRegistry | None = None,
+        seed: int = 0,
+        policy: str = "round-robin",
+        dispatch: str = "batch",
+        max_batch: int = 32,
+        max_wait: float = 2.0,
+        max_queue: int = 256,
+        time_model: ServiceTimeModel | None = None,
+        reservoir_size: int | None = DEFAULT_RESERVOIR,
+        keep_responses: bool = True,
+    ):
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"unknown dispatch {dispatch!r}; choose from {DISPATCH_MODES}")
+        if not substrates:
+            raise ValueError("need at least one substrate")
+        self.sim = sim if sim is not None else Simulator()
+        rngs = rngs if rngs is not None else RngRegistry(seed)
+        self.dispatch_mode = dispatch
+        self.metrics = ServiceMetrics(len(substrates), reservoir_size=reservoir_size)
+        #: Every terminal response (completions and rejections) in the
+        #: order the service produced them -- the run's audit stream.
+        #: Grows O(requests); pass ``keep_responses=False`` for long load
+        #: tests where the bounded-memory metrics are the only consumer.
+        self.responses: list[SampleResponse] = []
+        self._keep_responses = keep_responses
+        time_model = time_model if time_model is not None else ServiceTimeModel()
+        self.shards: list[ShardWorker] = []
+        # Scalar IS per-request dispatch: each request pays its own
+        # dispatch overhead, so scalar shards never coalesce regardless
+        # of max_batch (see ServiceTimeModel's amortization contract).
+        worker_batch = max_batch if dispatch == "batch" else 1
+        sink = self.responses.append if keep_responses else None
+        for shard_id, dht in enumerate(substrates):
+            trial_rng = rngs.stream(f"shard{shard_id}.trials")
+            if dispatch == "batch":
+                strategy = BatchDispatch(BatchSampler(dht, rng=trial_rng))
+            else:
+                strategy = ScalarDispatch(RandomPeerSampler(dht, rng=trial_rng))
+            self.shards.append(
+                ShardWorker(
+                    shard_id,
+                    self.sim,
+                    strategy,
+                    time_model=time_model,
+                    metrics=self.metrics,
+                    sink=sink,
+                    max_batch=worker_batch,
+                    max_wait=max_wait,
+                )
+            )
+        self.router = ShardRouter(self.shards, policy=policy)
+        self.admission = AdmissionController(max_queue_depth=max_queue)
+        self._next_id = 0
+
+    # -- the request path --------------------------------------------------
+
+    def submit(self, key: int | None = None) -> SampleRequest:
+        """Accept one single-sample request arriving *now* (sim clock).
+
+        Routes, then admits or rejects: a rejection produces an
+        immediate ``REJECTED`` response in :attr:`responses`; an
+        admission joins the shard's micro-batch queue and completes
+        later.  Returns the request record either way.
+        """
+        request = SampleRequest(
+            request_id=self._next_id,
+            arrival_time=self.sim.now,
+            key=key if key is not None else -1,
+        )
+        self._next_id += 1
+        shard = self.router.route(request)
+        if not self.admission.admit(shard):
+            self.metrics.record_rejected(shard.shard_id)
+            if self._keep_responses:
+                self.responses.append(
+                    SampleResponse(
+                        request_id=request.request_id,
+                        status=RequestStatus.REJECTED,
+                        shard_id=shard.shard_id,
+                        peer=None,
+                        queue_latency=0.0,
+                        service_latency=0.0,
+                        completion_time=self.sim.now,
+                        batch_size=0,
+                    )
+                )
+            return request
+        self.metrics.record_admitted()
+        shard.offer(request)
+        return request
+
+    # -- run control / views ----------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the clock (drains all pending work when ``until=None``)."""
+        self.sim.run(until=until)
+
+    @property
+    def completed(self) -> list[SampleResponse]:
+        """Served responses only, in completion order."""
+        return [r for r in self.responses if r.status is RequestStatus.OK]
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet completed."""
+        return sum(s.load for s in self.shards)
+
+    def summary(self) -> dict:
+        """Metrics summary with throughput over the elapsed sim time."""
+        return self.metrics.summary(elapsed=self.sim.now)
+
+
+def build_substrates(
+    n: int,
+    shards: int,
+    *,
+    substrate: str = "ideal",
+    rngs: RngRegistry | None = None,
+    seed: int = 0,
+    chord_m: int = 20,
+    replicate_rings: bool = False,
+) -> list:
+    """Construct the shard substrates for :func:`build_service`.
+
+    ``substrate`` is ``ideal`` (analytic oracle, bulk-capable), ``chord``
+    (message-level simulator; the engine degrades to its per-call path),
+    or ``mixed`` (alternating).  ``replicate_rings=True`` gives every
+    ideal shard the *same* ring (one peer population served by many
+    shards) instead of independent rings -- what uniformity tests over
+    the union of shards want.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    if substrate not in SUBSTRATES:
+        raise ValueError(f"unknown substrate {substrate!r}; choose from {SUBSTRATES}")
+    rngs = rngs if rngs is not None else RngRegistry(seed)
+    out = []
+    for shard_id in range(shards):
+        kind = substrate
+        if substrate == "mixed":
+            kind = "ideal" if shard_id % 2 == 0 else "chord"
+        stream = "shared.ring" if replicate_rings else f"shard{shard_id}.ring"
+        ring_rng = random.Random(rngs.fresh(stream).getrandbits(64))
+        if kind == "ideal":
+            out.append(IdealDHT.random(n, ring_rng))
+        else:
+            out.append(ChordNetwork.build_dht(n, m=chord_m, rng=ring_rng))
+    return out
+
+
+def build_service(
+    n: int = 1000,
+    shards: int = 2,
+    *,
+    substrate: str = "ideal",
+    seed: int = 0,
+    chord_m: int = 20,
+    replicate_rings: bool = False,
+    **service_kwargs,
+) -> SamplingService:
+    """A ready-to-drive service: substrates built and wired from one seed."""
+    rngs = RngRegistry(seed)
+    subs = build_substrates(
+        n,
+        shards,
+        substrate=substrate,
+        rngs=rngs,
+        chord_m=chord_m,
+        replicate_rings=replicate_rings,
+    )
+    return SamplingService(subs, rngs=rngs, **service_kwargs)
+
+
+def build_load(
+    service: SamplingService,
+    *,
+    rate: float,
+    total: int,
+    seed: int = 0,
+    stream: str = "arrivals",
+) -> LoadGenerator:
+    """An open-loop Poisson generator wired to ``service.submit``.
+
+    The standard drive idiom -- arrivals on the service's own clock,
+    interarrival randomness on its own named seed stream -- in one
+    place, so the CLI, benchmarks, examples and tests stay in lockstep.
+    Call ``.start()`` then ``service.run()``.
+    """
+    return LoadGenerator(
+        service.sim,
+        service.submit,
+        rate=rate,
+        total=total,
+        rng=RngRegistry(seed).stream(stream),
+    )

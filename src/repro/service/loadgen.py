@@ -1,0 +1,63 @@
+"""Open-loop Poisson load generation on the simulation clock.
+
+The generator schedules request arrivals as a Poisson process of the
+given rate: interarrival gaps are i.i.d. exponential draws from its own
+RNG stream, independent of how the service is keeping up.  That
+open-loop discipline is what makes overload visible -- a closed loop
+(wait for the response, then send the next request) self-throttles and
+hides saturation; an open loop keeps arriving and forces queues and
+admission control to absorb the difference (see PAPERS.md on
+coordinated omission in load testing).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..sim.kernel import Simulator
+
+__all__ = ["LoadGenerator"]
+
+
+class LoadGenerator:
+    """Drives ``submit()`` with Poisson arrivals until ``total`` requests."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        submit: Callable[[], object],
+        *,
+        rate: float,
+        total: int,
+        rng: random.Random | None = None,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        self._sim = sim
+        self._submit = submit
+        self.rate = rate
+        self.total = total
+        self._rng = rng if rng is not None else random.Random()
+        self.submitted = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule the first arrival; call once before running the sim."""
+        if self._started:
+            raise RuntimeError("load generator already started")
+        self._started = True
+        if self.total > 0:
+            self._sim.schedule(self._rng.expovariate(self.rate), self._arrive)
+
+    def _arrive(self) -> None:
+        self.submitted += 1
+        self._submit()
+        if self.submitted < self.total:
+            self._sim.schedule(self._rng.expovariate(self.rate), self._arrive)
+
+    @property
+    def done(self) -> bool:
+        return self.submitted >= self.total

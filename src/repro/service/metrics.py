@@ -1,0 +1,127 @@
+"""Service-level metric view: latency tails, throughput, backpressure.
+
+Built on :mod:`repro.sim.metrics` primitives.  Latency histograms use
+bounded reservoirs by default so an open-loop run of millions of
+requests holds memory constant; counts, means and extremes stay exact
+(see :class:`~repro.sim.metrics.Histogram`).
+"""
+
+from __future__ import annotations
+
+from ..sim.metrics import Histogram, MetricsRegistry
+from .request import RequestStatus, SampleResponse
+
+__all__ = ["ServiceMetrics", "DEFAULT_RESERVOIR"]
+
+#: Default latency-reservoir bound: large enough that nearest-rank p99
+#: is stable, small enough to keep long service runs at constant memory.
+DEFAULT_RESERVOIR = 8192
+
+
+class ServiceMetrics:
+    """Aggregated queue/service latency and per-shard throughput.
+
+    One instance is shared by every shard worker of a service; methods
+    are called on the simulator thread only (the kernel is
+    single-threaded), so no locking is needed.
+    """
+
+    def __init__(
+        self, num_shards: int, reservoir_size: int | None = DEFAULT_RESERVOIR
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self._num_shards = num_shards
+        self._reservoir = reservoir_size
+        # Created eagerly so summaries list every series even when empty.
+        for name in ("queue_latency", "service_latency", "total_latency"):
+            self._hist(name)
+        self._hist("batch_size")
+        self.registry.counter("accepted")
+        self.registry.counter("rejected")
+        self.registry.counter("completed")
+        for shard_id in range(num_shards):
+            self.registry.counter(f"shard{shard_id}.completed")
+            self.registry.counter(f"shard{shard_id}.rejected")
+            self.registry.counter(f"shard{shard_id}.batches")
+
+    def _hist(self, name: str) -> Histogram:
+        return self.registry.histogram(name, reservoir_size=self._reservoir)
+
+    # -- recording hooks (called by the service / shard workers) ---------
+
+    def record_admitted(self) -> None:
+        self.registry.counter("accepted").increment()
+
+    def record_rejected(self, shard_id: int) -> None:
+        self.registry.counter("rejected").increment()
+        self.registry.counter(f"shard{shard_id}.rejected").increment()
+
+    def record_batch(self, responses: list[SampleResponse]) -> None:
+        """Record one completed dispatch (all responses share a shard)."""
+        if not responses:
+            return
+        self.registry.counter(f"shard{responses[0].shard_id}.batches").increment()
+        self._hist("batch_size").observe(float(len(responses)))
+        q, s, t = (
+            self._hist("queue_latency"),
+            self._hist("service_latency"),
+            self._hist("total_latency"),
+        )
+        completed = self.registry.counter("completed")
+        by_shard = self.registry.counter(f"shard{responses[0].shard_id}.completed")
+        for r in responses:
+            if r.status is not RequestStatus.OK:
+                continue
+            completed.increment()
+            by_shard.increment()
+            q.observe(r.queue_latency)
+            s.observe(r.service_latency)
+            t.observe(r.total_latency)
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def accepted(self) -> int:
+        return self.registry.counter("accepted").value
+
+    @property
+    def rejected(self) -> int:
+        return self.registry.counter("rejected").value
+
+    @property
+    def completed(self) -> int:
+        return self.registry.counter("completed").value
+
+    def shard_completed(self, shard_id: int) -> int:
+        return self.registry.counter(f"shard{shard_id}.completed").value
+
+    def summary(self, elapsed: float | None = None) -> dict:
+        """One JSON-ready dict: counts, latency tails, shard throughput.
+
+        ``elapsed`` (simulated time units) adds throughput figures:
+        overall and per-shard completed requests per time unit.
+        """
+        out: dict = {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "latency": {
+                name: self.registry.histogram(name).summary()
+                for name in ("queue_latency", "service_latency", "total_latency")
+            },
+            "batch_size": self.registry.histogram("batch_size").summary(),
+            "shards": {},
+        }
+        for shard_id in range(self._num_shards):
+            shard: dict = {
+                "completed": self.shard_completed(shard_id),
+                "rejected": self.registry.counter(f"shard{shard_id}.rejected").value,
+                "batches": self.registry.counter(f"shard{shard_id}.batches").value,
+            }
+            if elapsed and elapsed > 0:
+                shard["throughput"] = shard["completed"] / elapsed
+            out["shards"][shard_id] = shard
+        if elapsed and elapsed > 0:
+            out["elapsed"] = elapsed
+            out["throughput"] = self.completed / elapsed
+        return out

@@ -1,0 +1,99 @@
+"""Unit tests for the shared workload builders (previously only
+exercised incidentally through the harness tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    make_chord_dht,
+    make_ideal_dht,
+    make_sampler,
+    selection_counts,
+)
+from repro.core.sampler import RandomPeerSampler
+from repro.dht.api import DHT, BulkDHT
+from repro.dht.chord.network import ChordDHT
+from repro.dht.ideal import IdealDHT
+
+
+class TestMakeIdealDht:
+    def test_size_and_type(self):
+        dht = make_ideal_dht(100, seed=1)
+        assert isinstance(dht, IdealDHT)
+        assert isinstance(dht, DHT) and isinstance(dht, BulkDHT)
+        assert len(dht) == 100
+
+    def test_seed_determinism(self):
+        a = make_ideal_dht(50, seed=3)
+        b = make_ideal_dht(50, seed=3)
+        assert list(a.points_array()) == list(b.points_array())
+
+    def test_stream_independence(self):
+        a = make_ideal_dht(50, seed=3, stream="ring")
+        b = make_ideal_dht(50, seed=3, stream="other")
+        assert list(a.points_array()) != list(b.points_array())
+
+
+class TestMakeChordDht:
+    def test_builds_correct_ring(self):
+        dht = make_chord_dht(32, seed=2, m=16)
+        assert isinstance(dht, ChordDHT)
+        assert isinstance(dht, DHT)
+        assert not isinstance(dht, BulkDHT)  # live Chord has no flat array
+        assert dht._network.ring_is_correct()
+        assert len(dht._network.nodes) == 32
+
+    def test_seed_determinism(self):
+        ids = lambda d: sorted(d._network.nodes)  # noqa: E731
+        assert ids(make_chord_dht(24, seed=5, m=16)) == ids(make_chord_dht(24, seed=5, m=16))
+        assert ids(make_chord_dht(24, seed=5, m=16)) != ids(make_chord_dht(24, seed=6, m=16))
+
+    def test_lookup_mode_passthrough(self):
+        dht = make_chord_dht(16, seed=1, m=16, lookup_mode="recursive")
+        assert dht._lookup_mode == "recursive"
+
+    def test_rejects_small_id_space(self):
+        with pytest.raises(ValueError):
+            make_chord_dht(100, seed=0, m=4)
+
+    def test_sampler_runs_on_chord_workload(self):
+        dht = make_chord_dht(24, seed=7, m=16)
+        sampler = make_sampler(dht, seed=7)
+        counts = selection_counts(sampler, draws=30)
+        assert sum(counts.values()) == 30
+        assert set(counts) <= set(dht._network.nodes)
+
+
+class TestMakeSampler:
+    def test_returns_configured_sampler(self):
+        dht = make_ideal_dht(200, seed=4)
+        sampler = make_sampler(dht, seed=4, n_hat=200.0)
+        assert isinstance(sampler, RandomPeerSampler)
+        assert sampler.params.n_hat == 200.0
+
+    def test_kwargs_passthrough(self):
+        dht = make_ideal_dht(50, seed=4)
+        sampler = make_sampler(dht, seed=4, n_hat=50.0, max_trials=123)
+        assert sampler._max_trials == 123
+
+    def test_trial_stream_is_seeded(self):
+        dht = make_ideal_dht(100, seed=9)
+        a = make_sampler(dht, seed=9, n_hat=100.0).sample().peer_id
+        dht2 = make_ideal_dht(100, seed=9)
+        b = make_sampler(dht2, seed=9, n_hat=100.0).sample().peer_id
+        assert a == b
+
+
+class TestSelectionCounts:
+    def test_tallies_every_draw(self):
+        dht = make_ideal_dht(64, seed=11)
+        sampler = make_sampler(dht, seed=11, n_hat=64.0)
+        counts = selection_counts(sampler, draws=200)
+        assert sum(counts.values()) == 200
+        assert all(0 <= pid < 64 for pid in counts)
+
+    def test_zero_draws(self):
+        dht = make_ideal_dht(8, seed=1)
+        sampler = make_sampler(dht, seed=1, n_hat=8.0)
+        assert selection_counts(sampler, draws=0) == {}

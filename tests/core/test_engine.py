@@ -128,6 +128,36 @@ class TestSampleMany:
         assert not chi_square_uniform(observed).rejects_uniformity(alpha=0.001)
 
 
+class TestSampleManyAttributed:
+    """The serving-layer hook: draws plus trial/round/cost attribution."""
+
+    def test_matches_sample_many_given_same_rng(self, medium_dht):
+        _, eng_a = _pair(medium_dht, 512.0, seed=4)
+        _, eng_b = _pair(medium_dht, 512.0, seed=4)
+        assert list(eng_a.sample_many_attributed(60).peers) == eng_b.sample_many(60)
+
+    def test_cost_delta_is_this_calls_share(self, medium_dht):
+        _, eng = _pair(medium_dht, 512.0, seed=5)
+        before = medium_dht.cost.snapshot()
+        result = eng.sample_many_attributed(30)
+        delta = medium_dht.cost.snapshot() - before
+        assert result.cost == delta
+        assert result.cost.h_calls == result.trials  # one h per trial point
+        assert result.cost.latency > 0
+
+    def test_round_and_trial_counts(self, medium_dht):
+        _, eng = _pair(medium_dht, 512.0, seed=6)
+        result = eng.sample_many_attributed(100)
+        assert len(result.peers) == 100
+        assert result.rounds >= 1
+        assert result.trials >= 100  # at least one trial per draw
+
+    def test_zero_request_batch(self, medium_dht):
+        _, eng = _pair(medium_dht, 512.0)
+        result = eng.sample_many_attributed(0)
+        assert result.peers == () and result.trials == 0 and result.rounds == 0
+
+
 class TestSampleDistinctBatched:
     def test_distinct_and_valid(self):
         n = 64

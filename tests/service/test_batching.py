@@ -1,0 +1,139 @@
+"""Unit tests for the micro-batching shard worker's dispatch rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.api import CostSnapshot, PeerRef
+from repro.service.batching import ShardWorker
+from repro.service.dispatch import Execution, ServiceTimeModel
+from repro.service.request import RequestStatus, SampleRequest
+from repro.sim.kernel import Simulator
+
+
+class FakeDispatch:
+    """Returns synthetic peers; records the batch sizes it was asked for."""
+
+    def __init__(self, latency_per_sample: float = 100.0):
+        self.calls: list[int] = []
+        self._latency = latency_per_sample
+
+    def execute(self, k: int) -> Execution:
+        self.calls.append(k)
+        peers = tuple(PeerRef(peer_id=i, point=(i + 1) / (k + 1)) for i in range(k))
+        return Execution(
+            peers=peers, cost=CostSnapshot(latency=k * self._latency), trials=k
+        )
+
+
+def make_worker(sim, dispatch, **kwargs):
+    responses = []
+    kwargs.setdefault("time_model", ServiceTimeModel(dispatch_overhead=1.0, time_per_latency=0.001))
+    worker = ShardWorker(0, sim, dispatch, sink=responses.append, **kwargs)
+    return worker, responses
+
+
+def submit(sim, worker, n, request_id_base=0):
+    for i in range(n):
+        worker.offer(SampleRequest(request_id=request_id_base + i, arrival_time=sim.now))
+
+
+class TestDispatchRule:
+    def test_flushes_when_batch_fills(self):
+        sim = Simulator()
+        dispatch = FakeDispatch()
+        worker, responses = make_worker(sim, dispatch, max_batch=4, max_wait=100.0)
+        submit(sim, worker, 4)
+        assert dispatch.calls == [4]  # flushed immediately, long before max_wait
+        sim.run()
+        assert [r.request_id for r in responses] == [0, 1, 2, 3]
+        assert all(r.batch_size == 4 for r in responses)
+
+    def test_flushes_on_age_when_batch_underfull(self):
+        sim = Simulator()
+        dispatch = FakeDispatch()
+        worker, responses = make_worker(sim, dispatch, max_batch=64, max_wait=5.0)
+        submit(sim, worker, 3)
+        assert dispatch.calls == []  # waiting for batchmates
+        sim.run()
+        assert dispatch.calls == [3]
+        assert all(r.queue_latency == pytest.approx(5.0) for r in responses)
+
+    def test_single_server_defers_next_flush_until_completion(self):
+        sim = Simulator()
+        dispatch = FakeDispatch(latency_per_sample=1000.0)  # service_time = 1 + k
+        worker, responses = make_worker(sim, dispatch, max_batch=2, max_wait=50.0)
+        submit(sim, worker, 2)  # flush #1 at t=0, completes at t=3
+        submit(sim, worker, 4)  # arrives while busy: must wait, then flush 2+2
+        assert dispatch.calls == [2]
+        assert worker.busy and worker.queue_depth == 4
+        sim.run()
+        assert dispatch.calls == [2, 2, 2]
+        assert len(responses) == 6
+
+    def test_queue_latency_measures_wait_not_service(self):
+        sim = Simulator()
+        dispatch = FakeDispatch(latency_per_sample=1000.0)
+        worker, responses = make_worker(sim, dispatch, max_batch=2, max_wait=50.0)
+        submit(sim, worker, 4)
+        sim.run()
+        first, second = responses[:2], responses[2:]
+        assert all(r.queue_latency == 0.0 for r in first)
+        # the second batch waited exactly the first batch's service time
+        assert all(r.queue_latency == pytest.approx(3.0) for r in second)
+        assert all(r.service_latency == pytest.approx(3.0) for r in responses)
+        assert all(
+            r.completion_time == r.queue_latency + r.service_latency for r in responses
+        )
+
+    def test_timer_cancelled_by_full_flush(self):
+        sim = Simulator()
+        dispatch = FakeDispatch()
+        worker, _ = make_worker(sim, dispatch, max_batch=2, max_wait=10.0)
+        submit(sim, worker, 1)  # arms the age timer
+        submit(sim, worker, 1, request_id_base=1)  # fills the batch -> flush now
+        assert dispatch.calls == [2]
+        sim.run()
+        assert dispatch.calls == [2]  # the stale timer must not double-flush
+
+    def test_status_and_shard_stamps(self):
+        sim = Simulator()
+        worker, responses = make_worker(sim, FakeDispatch(), max_batch=1, max_wait=0.0)
+        submit(sim, worker, 1)
+        sim.run()
+        (r,) = responses
+        assert r.status is RequestStatus.OK
+        assert r.shard_id == 0
+        assert r.peer is not None
+
+    def test_load_signal_counts_queue_and_in_flight(self):
+        sim = Simulator()
+        worker, _ = make_worker(sim, FakeDispatch(), max_batch=2, max_wait=50.0)
+        submit(sim, worker, 3)
+        assert worker.in_flight == 2 and worker.queue_depth == 1
+        assert worker.load == 3
+        sim.run()
+        assert worker.load == 0
+
+    def test_validates_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ShardWorker(0, sim, FakeDispatch(), max_batch=0)
+        with pytest.raises(ValueError):
+            ShardWorker(0, sim, FakeDispatch(), max_wait=-1.0)
+
+
+class TestServiceTimeModel:
+    def test_overhead_charged_per_dispatch(self):
+        # a coalesced batch pays overhead once; per-request serving of
+        # the same k requests pays it k times, whatever the batch size
+        tm = ServiceTimeModel(dispatch_overhead=2.0, time_per_latency=0.0)
+        batch = Execution(peers=(), cost=CostSnapshot(), trials=0, dispatches=1)
+        scalar = Execution(peers=(), cost=CostSnapshot(), trials=0, dispatches=8)
+        assert tm.service_time(batch) == 2.0
+        assert tm.service_time(scalar) == 16.0
+
+    def test_latency_scaling(self):
+        tm = ServiceTimeModel(dispatch_overhead=1.0, time_per_latency=0.5)
+        ex = Execution(peers=(), cost=CostSnapshot(latency=10.0), trials=0)
+        assert tm.service_time(ex) == pytest.approx(6.0)

@@ -1,0 +1,61 @@
+"""Open-loop load generator tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service.loadgen import LoadGenerator
+from repro.sim.kernel import Simulator
+
+
+def collect_arrivals(rate: float, total: int, seed: int = 1) -> list[float]:
+    sim = Simulator()
+    times: list[float] = []
+    gen = LoadGenerator(
+        sim, lambda: times.append(sim.now), rate=rate, total=total,
+        rng=random.Random(seed),
+    )
+    gen.start()
+    sim.run()
+    assert gen.done and gen.submitted == total
+    return times
+
+
+class TestLoadGenerator:
+    def test_emits_exactly_total(self):
+        assert len(collect_arrivals(rate=2.0, total=50)) == 50
+
+    def test_arrivals_strictly_ordered(self):
+        times = collect_arrivals(rate=5.0, total=200)
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_mean_interarrival_matches_rate(self):
+        times = collect_arrivals(rate=4.0, total=4000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert sum(gaps) / len(gaps) == pytest.approx(1.0 / 4.0, rel=0.1)
+
+    def test_open_loop_ignores_service_speed(self):
+        # arrivals depend only on the rng stream, never on the consumer
+        assert collect_arrivals(3.0, 100, seed=9) == collect_arrivals(3.0, 100, seed=9)
+
+    def test_zero_total_schedules_nothing(self):
+        sim = Simulator()
+        gen = LoadGenerator(sim, lambda: None, rate=1.0, total=0, rng=random.Random(0))
+        gen.start()
+        assert sim.pending == 0 and gen.done
+
+    def test_start_twice_raises(self):
+        sim = Simulator()
+        gen = LoadGenerator(sim, lambda: None, rate=1.0, total=1, rng=random.Random(0))
+        gen.start()
+        with pytest.raises(RuntimeError):
+            gen.start()
+
+    def test_validates_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LoadGenerator(sim, lambda: None, rate=0.0, total=1)
+        with pytest.raises(ValueError):
+            LoadGenerator(sim, lambda: None, rate=1.0, total=-1)

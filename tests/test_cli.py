@@ -18,6 +18,12 @@ class TestParser:
         assert parser.parse_args(["sample"]).command == "sample"
         assert parser.parse_args(["uniformity"]).command == "uniformity"
         assert parser.parse_args(["chord", "--m", "16"]).command == "chord"
+        assert parser.parse_args(["serve", "--rate", "2.0"]).command == "serve"
+
+    def test_sample_batch_flag(self):
+        args = build_parser().parse_args(["sample", "--batch"])
+        assert args.batch is True
+        assert build_parser().parse_args(["sample"]).batch is False
 
     def test_global_seed(self):
         args = build_parser().parse_args(["--seed", "9", "estimate"])
@@ -69,6 +75,50 @@ class TestCommands:
 
     def test_chord_rejects_small_id_space(self):
         assert main(["chord", "--n", "100", "--m", "4"]) == 2
+
+    def test_sample_batch_mode_reports_totals(self, capsys):
+        assert main(["--seed", "2", "sample", "--n", "300", "--samples", "40",
+                     "--batch"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=batch" in out
+        assert "batch totals:" in out
+        assert "rounds" in out
+        assert "... 30 more" in out  # only the first 10 draws are listed
+
+    def test_sample_batch_mode_reproducible(self, capsys):
+        main(["--seed", "8", "sample", "--n", "200", "--samples", "20", "--batch"])
+        first = capsys.readouterr().out
+        main(["--seed", "8", "sample", "--n", "200", "--samples", "20", "--batch"])
+        assert first == capsys.readouterr().out
+
+    def test_serve_reports_latency_and_shards(self, capsys):
+        assert main(["--seed", "6", "serve", "--n", "300", "--rate", "1.0",
+                     "--shards", "2", "--requests", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "completed 200" in out
+        assert "queue_latency" in out and "service_latency" in out
+        assert "shard 0:" in out and "shard 1:" in out
+
+    def test_serve_scalar_dispatch_and_policy(self, capsys):
+        assert main(["--seed", "6", "serve", "--n", "200", "--rate", "0.5",
+                     "--requests", "60", "--dispatch", "scalar",
+                     "--policy", "least-loaded", "--max-batch", "1"]) == 0
+        assert "dispatch=scalar" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_args(self):
+        assert main(["serve", "--n", "0"]) == 2
+        assert main(["serve", "--rate", "0"]) == 2
+        assert main(["serve", "--requests", "0"]) == 2
+        assert main(["serve", "--substrate", "chord", "--n", "100000",
+                     "--chord-m", "10"]) == 2
+
+    def test_serve_reproducible_given_seed(self, capsys):
+        argv = ["--seed", "11", "serve", "--n", "200", "--rate", "1.5",
+                "--requests", "150", "--max-queue", "20"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert first == capsys.readouterr().out
 
     def test_reproducible_given_seed(self, capsys):
         main(["--seed", "5", "sample", "--n", "100", "--samples", "2"])
