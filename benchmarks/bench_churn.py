@@ -1,0 +1,172 @@
+"""Churn benchmark: what dynamic membership costs the sampling service.
+
+Drives the scenario lab (:mod:`repro.scenarios`) through the named
+regimes -- ``static`` (the churn-free control), ``moderate``,
+``crash-heavy``, and the pathological ``no-repair`` (periodic
+stabilization disabled; only reactive, lookup-triggered repair fights
+the churn) -- plus, in the full configuration, a churn-rate x
+crash-fraction x stabilization-cadence sweep.  Reported per regime:
+
+- *survival*: completed / FAILED / rejected requests and churn-killed
+  dispatch retries (the run must end with zero unhandled exceptions --
+  any leak fails the benchmark itself);
+- *uniformity against the live population*: chi-square p-value and
+  total-variation distance of the draws over peers that stayed alive
+  the whole run (worst shard);
+- *cost inflation*: measured messages per served sample, absolute and
+  as a multiple of the static control;
+- *latency*: p50/p95/p99 total latency in simulated time units;
+- *recovery*: whether every ring stabilized back to correctness after
+  churn stopped (King-Saia's dynamic-network premise).
+
+Results go to ``BENCH_churn.json`` at the repo root (schema in
+docs/BENCHMARKS.md).  Run standalone
+(``PYTHONPATH=src python benchmarks/bench_churn.py``, add ``--quick``
+for the CI smoke configuration) or under pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import write_bench_json
+from repro.scenarios import (
+    find_baseline,
+    preset,
+    results_record,
+    results_table,
+    run_specs,
+    sweep,
+)
+
+SEED = 0
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_churn.json"
+
+
+def full_regimes():
+    """static / moderate / crash-heavy / no-repair at the default scale."""
+    return [
+        preset("static", seed=SEED),
+        preset("moderate", seed=SEED),
+        preset("crash-heavy", seed=SEED),
+        # Reactive repair only; fewer requests keep the (deliberately
+        # pathological) regime from dominating the benchmark's runtime.
+        preset(
+            "crash-heavy",
+            seed=SEED,
+            requests=200,
+        ).with_(name="no-repair", stabilize_interval=0.0),
+    ]
+
+
+def quick_regimes():
+    """The same three-axis story at CI scale (seconds, not minutes)."""
+    smoke = preset("smoke", seed=SEED)
+    return [
+        smoke.with_(name="static", churn_rate=0.0),
+        smoke.with_(name="moderate"),
+        smoke.with_(name="crash-heavy", churn_rate=0.15, crash_fraction=0.9,
+                    stabilize_interval=6.0),
+    ]
+
+
+def full_sweep():
+    """Churn-rate x crash-fraction x cadence grid around the moderate point.
+
+    Cadence 0 keeps the reactive-only axis in the grid: with no periodic
+    repair, crashes (stale pointers, routing holes) and graceful leaves
+    (clean splices) genuinely diverge, which is where the crash-fraction
+    axis earns its place.
+    """
+    base = preset("moderate", seed=SEED).with_(name="sweep", requests=300)
+    return sweep(
+        base,
+        churn_rates=(0.05, 0.2),
+        crash_fractions=(0.2, 0.9),
+        stabilize_intervals=(2.0, 0.0),
+    )
+
+
+def check_regimes(results) -> list[str]:
+    """The benchmark's gates; returns human-readable violations."""
+    problems = []
+    by_name = {r.spec.name: r for r in results}
+    for name, r in by_name.items():
+        offered = r.spec.requests
+        accounted = r.completed + r.failed + r.rejected
+        if accounted != offered:
+            problems.append(
+                f"{name}: {accounted} of {offered} requests accounted for"
+            )
+        if r.truncated:
+            problems.append(f"{name}: max_sim_time tripped before the load drained")
+    moderate = by_name.get("moderate")
+    if moderate is not None and moderate.failed > 0:
+        problems.append(
+            f"moderate: {moderate.failed} FAILED requests; the service must "
+            "sustain moderate churn without shedding load"
+        )
+    for name in ("static", "moderate", "crash-heavy"):
+        r = by_name.get(name)
+        if r is not None and not r.ring_recovered:
+            problems.append(f"{name}: ring did not re-stabilize after churn stopped")
+    return problems
+
+
+def emit(regime_results, sweep_results, out: Path, quick: bool) -> Path:
+    record = results_record(regime_results, seed=SEED, quick=quick)
+    if sweep_results:
+        baseline = find_baseline(regime_results)
+        record["sweep"] = results_record(
+            sweep_results, seed=SEED, baseline=baseline
+        )["scenarios"]
+    record["generated_unix"] = time.time()
+    return write_bench_json(out, record)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the churn-rate x crash x cadence grid")
+    args = parser.parse_args(argv)
+
+    regimes = quick_regimes() if args.quick else full_regimes()
+    regime_results = run_specs(regimes)
+    results_table(regime_results, "churn regimes: serving under dynamic membership").show()
+
+    sweep_results = []
+    if not args.quick and not args.no_sweep:
+        sweep_results = run_specs(full_sweep())
+        results_table(
+            sweep_results,
+            "churn sweep: rate x crash fraction x cadence",
+            baseline=find_baseline(regime_results),
+        ).show()
+
+    path = emit(regime_results, sweep_results, args.out, quick=args.quick)
+    print(f"wrote {path}")
+
+    problems = check_regimes(regime_results)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def test_churn_bench_quick(show, tmp_path):
+    """CI-scale regimes: full accounting, no failures under moderate churn,
+    rings recover -- and the whole thing runs without an unhandled exception."""
+    results = run_specs(quick_regimes())
+    show(results_table(results, "churn regimes (quick)"))
+    emit(results, [], tmp_path / "BENCH_churn.json", quick=True)
+    assert check_regimes(results) == []
+    # churn must actually have happened in the churning regimes
+    assert all(r.churn_events > 0 for r in results if r.spec.churning)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

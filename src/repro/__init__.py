@@ -8,6 +8,10 @@ The package provides:
 - :mod:`repro.dht` -- substrates exposing the paper's ``h``/``next``
   interface: an analytic oracle and a message-level Chord simulator;
 - :mod:`repro.sim` -- the discrete-event kernel, RPC transport, churn;
+- :mod:`repro.service` -- sampling-as-a-service: micro-batching shard
+  workers, health-aware routing, admission control, churn failover;
+- :mod:`repro.scenarios` -- the dynamic-membership scenario lab:
+  declarative churn regimes run against the serving stack;
 - :mod:`repro.baselines` -- the biased naive heuristic, random-walk
   samplers, and virtual-node load balancing for comparison;
 - :mod:`repro.analysis` -- statistics (TV distance, chi-square), arc

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro uniformity --n 256 --draws 20000
     python -m repro chord      --n 128 --samples 20 # on simulated Chord
     python -m repro serve      --n 5000 --rate 1.0 --shards 2 --requests 2000
+    python -m repro scenario run --preset smoke     # serve under live churn
+    python -m repro scenario list                   # the named churn regimes
 
 Every subcommand accepts ``--seed`` for reproducibility and prints a
 plain-text report; exit status is non-zero on invalid arguments.
@@ -20,14 +22,17 @@ import random
 import sys
 from collections import Counter
 from collections.abc import Sequence
+from pathlib import Path
 
 from .analysis.stats import chi_square_uniform, max_min_ratio
 from .baselines.naive import NaiveSampler
+from .bench.harness import write_bench_json
 from .core.engine import BatchSampler
 from .core.estimate import estimate_n, estimate_n_median
 from .core.sampler import RandomPeerSampler
 from .dht.chord.network import ChordNetwork
 from .dht.ideal import IdealDHT
+from .scenarios import PRESETS, preset, results_record, results_table, run_scenario
 from .service import DISPATCH_MODES, POLICIES, SUBSTRATES, build_load, build_service
 
 __all__ = ["build_parser", "main"]
@@ -83,6 +88,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--dispatch", choices=DISPATCH_MODES, default="batch")
     p_serve.add_argument("--substrate", choices=SUBSTRATES, default="ideal")
     p_serve.add_argument("--chord-m", type=int, default=20, help="Chord identifier bits")
+
+    p_scn = sub.add_parser(
+        "scenario",
+        help="dynamic-membership scenario lab: serve load while the ring churns",
+    )
+    scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
+    scn_sub.add_parser("list", help="show the named presets and their regimes")
+    p_run = scn_sub.add_parser("run", help="run one preset scenario end to end")
+    p_run.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    p_run.add_argument("--requests", type=int, default=None, help="override offered requests")
+    p_run.add_argument("--rate", type=float, default=None, help="override arrival rate")
+    p_run.add_argument("--churn-rate", type=float, default=None,
+                       help="override membership events per time unit per shard")
+    p_run.add_argument("--crash-fraction", type=float, default=None,
+                       help="override P(departure is a crash)")
+    p_run.add_argument("--stabilize-interval", type=float, default=None,
+                       help="override maintenance cadence (0 disables)")
+    p_run.add_argument("--out", type=Path, default=None,
+                       help="also write the JSON record to this path")
     return parser
 
 
@@ -233,12 +257,60 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    if args.scenario_command == "list":
+        for name in sorted(PRESETS):
+            spec = PRESETS[name]
+            regime = (
+                f"churn {spec.churn_rate:g}/unit/shard, crash {spec.crash_fraction:g}, "
+                f"stabilize every {spec.stabilize_interval:g}"
+                if spec.churning
+                else "no churn (static control)"
+            )
+            print(f"{name:>12}: n={spec.n} x {spec.shards} shards, "
+                  f"{spec.requests} requests at rate {spec.rate:g} -- {regime}")
+        return 0
+    overrides = {
+        key: value
+        for key, value in (
+            ("requests", args.requests),
+            ("rate", args.rate),
+            ("churn_rate", args.churn_rate),
+            ("crash_fraction", args.crash_fraction),
+            ("stabilize_interval", args.stabilize_interval),
+            # --seed is the CLI's global flag and, as in every other
+            # subcommand, always applies -- it deliberately overrides
+            # the preset's own seed (both default to 0 today).
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    try:
+        spec = preset(args.preset, **overrides)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_scenario(spec)
+    results_table([result], title=f"scenario {spec.name}").show()
+    print(f"sim time {result.sim_time:.1f}  wall {result.wall_seconds:.2f}s  "
+          f"churn events {result.churn_events}  "
+          f"rings recovered {sum(s.ring_correct_after_recovery for s in result.shards)}"
+          f"/{spec.shards}")
+    if result.truncated:
+        print("warning: max_sim_time tripped before the load drained", file=sys.stderr)
+    if args.out is not None:
+        write_bench_json(args.out, results_record([result], seed=spec.seed))
+        print(f"wrote {args.out}")
+    return 0 if (result.ring_recovered and not result.truncated) else 1
+
+
 _COMMANDS = {
     "estimate": _cmd_estimate,
     "sample": _cmd_sample,
     "uniformity": _cmd_uniformity,
     "chord": _cmd_chord,
     "serve": _cmd_serve,
+    "scenario": _cmd_scenario,
 }
 
 

@@ -44,7 +44,14 @@ except ImportError:  # pragma: no cover - numpy is an optional dependency
 
 from dataclasses import dataclass
 
-from ..dht.api import DHT, NUMPY_MIN_BATCH, BulkDHT, CostSnapshot, PeerRef
+from ..dht.api import (
+    DHT,
+    NUMPY_MIN_BATCH,
+    BulkDHT,
+    CostSnapshot,
+    PeerRef,
+    PeerUnreachableError,
+)
 from .errors import SamplingError
 from .estimate import DEFAULT_C1, estimate_n
 from .sampler import (
@@ -112,6 +119,9 @@ class BatchSampler:
     ):
         self._dht = dht
         self._rng = rng if rng is not None else random.Random()
+        self._gamma1 = gamma1
+        self._lambda_slack = lambda_slack
+        self._c1 = c1
         if params is None:
             if n_hat is None:
                 n_hat = estimate_n(dht, c1=c1).n_hat
@@ -123,6 +133,23 @@ class BatchSampler:
             raise ValueError("max_trials must be at least 1")
         self._max_trials = max_trials
         self._bulk = isinstance(dht, BulkDHT)
+        #: Trials lost to transient peer unreachability (routing holes,
+        #: crashed walk hops) on the per-call fallback path.  Each such
+        #: trial is treated exactly like an EXHAUSTED outcome -- retried
+        #: with fresh randomness by the rejection loop -- so churn shows
+        #: up as extra trials, never as a leaked substrate exception.
+        self.stale_trials = 0
+
+    def refresh(self, n_hat: float | None = None) -> SamplerParams:
+        """Re-derive parameters from a fresh size estimate (see
+        :meth:`RandomPeerSampler.refresh <repro.core.sampler.RandomPeerSampler.refresh>`;
+        serving shards call this when re-admitting after churn failures)."""
+        if n_hat is None:
+            n_hat = estimate_n(self._dht, c1=self._c1).n_hat
+        self.params = SamplerParams.from_estimate(
+            n_hat, gamma1=self._gamma1, lambda_slack=self._lambda_slack
+        )
+        return self.params
 
     # -- vectorized classification kernels --------------------------------
 
@@ -183,16 +210,30 @@ class BatchSampler:
         return results
 
     def _trials_fallback(self, points: Sequence[float]) -> list[TrialResult]:
-        """Per-call path for substrates without a flat point array."""
+        """Per-call path for substrates without a flat point array.
+
+        Runs each trial's ``h`` resolution and clockwise walk under a
+        :class:`~repro.dht.api.PeerUnreachableError` guard: on a live
+        overlay a peer can crash mid-walk, and the correct response is to
+        discard that trial (it consumed randomness, it produced nothing)
+        and let the rejection loop redraw -- not to abort the whole
+        batch.  Point-by-point resolution is cost-identical to
+        ``h_many`` on per-call substrates, which by the
+        :class:`~repro.dht.api.BulkDHT` contract implement it as a loop.
+        """
         dht = self._dht
-        h_many = getattr(dht, "h_many", None)
-        firsts = h_many(points) if h_many is not None else [dht.h(s) for s in points]
         lam = self.params.lam
         budget = self.params.walk_budget
-        return [
-            _trial_from_first(dht, lam, budget, s, first)
-            for s, first in zip(points, firsts)
-        ]
+        results = []
+        for s in points:
+            try:
+                results.append(_trial_from_first(dht, lam, budget, s, dht.h(s)))
+            except PeerUnreachableError:
+                self.stale_trials += 1
+                results.append(
+                    TrialResult(s=s, outcome=TrialOutcome.EXHAUSTED, peer=None, walk_hops=0)
+                )
+        return results
 
     def _round_successes(self, points: list[float]) -> list[PeerRef]:
         """Successful trials of one round, as peers in draw order."""

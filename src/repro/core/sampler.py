@@ -31,7 +31,7 @@ import math
 import random
 from dataclasses import dataclass
 
-from ..dht.api import DHT, CostSnapshot, PeerRef
+from ..dht.api import DHT, CostSnapshot, PeerRef, PeerUnreachableError
 from .errors import SamplingError
 from .estimate import DEFAULT_C1, estimate_n
 from .intervals import clockwise_distance
@@ -180,6 +180,9 @@ class RandomPeerSampler:
     ):
         self._dht = dht
         self._rng = rng if rng is not None else random.Random()
+        self._gamma1 = gamma1
+        self._lambda_slack = lambda_slack
+        self._c1 = c1
         if n_hat is None:
             n_hat = estimate_n(dht, c1=c1).n_hat
         self.params = SamplerParams.from_estimate(
@@ -189,6 +192,30 @@ class RandomPeerSampler:
             raise ValueError("max_trials must be at least 1")
         self._max_trials = max_trials
         self._engine = None  # lazily-built BatchSampler for bulk substrates
+        #: Trials lost to transient peer unreachability (see
+        #: :meth:`sample_with_stats`); nonzero only on churning overlays.
+        self.stale_trials = 0
+
+    # -- parameter lifecycle ----------------------------------------------
+
+    def refresh(self, n_hat: float | None = None) -> SamplerParams:
+        """Re-derive sampling parameters from a fresh size estimate.
+
+        On a *dynamic* network the construction-time ``n_hat`` goes stale
+        as peers join and leave; a stale estimate inflates trial counts
+        (population grew: walk budget too short) or walk lengths
+        (population shrank: lambda too small).  Re-runs Estimate-n
+        against the substrate (or adopts an explicit ``n_hat``) and
+        rebuilds :attr:`params`; the cached batch engine is dropped so it
+        rebuilds against the new parameters.  Returns the new params.
+        """
+        if n_hat is None:
+            n_hat = estimate_n(self._dht, c1=self._c1).n_hat
+        self.params = SamplerParams.from_estimate(
+            n_hat, gamma1=self._gamma1, lambda_slack=self._lambda_slack
+        )
+        self._engine = None
+        return self.params
 
     # -- the deterministic inner trial (Figure 1) -------------------------
 
@@ -205,12 +232,23 @@ class RandomPeerSampler:
     # -- public sampling API ----------------------------------------------
 
     def sample_with_stats(self) -> SampleStats:
-        """Draw one uniform peer, returning full trial/cost accounting."""
+        """Draw one uniform peer, returning full trial/cost accounting.
+
+        A trial that dies of transient peer unreachability (a crash
+        mid-walk on a churning overlay) counts as a failed trial and is
+        redrawn, mirroring the batch engine's fallback path; only the
+        trial-budget exhaustion escalates to
+        :class:`~repro.core.errors.SamplingError`.
+        """
         before = self._dht.cost.snapshot()
         walk_total = 0
         for attempt in range(1, self._max_trials + 1):
             s = 1.0 - self._rng.random()  # uniform on (0, 1]
-            result = self.trial(s)
+            try:
+                result = self.trial(s)
+            except PeerUnreachableError:
+                self.stale_trials += 1
+                continue
             walk_total += result.walk_hops
             if result.peer is not None:
                 return SampleStats(

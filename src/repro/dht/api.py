@@ -49,12 +49,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
-__all__ = ["PeerRef", "CostMeter", "CostSnapshot", "DHT", "BulkDHT"]
+__all__ = [
+    "PeerRef",
+    "PeerUnreachableError",
+    "CostMeter",
+    "CostSnapshot",
+    "DHT",
+    "BulkDHT",
+]
 
 #: Shared numpy-vs-pure-Python crossover: below this many items per
 #: batch, numpy's per-call overhead exceeds its vectorization win, so
 #: bulk implementations and the batch engine take the bisect path.
 NUMPY_MIN_BATCH = 64
+
+
+class PeerUnreachableError(Exception):
+    """A substrate operation failed because peers were unreachable.
+
+    The liveness escape hatch of the ``h``/``next`` contract: on a
+    *dynamic* network an operation can fail transiently (the routing
+    peer crashed, stabilization has not yet repaired the hole).  Every
+    substrate raises a subclass of this type for such failures -- the
+    Chord simulator's ``LookupError_`` is one -- so algorithm layers
+    can retry with fresh randomness instead of pattern-matching on
+    substrate-specific exceptions.  Permanent errors (bad arguments,
+    empty network) stay ordinary ``ValueError``/``KeyError``.
+    """
 
 
 @dataclass(frozen=True, order=True, slots=True)

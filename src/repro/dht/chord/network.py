@@ -37,6 +37,7 @@ class ChordNetwork:
         loss_rate: float = 0.0,
         successor_list_size: int = 8,
         sim: Simulator | None = None,
+        ring_merge: bool = True,
     ):
         if m < 3:
             raise ValueError("identifier space needs at least 3 bits")
@@ -45,6 +46,11 @@ class ChordNetwork:
         self.sim = sim if sim is not None else Simulator()
         self.transport = RpcTransport(latency=latency, rng=self.rng, loss_rate=loss_rate)
         self._slist_size = successor_list_size
+        #: Run the network-level ring-merge pass (see :meth:`_merge_rings`)
+        #: at the end of every stabilization round.  On by default -- it
+        #: models the merge protocol deployments layer on Chord -- but
+        #: can be disabled to study *pure* pairwise stabilization.
+        self.ring_merge = ring_merge
         self.nodes: dict[int, ChordNode] = {}
 
     # -- bootstrap ---------------------------------------------------------
@@ -173,6 +179,54 @@ class ChordNetwork:
             node.stabilize()
             for _ in range(fingers_per_round):
                 node.fix_next_finger()
+        if self.ring_merge:
+            self._merge_rings()
+
+    def _merge_rings(self) -> None:
+        """Re-join nodes that churn has split off the main ring.
+
+        Crash-heavy churn can orphan a node (its entire successor list
+        died before repair, so it self-loops) or, worse, let several
+        orphans adopt *each other* into a small island ring.  No pointer
+        in the main ring leads to either, so pairwise stabilization can
+        never re-admit them -- the classic Chord liveness gap that
+        deployed systems close with a separate ring-merge/anti-entropy
+        protocol.  We model that protocol at the network level: find the
+        cycles of the live successor-pointer graph and re-``join`` every
+        member of each minority cycle through a peer of the largest one.
+        Joins run the real lookup protocol and are metered like any
+        other traffic.
+        """
+        if len(self.nodes) < 2:
+            return
+        succ = {}
+        for node_id, node in self.nodes.items():
+            s = node.get_successor()
+            succ[node_id] = s if s in self.nodes else None
+        # Terminal cycles of the (partial) functional graph; nodes whose
+        # chain dead-ends at a crashed pointer are left to stabilize().
+        visited: dict[int, int] = {}  # node -> walk it was first seen in
+        cycles: list[set[int]] = []
+        for walk, start in enumerate(sorted(succ)):
+            path = []
+            cur = start
+            while cur is not None and cur not in visited:
+                visited[cur] = walk
+                path.append(cur)
+                cur = succ[cur]
+            if cur is not None and visited[cur] == walk:
+                cycles.append(set(path[path.index(cur):]))
+        if len(cycles) <= 1:
+            return
+        main = max(cycles, key=lambda c: (len(c), -min(c)))
+        entry_pool = sorted(main)
+        for cycle in cycles:
+            if cycle is main:
+                continue
+            for node_id in sorted(cycle):
+                node = self.nodes.get(node_id)
+                if node is not None:
+                    node.join(self.rng.choice(entry_pool))
 
     def run_stabilization(self, rounds: int, fingers_per_round: int = 1) -> None:
         """Run several lock-step maintenance rounds back to back."""
@@ -286,11 +340,49 @@ class ChordDHT:
     def _ref(self, node_id: int) -> PeerRef:
         return PeerRef(peer_id=node_id, point=id_to_point(node_id, self._network.m))
 
+    @property
+    def entry_id(self) -> int:
+        """The node id the adapter currently issues lookups from."""
+        return self._entry_id
+
+    @property
+    def entry_is_alive(self) -> bool:
+        """Whether the current vantage peer is still in the ring."""
+        return self._entry_id in self._network.nodes
+
+    def refresh_entry(self, entry_id: int | None = None) -> int:
+        """Re-root the adapter at a live vantage peer and return its id.
+
+        With ``entry_id=None`` the clockwise-nearest live node to the old
+        vantage is adopted -- the same failover rule :meth:`_entry_node`
+        applies lazily -- so callers can proactively shed a stale entry
+        (e.g. a serving shard re-admitting itself after churn).
+        """
+        if entry_id is not None:
+            if entry_id not in self._network.nodes:
+                raise KeyError(f"entry node {entry_id} is not alive")
+            self._entry_id = entry_id
+        else:
+            self._entry_id = self._nearest_alive(self._entry_id)
+        return self._entry_id
+
+    def _nearest_alive(self, node_id: int) -> int:
+        """The first live id clockwise of ``node_id`` (wrapping)."""
+        ids = self._network.sorted_ids()
+        if not ids:
+            # A permanent condition, not a transient routing failure:
+            # per the dht.api contract this must NOT be retryable.
+            raise ValueError("no live peers: the network is empty")
+        i = bisect.bisect_left(ids, node_id)
+        return ids[i % len(ids)]
+
     def _entry_node(self) -> ChordNode:
         node = self._network.nodes.get(self._entry_id)
         if node is None:
-            # Our vantage peer departed; adopt any surviving node.
-            self._entry_id = min(self._network.nodes)
+            # Our vantage peer departed; fail over to the clockwise-
+            # nearest survivor (spreads re-rooted adapters around the
+            # ring instead of piling them onto one global node).
+            self._entry_id = self._nearest_alive(self._entry_id)
             node = self._network.nodes[self._entry_id]
         return node
 
@@ -356,5 +448,4 @@ class ChordDHT:
         return self._ref(succ)
 
     def any_peer(self) -> PeerRef:
-        return self._ref(self._entry_id if self._entry_id in self._network.nodes
-                         else min(self._network.nodes))
+        return self._ref(self._entry_node().node_id)

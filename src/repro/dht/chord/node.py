@@ -12,13 +12,19 @@ Theorem 7 accounts costs.
 from __future__ import annotations
 
 from ...sim.network import RpcTimeout, RpcTransport
+from ..api import PeerUnreachableError
 from .idspace import id_to_point, in_open_closed, in_open_open
 
 __all__ = ["ChordNode", "LookupError_", "LookupResult"]
 
 
-class LookupError_(Exception):
-    """An iterative lookup could not complete (routing hole during churn)."""
+class LookupError_(PeerUnreachableError):
+    """An iterative lookup could not complete (routing hole during churn).
+
+    Subclasses :class:`~repro.dht.api.PeerUnreachableError` so
+    substrate-agnostic layers (the batch engine, the serving layer) can
+    treat it as a retryable liveness failure without importing Chord.
+    """
 
 
 class LookupResult:

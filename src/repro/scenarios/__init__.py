@@ -1,0 +1,42 @@
+"""Dynamic-membership scenario lab: serve load while the ring churns.
+
+Everything below the service layer was built for a *dynamic* peer-to-
+peer network -- that is the King-Saia premise -- yet static benchmarks
+never exercise it.  This package closes the loop: a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` pins a regime (churn rate,
+crash fraction, stabilization cadence, offered load), the runner
+executes it with joins, leaves and crashes landing *between and during*
+request batches, and the report quantifies what churn actually costs:
+sampling bias against the live population, per-sample message
+inflation, latency tails, and whether stabilization restores ring
+correctness once churn stops.
+
+Typical use::
+
+    from repro.scenarios import preset, run_scenario
+
+    result = run_scenario(preset("moderate"))
+    print(result.min_chi2_p, result.messages_per_sample, result.ring_recovered)
+
+or from the shell: ``python -m repro scenario run --preset smoke``.
+The churn benchmark (``benchmarks/bench_churn.py``) sweeps the named
+regimes into ``BENCH_churn.json``.
+"""
+
+from .report import find_baseline, results_record, results_table
+from .runner import ScenarioResult, ShardReport, run_scenario, run_specs
+from .spec import PRESETS, ScenarioSpec, preset, sweep
+
+__all__ = [
+    "PRESETS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ShardReport",
+    "find_baseline",
+    "preset",
+    "results_record",
+    "results_table",
+    "run_scenario",
+    "run_specs",
+    "sweep",
+]

@@ -1,0 +1,115 @@
+"""Render scenario results: comparison tables and JSON records.
+
+One scenario run answers "did the service survive?"; a *set* of runs
+answers the interesting question -- how much uniformity, cost and tail
+latency degrade as churn intensifies.  This module turns a list of
+:class:`~repro.scenarios.runner.ScenarioResult` into the bench harness's
+aligned :class:`~repro.bench.harness.Table` and into the JSON record
+written to ``BENCH_churn.json``, including *inflation* columns relative
+to a named churn-free baseline (messages per sample and p99 latency as
+multiples of the static regime's).
+"""
+
+from __future__ import annotations
+
+from ..bench.harness import Table
+from .runner import ScenarioResult
+
+__all__ = ["results_table", "results_record", "find_baseline"]
+
+
+def find_baseline(results) -> ScenarioResult | None:
+    """The churn-free control to normalize against (first non-churning)."""
+    for result in results:
+        if not result.spec.churning:
+            return result
+    return None
+
+
+def _ratio(value, base) -> float | None:
+    if value is None or base is None or base == 0:
+        return None
+    return value / base
+
+
+def results_table(
+    results,
+    title: str = "dynamic-membership scenarios",
+    baseline: ScenarioResult | None = None,
+) -> Table:
+    """One row per scenario: survival counts, uniformity, cost, tails.
+
+    ``baseline`` overrides the in-list churn-free control as the
+    normalizer for the inflation column (useful for sweeps that are all
+    churning, benchmarked against a separately-run static control).
+    """
+    if baseline is None:
+        baseline = find_baseline(results)
+    base_msgs = baseline.messages_per_sample if baseline else None
+    table = Table(
+        title,
+        [
+            "scenario", "events", "completed", "failed", "rejected", "retries",
+            "chi2 p", "TV", "msgs/sample", "infl", "p50", "p95", "p99", "ring ok",
+        ],
+    )
+    for r in results:
+        lat = r.summary["latency"]["total_latency"]
+        retries = sum(w["dispatch_failures"] for w in r.summary["shards"].values())
+        inflation = _ratio(r.messages_per_sample, base_msgs)
+        table.add_row(
+            r.spec.name,
+            r.churn_events,
+            r.completed,
+            r.failed,
+            r.rejected,
+            retries,
+            r.min_chi2_p if r.min_chi2_p is not None else float("nan"),
+            r.max_tv if r.max_tv is not None else float("nan"),
+            r.messages_per_sample if r.messages_per_sample is not None else float("nan"),
+            inflation if inflation is not None else float("nan"),
+            lat["p50"], lat["p95"], lat["p99"],
+            r.ring_recovered,
+        )
+    table.note("chi2 p / TV: uniformity over peers alive the whole run (worst shard)")
+    table.note("infl: messages/sample as a multiple of the churn-free baseline")
+    table.note("retries: churn-killed dispatches (retried or failed); latency in sim units")
+    table.note("ring ok: ring re-stabilized within the spec's recovery-round budget")
+    return table
+
+
+def results_record(
+    results,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+    baseline: ScenarioResult | None = None,
+) -> dict:
+    """The JSON-ready sweep record (schema documented in docs/BENCHMARKS.md)."""
+    if baseline is None:
+        baseline = find_baseline(results)
+    base_msgs = baseline.messages_per_sample if baseline else None
+    base_p99 = (
+        baseline.summary["latency"]["total_latency"]["p99"] if baseline else None
+    )
+    scenarios = []
+    for r in results:
+        record = r.to_record()
+        record["inflation"] = {
+            "messages_per_sample": _ratio(r.messages_per_sample, base_msgs),
+            "total_p99": _ratio(
+                r.summary["latency"]["total_latency"]["p99"], base_p99
+            ),
+        }
+        scenarios.append(record)
+    out: dict = {
+        "benchmark": "churn_scenarios",
+        "substrate": "ChordNetwork",
+        "baseline": baseline.spec.name if baseline else None,
+        "scenarios": scenarios,
+    }
+    if seed is not None:
+        out["seed"] = seed
+    if quick is not None:
+        out["quick"] = quick
+    return out

@@ -11,10 +11,19 @@ admission control turns overload into explicit rejections, and an
 open-loop Poisson :class:`LoadGenerator` drives the whole thing on the
 simulation clock -- deterministically, from a single seed.
 
-Layering (see README's architecture section)::
+The layer is churn-aware: a dispatch killed by membership change
+(:class:`DispatchError`) marks its shard unhealthy, the router sheds
+traffic to healthy shards, the worker re-estimates the population and
+retries with backoff, and exhausted retries terminate the batch with
+explicit ``FAILED`` responses -- never a silent drop.  The scenario lab
+(:mod:`repro.scenarios`) exercises all of this against actively
+churning Chord rings.
 
-    loadgen -> SamplingService.submit -> ShardRouter -> AdmissionController
-            -> ShardWorker (micro-batch queue) -> dispatch strategy
+Layering (see docs/ARCHITECTURE.md)::
+
+    loadgen -> SamplingService.submit -> ShardRouter (health-aware)
+            -> AdmissionController -> ShardWorker (micro-batch queue,
+               retry/backoff/FAILED) -> dispatch strategy
             -> BatchSampler / RandomPeerSampler -> DHT substrate
 """
 
@@ -28,7 +37,13 @@ from .core import (
     build_service,
     build_substrates,
 )
-from .dispatch import BatchDispatch, Execution, ScalarDispatch, ServiceTimeModel
+from .dispatch import (
+    BatchDispatch,
+    DispatchError,
+    Execution,
+    ScalarDispatch,
+    ServiceTimeModel,
+)
 from .loadgen import LoadGenerator
 from .metrics import DEFAULT_RESERVOIR, ServiceMetrics
 from .request import RequestStatus, SampleRequest, SampleResponse
@@ -39,6 +54,7 @@ __all__ = [
     "BatchDispatch",
     "DEFAULT_RESERVOIR",
     "DISPATCH_MODES",
+    "DispatchError",
     "Execution",
     "LoadGenerator",
     "POLICIES",

@@ -16,6 +16,32 @@ Queue *bounds* are not enforced here -- admission control
 (:mod:`repro.service.admission`) rejects before ``offer`` so
 backpressure is an explicit, counted decision rather than a silent
 queue property.
+
+Churn handling
+--------------
+
+On a live (churning) substrate a dispatch can fail: the strategy raises
+:class:`~repro.service.dispatch.DispatchError` when routing holes or a
+stale size estimate kill the execution.  The worker then
+
+1. marks itself *unhealthy* (the router steers new traffic to healthy
+   shards while this one recovers),
+2. requeues the batch at the head of the queue and backs off for
+   ``retry_backoff`` time units -- giving stabilization a chance to
+   repair the overlay,
+3. asks the strategy to :meth:`~repro.service.dispatch.BatchDispatch.refresh`
+   its parameters (re-running Estimate-n against the now-repaired
+   population) and retries, up to ``max_retries`` times,
+4. and finally fails the batch *explicitly*: every request gets a
+   ``FAILED`` response, counted by the metrics, never a lost request or
+   a leaked exception.
+
+The first successful dispatch re-admits the shard (healthy again, retry
+budget reset).  A shard that failed a batch outright re-admits itself
+after one further backoff (half-open, circuit-breaker style): the
+router sheds unhealthy shards, so an idle one would otherwise never see
+the traffic that could prove it recovered.  All of this is
+deterministic on the simulation clock.
 """
 
 from __future__ import annotations
@@ -25,7 +51,7 @@ from typing import Callable
 
 from ..sim.events import Event
 from ..sim.kernel import Simulator
-from .dispatch import ServiceTimeModel
+from .dispatch import DispatchError, ServiceTimeModel
 from .metrics import ServiceMetrics
 from .request import RequestStatus, SampleRequest, SampleResponse
 
@@ -46,11 +72,17 @@ class ShardWorker:
         sink: Callable[[SampleResponse], None] | None = None,
         max_batch: int = 32,
         max_wait: float = 2.0,
+        max_retries: int = 2,
+        retry_backoff: float = 1.0,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_wait < 0:
             raise ValueError("max_wait must be non-negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         self.shard_id = shard_id
         self._sim = sim
         self._dispatch = dispatch
@@ -59,10 +91,18 @@ class ShardWorker:
         self._sink = sink
         self.max_batch = max_batch
         self.max_wait = max_wait
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self._queue: deque[SampleRequest] = deque()
         self._timer: Event | None = None
         self._in_flight = 0
+        self._healthy = True
+        self._cooling = False  # a retry backoff is pending; hold flushes
+        self._consecutive_failures = 0
         self.batches_served = 0
+        self.dispatch_failures = 0  # DispatchErrors observed (incl. retried)
+        self.retries = 0  # failures that were retried rather than failed
+        self.failed_requests = 0  # requests terminated with FAILED
 
     # -- load signals (read by routing and admission) ---------------------
 
@@ -85,6 +125,21 @@ class ShardWorker:
     def busy(self) -> bool:
         return self._in_flight > 0
 
+    @property
+    def dispatch(self):
+        """The dispatch strategy this shard serves through (read-only)."""
+        return self._dispatch
+
+    @property
+    def healthy(self) -> bool:
+        """False from a dispatch failure until the next success.
+
+        The router prefers healthy shards, so a shard whose substrate is
+        mid-repair sheds new traffic while it retries; the first
+        successful dispatch re-admits it.
+        """
+        return self._healthy
+
     # -- the micro-batching state machine ---------------------------------
 
     def offer(self, request: SampleRequest) -> None:
@@ -94,8 +149,8 @@ class ShardWorker:
 
     def _maybe_flush(self) -> None:
         """Flush if the batch is full; otherwise arm the age timer."""
-        if self.busy:
-            return  # single server: completion will call us again
+        if self.busy or self._cooling:
+            return  # single server: completion / retry will call us again
         if len(self._queue) >= self.max_batch:
             self._flush()
             return
@@ -107,7 +162,7 @@ class ShardWorker:
 
     def _on_timer(self) -> None:
         self._timer = None
-        if not self.busy and self._queue:
+        if not self.busy and not self._cooling and self._queue:
             self._flush()
 
     def _flush(self) -> None:
@@ -118,7 +173,11 @@ class ShardWorker:
         batch = [self._queue.popleft() for _ in range(min(self.max_batch, len(self._queue)))]
         self._in_flight = len(batch)
         dispatched_at = self._sim.now
-        execution = self._dispatch.execute(len(batch))
+        try:
+            execution = self._dispatch.execute(len(batch))
+        except DispatchError:
+            self._on_dispatch_failure(batch)
+            return
         service_time = self._time_model.service_time(execution)
         self._sim.schedule(
             service_time, lambda: self._complete(batch, execution.peers, dispatched_at)
@@ -141,9 +200,78 @@ class ShardWorker:
         ]
         self._in_flight = 0
         self.batches_served += 1
+        self._healthy = True  # a success re-admits a recovering shard
+        self._consecutive_failures = 0
         if self._metrics is not None:
             self._metrics.record_batch(responses)
         if self._sink is not None:
             for response in responses:
                 self._sink(response)
         self._maybe_flush()
+
+    # -- the churn failure path -------------------------------------------
+
+    def _on_dispatch_failure(self, batch: list[SampleRequest]) -> None:
+        """Handle one dead dispatch: back off and retry, or fail the batch."""
+        self._in_flight = 0
+        self._healthy = False
+        self.dispatch_failures += 1
+        self._consecutive_failures += 1
+        if self._metrics is not None:
+            self._metrics.record_dispatch_failure(self.shard_id)
+        if self._consecutive_failures > self.max_retries:
+            self._consecutive_failures = 0  # fresh allowance for the next batch
+            self._fail_batch(batch)
+            # Half-open re-admission: the router sheds an unhealthy
+            # shard, so an idle one would never see the traffic that
+            # could prove it recovered.  After one more backoff it may
+            # take traffic again; a still-broken substrate just flips
+            # it straight back to unhealthy.
+            self._sim.schedule(self.retry_backoff, self._readmit_probe)
+            self._maybe_flush()
+            return
+        self.retries += 1
+        self._queue.extendleft(reversed(batch))  # head of the line, same order
+        self._cooling = True
+        self._sim.schedule(self.retry_backoff, self._retry_flush)
+
+    def _retry_flush(self) -> None:
+        self._cooling = False
+        # Re-estimate *after* the backoff, when stabilization has had a
+        # chance to repair the overlay the estimate will run against;
+        # a failed refresh just keeps the old parameters.
+        refresh = getattr(self._dispatch, "refresh", None)
+        if refresh is not None:
+            refresh()
+        if not self.busy and self._queue:
+            self._flush()
+
+    def _readmit_probe(self) -> None:
+        # A stale probe must not override a *newer* failure cycle: only
+        # re-admit a shard that is idle (not cooling toward a retry and
+        # not in service -- those paths decide health on their own).
+        if not self._cooling and not self.busy:
+            self._healthy = True
+
+    def _fail_batch(self, batch: list[SampleRequest]) -> None:
+        """Terminate every request of a batch with an explicit FAILED."""
+        now = self._sim.now
+        self.failed_requests += len(batch)
+        responses = [
+            SampleResponse(
+                request_id=req.request_id,
+                status=RequestStatus.FAILED,
+                shard_id=self.shard_id,
+                peer=None,
+                queue_latency=now - req.arrival_time,
+                service_latency=0.0,
+                completion_time=now,
+                batch_size=len(batch),
+            )
+            for req in batch
+        ]
+        if self._metrics is not None:
+            self._metrics.record_failed(responses)
+        if self._sink is not None:
+            for response in responses:
+                self._sink(response)

@@ -64,6 +64,8 @@ class SamplingService:
         max_batch: int = 32,
         max_wait: float = 2.0,
         max_queue: int = 256,
+        max_retries: int = 2,
+        retry_backoff: float = 1.0,
         time_model: ServiceTimeModel | None = None,
         reservoir_size: int | None = DEFAULT_RESERVOIR,
         keep_responses: bool = True,
@@ -105,6 +107,8 @@ class SamplingService:
                     sink=sink,
                     max_batch=worker_batch,
                     max_wait=max_wait,
+                    max_retries=max_retries,
+                    retry_backoff=retry_backoff,
                 )
             )
         self.router = ShardRouter(self.shards, policy=policy)
@@ -158,6 +162,16 @@ class SamplingService:
     def completed(self) -> list[SampleResponse]:
         """Served responses only, in completion order."""
         return [r for r in self.responses if r.status is RequestStatus.OK]
+
+    @property
+    def failed(self) -> list[SampleResponse]:
+        """Churn-failed responses (dispatch retries exhausted)."""
+        return [r for r in self.responses if r.status is RequestStatus.FAILED]
+
+    @property
+    def healthy_shards(self) -> int:
+        """How many shards currently report healthy."""
+        return sum(1 for s in self.shards if s.healthy)
 
     @property
     def pending(self) -> int:

@@ -15,6 +15,18 @@ Both strategies are deterministic given their sampler's RNG; simulated
 service time is derived from the returned cost by
 :class:`ServiceTimeModel`, so the benchmark's sim-time and wall-time
 comparisons come from the same executions.
+
+Churn boundary
+--------------
+
+On a live substrate a dispatch can die: routing holes raise
+:class:`~repro.dht.api.PeerUnreachableError`, stale size estimates raise
+:class:`~repro.core.errors.SamplingError`.  Both strategies convert
+those -- and only those -- into :class:`DispatchError`, the single
+retryable failure type the shard worker handles (retry with backoff,
+then fail the batch explicitly).  Programming errors keep propagating.
+:meth:`refresh` is the recovery hook: re-estimate the substrate size so
+the next attempt runs with fresh parameters.
 """
 
 from __future__ import annotations
@@ -22,10 +34,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.engine import BatchSampler
+from ..core.errors import SamplingError
 from ..core.sampler import RandomPeerSampler
-from ..dht.api import CostSnapshot, PeerRef
+from ..dht.api import CostSnapshot, PeerRef, PeerUnreachableError
 
-__all__ = ["Execution", "BatchDispatch", "ScalarDispatch", "ServiceTimeModel"]
+__all__ = [
+    "DispatchError",
+    "Execution",
+    "BatchDispatch",
+    "ScalarDispatch",
+    "ServiceTimeModel",
+]
+
+#: Substrate failures a dispatch may surface under churn -- the complete
+#: set of exception types :class:`DispatchError` wraps.
+_RETRYABLE = (SamplingError, PeerUnreachableError)
+
+
+class DispatchError(RuntimeError):
+    """A dispatch attempt failed for churn-related, retryable reasons."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,30 +71,55 @@ class Execution:
     dispatches: int = 1
 
 
-class BatchDispatch:
-    """Micro-batch execution through the vectorized engine."""
+class _SamplerDispatch:
+    """Shared churn boundary: execute with wrapping, refresh with a net.
 
-    name = "batch"
+    Subclasses implement :meth:`_run`; this base converts the substrate's
+    retryable failures into :class:`DispatchError` and provides the
+    common :meth:`refresh` recovery hook.
+    """
 
-    def __init__(self, sampler: BatchSampler):
+    def __init__(self, sampler):
         self.sampler = sampler
 
     def execute(self, k: int) -> Execution:
+        try:
+            return self._run(k)
+        except _RETRYABLE as exc:
+            raise DispatchError(f"{self.name} dispatch of {k} died: {exc}") from exc
+
+    def _run(self, k: int) -> Execution:
+        raise NotImplementedError
+
+    def refresh(self) -> bool:
+        """Re-estimate the substrate size; False if even that failed."""
+        try:
+            self.sampler.refresh()
+        except _RETRYABLE:
+            return False
+        return True
+
+
+class BatchDispatch(_SamplerDispatch):
+    """Micro-batch execution through a :class:`BatchSampler`."""
+
+    name = "batch"
+    sampler: BatchSampler
+
+    def _run(self, k: int) -> Execution:
         result = self.sampler.sample_many_attributed(k)
         return Execution(
             peers=result.peers, cost=result.cost, trials=result.trials, dispatches=1
         )
 
 
-class ScalarDispatch:
-    """Per-request execution through the scalar sampler."""
+class ScalarDispatch(_SamplerDispatch):
+    """Per-request execution through a :class:`RandomPeerSampler`."""
 
     name = "scalar"
+    sampler: RandomPeerSampler
 
-    def __init__(self, sampler: RandomPeerSampler):
-        self.sampler = sampler
-
-    def execute(self, k: int) -> Execution:
+    def _run(self, k: int) -> Execution:
         peers = []
         cost = CostSnapshot()
         trials = 0

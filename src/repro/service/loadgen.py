@@ -43,6 +43,7 @@ class LoadGenerator:
         self._rng = rng if rng is not None else random.Random()
         self.submitted = 0
         self._started = False
+        self._stopped = False
 
     def start(self) -> None:
         """Schedule the first arrival; call once before running the sim."""
@@ -52,7 +53,18 @@ class LoadGenerator:
         if self.total > 0:
             self._sim.schedule(self._rng.expovariate(self.rate), self._arrive)
 
+    def stop(self) -> None:
+        """Stop offering load: no further arrivals are submitted.
+
+        Lets a driver enforce a time budget on an open-loop run (the
+        scenario runner's ``max_sim_time``); already-submitted requests
+        still drain normally.
+        """
+        self._stopped = True
+
     def _arrive(self) -> None:
+        if self._stopped:
+            return
         self.submitted += 1
         self._submit()
         if self.submitted < self.total:
@@ -60,4 +72,5 @@ class LoadGenerator:
 
     @property
     def done(self) -> bool:
-        return self.submitted >= self.total
+        """No more arrivals will come (total reached, or stopped early)."""
+        return self._stopped or self.submitted >= self.total

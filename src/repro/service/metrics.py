@@ -33,16 +33,21 @@ class ServiceMetrics:
         self._num_shards = num_shards
         self._reservoir = reservoir_size
         # Created eagerly so summaries list every series even when empty.
-        for name in ("queue_latency", "service_latency", "total_latency"):
+        for name in ("queue_latency", "service_latency", "total_latency",
+                     "failed_wait"):
             self._hist(name)
         self._hist("batch_size")
         self.registry.counter("accepted")
         self.registry.counter("rejected")
         self.registry.counter("completed")
+        self.registry.counter("failed")
+        self.registry.counter("dispatch_failures")
         for shard_id in range(num_shards):
             self.registry.counter(f"shard{shard_id}.completed")
             self.registry.counter(f"shard{shard_id}.rejected")
             self.registry.counter(f"shard{shard_id}.batches")
+            self.registry.counter(f"shard{shard_id}.failed")
+            self.registry.counter(f"shard{shard_id}.dispatch_failures")
 
     def _hist(self, name: str) -> Histogram:
         return self.registry.histogram(name, reservoir_size=self._reservoir)
@@ -55,6 +60,30 @@ class ServiceMetrics:
     def record_rejected(self, shard_id: int) -> None:
         self.registry.counter("rejected").increment()
         self.registry.counter(f"shard{shard_id}.rejected").increment()
+
+    def record_dispatch_failure(self, shard_id: int) -> None:
+        """One dispatch died under churn (it may still be retried)."""
+        self.registry.counter("dispatch_failures").increment()
+        self.registry.counter(f"shard{shard_id}.dispatch_failures").increment()
+
+    def record_failed(self, responses: list[SampleResponse]) -> None:
+        """Record one batch terminated with FAILED (retries exhausted).
+
+        The wait each request burned before failing goes into its own
+        ``failed_wait`` histogram: the OK-latency percentiles stay
+        success-only (the convention load reports expect), while the
+        worst-outcome waits -- typically ``max_retries x retry_backoff``
+        under churn -- remain measured instead of vanishing.
+        """
+        if not responses:
+            return
+        self.registry.counter("failed").increment(len(responses))
+        self.registry.counter(f"shard{responses[0].shard_id}.failed").increment(
+            len(responses)
+        )
+        wait = self._hist("failed_wait")
+        for r in responses:
+            wait.observe(r.queue_latency)
 
     def record_batch(self, responses: list[SampleResponse]) -> None:
         """Record one completed dispatch (all responses share a shard)."""
@@ -92,6 +121,14 @@ class ServiceMetrics:
     def completed(self) -> int:
         return self.registry.counter("completed").value
 
+    @property
+    def failed(self) -> int:
+        return self.registry.counter("failed").value
+
+    @property
+    def dispatch_failures(self) -> int:
+        return self.registry.counter("dispatch_failures").value
+
     def shard_completed(self, shard_id: int) -> int:
         return self.registry.counter(f"shard{shard_id}.completed").value
 
@@ -105,9 +142,12 @@ class ServiceMetrics:
             "accepted": self.accepted,
             "rejected": self.rejected,
             "completed": self.completed,
+            "failed": self.failed,
+            "dispatch_failures": self.dispatch_failures,
             "latency": {
                 name: self.registry.histogram(name).summary()
-                for name in ("queue_latency", "service_latency", "total_latency")
+                for name in ("queue_latency", "service_latency", "total_latency",
+                             "failed_wait")
             },
             "batch_size": self.registry.histogram("batch_size").summary(),
             "shards": {},
@@ -117,6 +157,10 @@ class ServiceMetrics:
                 "completed": self.shard_completed(shard_id),
                 "rejected": self.registry.counter(f"shard{shard_id}.rejected").value,
                 "batches": self.registry.counter(f"shard{shard_id}.batches").value,
+                "failed": self.registry.counter(f"shard{shard_id}.failed").value,
+                "dispatch_failures": self.registry.counter(
+                    f"shard{shard_id}.dispatch_failures"
+                ).value,
             }
             if elapsed and elapsed > 0:
                 shard["throughput"] = shard["completed"] / elapsed

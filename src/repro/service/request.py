@@ -22,6 +22,7 @@ class RequestStatus(enum.Enum):
 
     OK = "ok"
     REJECTED = "rejected"  # admission control refused it (queue bound hit)
+    FAILED = "failed"  # dispatch kept dying under churn; retries exhausted
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,7 +52,8 @@ class SampleResponse:
     time units.  ``batch_size`` records how many requests shared the
     dispatch that served this one (1 under scalar dispatch).  Rejected
     requests carry ``peer=None``, zero service latency, and the shard
-    that refused them.
+    that refused them; failed requests (churn-induced, retries
+    exhausted) carry ``peer=None`` and the time they burned waiting.
     """
 
     request_id: int

@@ -13,6 +13,13 @@ worker; the router decides which shard a request joins.  Policies:
     stable key affinity that survives shard-set changes with minimal
     reshuffling.  Weights come from SHA-256, not Python's ``hash``, so
     routing is identical across processes and ``PYTHONHASHSEED`` values.
+
+Every policy is *health-aware*: shards whose last dispatch died under
+churn report ``healthy=False`` while they retry, and the router confines
+routing to the healthy subset (for rendezvous this is exactly HRW's
+failover: the key moves to its next-highest-weight shard and returns
+when the shard recovers).  If no shard is healthy the full set is used
+-- the service degrades to retries rather than rejecting everything.
 """
 
 from __future__ import annotations
@@ -47,13 +54,14 @@ class ShardRouter:
         self._next = 0  # round-robin cursor
 
     def route(self, request: SampleRequest) -> ShardWorker:
+        pool = [w for w in self.shards if getattr(w, "healthy", True)] or self.shards
         if self.policy == "round-robin":
-            shard = self.shards[self._next % len(self.shards)]
+            shard = pool[self._next % len(pool)]
             self._next += 1
             return shard
         if self.policy == "least-loaded":
-            return min(self.shards, key=lambda w: (w.load, w.shard_id))
+            return min(pool, key=lambda w: (w.load, w.shard_id))
         key = request.routing_key
         return max(
-            self.shards, key=lambda w: (rendezvous_weight(w.shard_id, key), -w.shard_id)
+            pool, key=lambda w: (rendezvous_weight(w.shard_id, key), -w.shard_id)
         )

@@ -5,17 +5,26 @@ exponential interarrival times on a
 :class:`~repro.dht.chord.network.ChordNetwork`, keeping the population
 near a target size.  Departures are crashes with probability
 ``crash_fraction`` and graceful leaves otherwise.
+
+Randomness follows the sim layer's seeding contract: pass an
+:class:`~repro.sim.rng.RngRegistry` (the process draws from its own
+named substream, ``"churn"`` by default) so membership timing never
+perturbs -- and is never perturbed by -- any other component's draws.
+A bare ``random.Random`` is still accepted for hand-rolled setups.
 """
 
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
+
+from .rng import RngRegistry
 
 __all__ = ["ChurnEvent", "ChurnProcess"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChurnEvent:
     """One membership change, for post-hoc analysis of a run."""
 
@@ -33,6 +42,10 @@ class ChurnProcess:
     that the population is nudged back toward ``target_size`` when it
     drifts beyond 25% (keeping long runs statistically stationary) and
     never drops below ``min_size``.
+
+    ``rng`` may be an :class:`~repro.sim.rng.RngRegistry` (the process
+    uses its ``stream`` substream, default ``"churn"``), a plain
+    ``random.Random``, or ``None`` for fresh unseeded randomness.
     """
 
     def __init__(
@@ -40,10 +53,11 @@ class ChurnProcess:
         network,
         sim,
         rate: float,
-        rng: random.Random | None = None,
+        rng: random.Random | RngRegistry | None = None,
         target_size: int | None = None,
         min_size: int = 4,
         crash_fraction: float = 0.5,
+        stream: str = "churn",
     ):
         if rate <= 0:
             raise ValueError("churn rate must be positive")
@@ -52,12 +66,36 @@ class ChurnProcess:
         self._network = network
         self._sim = sim
         self._rate = rate
-        self._rng = rng if rng is not None else random.Random()
+        if isinstance(rng, RngRegistry):
+            self._rng = rng.stream(stream)
+        elif rng is not None:
+            self._rng = rng
+        else:
+            self._rng = random.Random()
         self._target = target_size if target_size is not None else len(network)
         self._min_size = min_size
         self._crash_fraction = crash_fraction
-        self.events: list[ChurnEvent] = []
+        self._events: list[ChurnEvent] = []
         self._running = False
+
+    # -- the event log (deterministic given the RNG stream) ----------------
+
+    @property
+    def events(self) -> tuple[ChurnEvent, ...]:
+        """The membership changes so far, in simulation-time order.
+
+        An immutable snapshot: two runs from the same seed produce
+        identical logs, so tests and scenario reports can assert on the
+        exact sequence.
+        """
+        return tuple(self._events)
+
+    def event_counts(self) -> dict[str, int]:
+        """``{"join": j, "leave": l, "crash": c}`` totals so far."""
+        counts = Counter(e.kind for e in self._events)
+        return {kind: counts.get(kind, 0) for kind in ("join", "leave", "crash")}
+
+    # -- run control --------------------------------------------------------
 
     def start(self) -> None:
         self._running = True
@@ -75,7 +113,9 @@ class ChurnProcess:
             return
         n = len(self._network)
         join_bias = 0.5
-        if n < 0.75 * self._target or n <= self._min_size:
+        if n <= self._min_size:
+            join_bias = 1.0  # the floor is a guarantee, not a tendency
+        elif n < 0.75 * self._target:
             join_bias = 0.9
         elif n > 1.25 * self._target:
             join_bias = 0.1
@@ -90,7 +130,7 @@ class ChurnProcess:
             else:
                 self._network.leave_node(node_id)
                 kind = "leave"
-        self.events.append(
+        self._events.append(
             ChurnEvent(
                 time=self._sim.now, kind=kind, node_id=node_id,
                 population=len(self._network),

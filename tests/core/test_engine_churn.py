@@ -1,0 +1,111 @@
+"""Batch-engine behaviour when the substrate churns under it.
+
+``sample_many`` must treat transient peer unreachability as failed
+trials (redraw and move on) and escalate only trial-budget exhaustion,
+so serving layers see exactly two outcomes: samples, or a clean
+:class:`~repro.core.errors.SamplingError`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import BatchSampler
+from repro.core.errors import SamplingError
+from repro.dht.api import CostMeter, PeerRef, PeerUnreachableError
+from repro.dht.chord.network import ChordNetwork
+
+
+class FlakyDHT:
+    """Non-bulk substrate whose first ``failures`` h-calls die."""
+
+    def __init__(self, n: int = 32, failures: int = 0, seed: int = 0):
+        self.cost = CostMeter()
+        self.failures = failures
+        rng = random.Random(seed)
+        points = sorted(rng.random() for _ in range(n))
+        self._points = points
+        self._n = n
+
+    def _ref(self, i: int) -> PeerRef:
+        return PeerRef(peer_id=i, point=self._points[i])
+
+    def h(self, x: float) -> PeerRef:
+        if self.failures > 0:
+            self.failures -= 1
+            raise PeerUnreachableError("entry peer crashed mid-walk")
+        self.cost.charge_h(1, 1.0)
+        from bisect import bisect_left
+
+        i = bisect_left(self._points, x)
+        return self._ref(i % self._n)
+
+    def next(self, peer: PeerRef) -> PeerRef:
+        self.cost.charge_next()
+        from bisect import bisect_right
+
+        i = bisect_right(self._points, peer.point)
+        return self._ref(i % self._n)
+
+    def any_peer(self) -> PeerRef:
+        return self._ref(0)
+
+
+class TestStaleTrialRetry:
+    def test_transient_unreachability_is_retried_not_raised(self):
+        dht = FlakyDHT(n=32, failures=5)
+        engine = BatchSampler(dht, n_hat=32.0, rng=random.Random(1))
+        peers = engine.sample_many(8)
+        assert len(peers) == 8
+        assert engine.stale_trials >= 5  # the dead trials were redrawn
+
+    def test_permanent_unreachability_escalates_cleanly(self):
+        dht = FlakyDHT(n=32, failures=10**9)
+        engine = BatchSampler(dht, n_hat=32.0, rng=random.Random(1), max_trials=5)
+        with pytest.raises(SamplingError):
+            engine.sample_many(3)
+
+    def test_trial_many_reports_dead_trials_as_exhausted(self):
+        dht = FlakyDHT(n=32, failures=2)
+        engine = BatchSampler(dht, n_hat=32.0, rng=random.Random(1))
+        winner = dht._points[5] - 1e-12  # a hair before a peer: small hit
+        results = engine.trial_many([0.1, 0.2, winner])
+        assert results[0].peer is None and results[1].peer is None
+        assert results[2].peer is not None
+
+
+class TestEntryCrashOnChord:
+    def test_sample_many_survives_entry_peer_crash(self):
+        net = ChordNetwork.build(32, m=12, rng=random.Random(3))
+        dht = net.dht()
+        engine = BatchSampler(dht, rng=random.Random(4))
+        entry = dht.entry_id
+        net.crash_node(entry)  # the adapter's vantage peer fail-stops
+        peers = engine.sample_many(5)
+        assert len(peers) == 5
+        assert all(p.peer_id in net.nodes for p in peers)
+        assert dht.entry_id != entry  # failover re-rooted the adapter
+
+    def test_sample_many_survives_crashes_mid_batch(self):
+        net = ChordNetwork.build(48, m=12, rng=random.Random(5))
+        dht = net.dht()
+        engine = BatchSampler(dht, rng=random.Random(6))
+        rng = random.Random(7)
+        for _ in range(4):
+            victim = rng.choice(sorted(net.nodes))
+            net.crash_node(victim)
+            assert len(engine.sample_many(3)) == 3
+
+    def test_refresh_tracks_population_change(self):
+        net = ChordNetwork.build(24, m=12, rng=random.Random(8))
+        dht = net.dht()
+        engine = BatchSampler(dht, rng=random.Random(9))
+        before = engine.params
+        for _ in range(24):
+            net.join_node()
+            net.run_stabilization(2)
+        after = engine.refresh()
+        assert after.n_hat != before.n_hat
+        assert engine.params is after

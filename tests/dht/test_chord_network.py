@@ -185,6 +185,63 @@ class TestChordDHTAdapter:
         with pytest.raises(KeyError):
             net.dht(entry_id=123456789)
 
+    def test_refresh_entry_rejects_dead_vantage(self):
+        net = ChordNetwork.build(8, m=16, rng=random.Random(21))
+        dht = net.dht()
+        with pytest.raises(KeyError):
+            dht.refresh_entry(entry_id=999999)
+
+    def test_refresh_entry_reroots_proactively(self):
+        net = ChordNetwork.build(8, m=16, rng=random.Random(22))
+        entry = min(net.nodes)
+        dht = net.dht(entry_id=entry)
+        assert dht.entry_is_alive
+        net.crash_node(entry)
+        assert not dht.entry_is_alive
+        new_entry = dht.refresh_entry()
+        assert new_entry in net.nodes
+        assert dht.entry_is_alive
+
+
+class TestRingMerge:
+    def test_orphaned_node_is_readopted(self):
+        net = ChordNetwork.build(20, m=16, rng=random.Random(23))
+        # orphan one node by hand: nothing in the ring points to it
+        victim_id = net.sorted_ids()[7]
+        victim = net.nodes[victim_id]
+        victim.successors = [victim_id]
+        victim.predecessor = None
+        for node in net.nodes.values():
+            if node is victim:
+                continue
+            node.successors = [s for s in node.successors if s != victim_id] or [node.node_id]
+            if node.predecessor == victim_id:
+                node.predecessor = None
+            node.fingers = [f if f != victim_id else None for f in node.fingers]
+        net.run_stabilization(8)
+        assert net.ring_is_correct()
+
+    def test_island_ring_is_merged_back(self):
+        net = ChordNetwork.build(20, m=16, rng=random.Random(24))
+        ids = net.sorted_ids()
+        a, b = ids[3], ids[11]
+        # hand-build a 2-node island: a and b only know each other
+        for island, other in ((a, b), (b, a)):
+            node = net.nodes[island]
+            node.successors = [other]
+            node.predecessor = other
+            node.fingers = [None] * node.m
+        for node_id, node in net.nodes.items():
+            if node_id in (a, b):
+                continue
+            node.successors = [s for s in node.successors if s not in (a, b)] or [node_id]
+            if node.predecessor in (a, b):
+                node.predecessor = None
+            node.fingers = [f if f not in (a, b) else None for f in node.fingers]
+        assert not net.ring_is_correct()
+        net.run_stabilization(10)
+        assert net.ring_is_correct()
+
 
 class TestSamplingOnChord:
     def test_sampler_runs_on_chord(self):

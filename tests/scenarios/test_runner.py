@@ -1,0 +1,122 @@
+"""End-to-end scenario runs: accounting, determinism, recovery, reporting.
+
+These are the stabilization-under-churn invariant tests: the service
+must absorb live joins/leaves/crashes without losing a single request
+or leaking an exception, and once churn stops bounded stabilization
+must return every ring to correctness.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.scenarios import (
+    find_baseline,
+    preset,
+    results_record,
+    results_table,
+    run_scenario,
+)
+
+# One CI-sized churning run shared by the read-only assertions below.
+_SPEC = preset("smoke", requests=80)
+_RESULT = None
+
+
+def smoke_result():
+    global _RESULT
+    if _RESULT is None:
+        _RESULT = run_scenario(_SPEC)
+    return _RESULT
+
+
+class TestAccounting:
+    def test_every_request_is_accounted_for(self):
+        r = smoke_result()
+        assert r.completed + r.failed + r.rejected == _SPEC.requests
+        assert not r.truncated
+
+    def test_churn_actually_happened_mid_run(self):
+        r = smoke_result()
+        assert r.churn_events > 0
+        kinds = [s.churn_events for s in r.shards]
+        assert any(sum(k.values()) > 0 for k in kinds)
+
+    def test_populations_tracked_per_shard(self):
+        r = smoke_result()
+        for shard in r.shards:
+            assert shard.population_start == _SPEC.n
+            assert shard.population_end >= _SPEC.min_size
+
+    def test_cost_is_metered(self):
+        r = smoke_result()
+        assert r.messages_per_sample is not None and r.messages_per_sample > 0
+        for shard in r.shards:
+            if shard.draws:
+                assert shard.messages > 0
+
+
+class TestStabilizationInvariant:
+    def test_rings_recover_once_churn_stops(self):
+        # ring_is_correct() eventually holds after churn stops: the
+        # runner's bounded recovery phase must land every shard there.
+        assert smoke_result().ring_recovered
+
+    def test_crashing_regime_also_recovers(self):
+        spec = preset("smoke", requests=40).with_(
+            name="crashy", crash_fraction=1.0, churn_rate=0.1
+        )
+        result = run_scenario(spec)
+        assert result.ring_recovered
+        assert result.completed + result.failed + result.rejected == 40
+
+
+class TestTruncation:
+    def test_max_sim_time_bounds_the_run(self):
+        # a trickle load that would take ~4000 sim units is cut off: the
+        # generator stops offering, so the hard stop actually stops
+        spec = preset("smoke", requests=400).with_(rate=0.1, max_sim_time=100.0)
+        result = run_scenario(spec)
+        assert result.truncated
+        served = result.completed + result.failed + result.rejected
+        assert served < spec.requests
+        assert result.sim_time < 500.0  # drain only, not the leftover load
+
+
+class TestUniformityReport:
+    def test_uniformity_metrics_present(self):
+        r = smoke_result()
+        assert r.min_chi2_p is None or 0.0 <= r.min_chi2_p <= 1.0
+        assert r.max_tv is None or 0.0 <= r.max_tv <= 1.0
+
+    def test_static_control_has_no_churn(self):
+        result = run_scenario(preset("smoke", requests=40).with_(
+            name="static", churn_rate=0.0
+        ))
+        assert result.churn_events == 0
+        assert result.ring_recovered
+        # with no membership change every draw lands on a survivor
+        assert all(s.live_fraction == 1.0 for s in result.shards if s.draws)
+
+
+class TestDeterminismAndRecord:
+    def test_same_seed_same_record(self):
+        a = run_scenario(_SPEC).to_record()
+        b = run_scenario(_SPEC).to_record()
+        a.pop("wall_seconds")
+        b.pop("wall_seconds")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_record_is_json_ready(self):
+        json.dumps(smoke_result().to_record())
+
+    def test_report_table_and_record(self):
+        static = run_scenario(_SPEC.with_(name="static", churn_rate=0.0))
+        results = [static, smoke_result()]
+        table = results_table(results)
+        assert len(table.rows) == 2
+        record = results_record(results, seed=_SPEC.seed, quick=True)
+        assert record["baseline"] == "static"
+        churny = record["scenarios"][1]
+        assert churny["inflation"]["messages_per_sample"] is not None
+        assert find_baseline(results) is static

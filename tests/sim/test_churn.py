@@ -9,6 +9,7 @@ import pytest
 from repro.dht.chord import ChordNetwork
 from repro.sim.churn import ChurnProcess
 from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
 
 
 def make_network(n=20, seed=0):
@@ -44,6 +45,17 @@ class TestChurnProcess:
         assert min(populations) >= 5
         assert max(populations) <= 40
 
+    def test_population_never_drops_below_min_size(self):
+        # the floor is a guarantee: at n <= min_size every event is a join
+        net, sim = make_network(n=6, seed=10)
+        churn = ChurnProcess(
+            net, sim, rate=5.0, rng=random.Random(11), target_size=6, min_size=6
+        )
+        churn.start()
+        sim.run(until=60.0)
+        assert len(churn.events) > 20
+        assert min(e.population for e in churn.events) >= 6
+
     def test_event_kinds_mixed(self):
         net, sim = make_network(n=30)
         churn = ChurnProcess(net, sim, rate=2.0, rng=random.Random(3), crash_fraction=0.5)
@@ -62,6 +74,53 @@ class TestChurnProcess:
         churn.stop()
         sim.run(until=50.0)
         assert len(churn.events) == count
+
+    def test_accepts_rng_registry_stream(self):
+        # the sim layer's seeding contract: churn draws from its own
+        # named substream, so two same-seed runs churn identically
+        logs = []
+        for _ in range(2):
+            net, sim = make_network(n=20, seed=7)
+            churn = ChurnProcess(
+                net, sim, rate=1.0, rng=RngRegistry(42), target_size=20
+            )
+            churn.start()
+            sim.run(until=50.0)
+            logs.append([(e.time, e.kind, e.node_id) for e in churn.events])
+        assert logs[0] == logs[1]
+        assert len(logs[0]) > 0
+
+    def test_named_stream_isolates_churn_randomness(self):
+        registry = RngRegistry(42)
+        registry.stream("other").random()  # an unrelated consumer draws first
+        net, sim = make_network(n=20, seed=7)
+        churn = ChurnProcess(net, sim, rate=1.0, rng=registry, target_size=20)
+        churn.start()
+        sim.run(until=50.0)
+        net2, sim2 = make_network(n=20, seed=7)
+        churn2 = ChurnProcess(net2, sim2, rate=1.0, rng=RngRegistry(42), target_size=20)
+        churn2.start()
+        sim2.run(until=50.0)
+        assert [e.time for e in churn.events] == [e.time for e in churn2.events]
+
+    def test_event_log_is_an_immutable_snapshot(self):
+        net, sim = make_network()
+        churn = ChurnProcess(net, sim, rate=2.0, rng=random.Random(8))
+        churn.start()
+        sim.run(until=20.0)
+        log = churn.events
+        assert isinstance(log, tuple)
+        sim.run(until=40.0)
+        assert len(churn.events) > len(log)  # the snapshot did not grow
+
+    def test_event_counts_sum_to_log_length(self):
+        net, sim = make_network(n=30)
+        churn = ChurnProcess(net, sim, rate=2.0, rng=random.Random(9))
+        churn.start()
+        sim.run(until=60.0)
+        counts = churn.event_counts()
+        assert set(counts) == {"join", "leave", "crash"}
+        assert sum(counts.values()) == len(churn.events)
 
     def test_ring_recovers_after_churn_with_maintenance(self):
         net, sim = make_network(n=25, seed=5)

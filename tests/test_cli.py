@@ -126,3 +126,25 @@ class TestCommands:
         main(["--seed", "5", "sample", "--n", "100", "--samples", "2"])
         second = capsys.readouterr().out
         assert first == second
+
+    def test_scenario_list_names_presets(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("static", "smoke", "moderate", "crash-heavy"):
+            assert name in out
+
+    def test_scenario_run_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "scenario.json"
+        assert main(["scenario", "run", "--preset", "smoke",
+                     "--requests", "40", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ring ok" in out
+        assert out_path.exists()
+
+    def test_scenario_run_rejects_bad_overrides(self, capsys):
+        assert main(["scenario", "run", "--preset", "smoke",
+                     "--crash-fraction", "2.0"]) == 2
+
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
