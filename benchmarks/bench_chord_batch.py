@@ -1,0 +1,29 @@
+"""Chord-path lookup throughput: scalar h() loop vs the lockstep engine.
+
+Thin entry point around :mod:`repro.bench.chord_batch` (also reachable
+as ``python -m repro bench chord-batch``), kept in ``benchmarks/`` so
+the artifact-producing scripts stay discoverable in one place.  See the
+module docstring there for what is measured and verified; results land
+in ``BENCH_chord_batch.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+from repro.bench.chord_batch import emit, main, run
+
+
+def test_chord_batch_quick(show, tmp_path):
+    """Smoke configuration: lockstep must beat scalar *and* stay identical."""
+    table, results = run([512], 300, seed=0, repeat=1)
+    show(table)
+    emit(results, tmp_path / "BENCH_chord_batch.json", quick=True, seed=0)
+    for row in results:
+        assert row["identical_peers"], row
+        assert row["identical_messages"], row
+        assert row["identical_hops"], row
+    static = [r for r in results if r["phase"] == "static"]
+    assert all(r["speedup"] > 1.2 for r in static)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

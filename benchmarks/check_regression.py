@@ -1,0 +1,222 @@
+"""Regression guard: compare fresh bench output against committed baselines.
+
+Every benchmark writes a ``BENCH_*.json`` artifact at the repo root; CI
+regenerates them in ``--quick`` mode on every push.  This script diffs
+the fresh records against the committed baselines (``git show
+<ref>:BENCH_*.json`` by default) and flags perf metrics that fell beyond
+a tolerance, plus any exact invariant (scalar/batch identity flags, ring
+recovery) that flipped from healthy to broken.
+
+Quick-mode output is compared against full-mode baselines, so metrics
+are keyed only by configuration axes both modes share (ring size,
+dispatch mode, scenario name -- never batch counts or request totals)
+and the default tolerance is deliberately loose: the guard exists to
+catch a 3x cliff from a bad refactor, not 10% noise.  It is wired into
+CI as a *non-blocking* step (``continue-on-error``): a red run is a
+prompt to look at the numbers, not a merge gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # worktree vs HEAD
+    PYTHONPATH=src python benchmarks/check_regression.py --run      # regenerate quick first
+    PYTHONPATH=src python benchmarks/check_regression.py --baseline-dir /path/to/baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: How each fresh quick benchmark is regenerated under ``--run``.
+QUICK_COMMANDS = {
+    "BENCH_throughput.json": ["benchmarks/bench_e17_throughput.py", "--quick"],
+    "BENCH_chord_batch.json": ["benchmarks/bench_chord_batch.py", "--quick"],
+    "BENCH_service.json": ["benchmarks/bench_service.py", "--quick"],
+    "BENCH_churn.json": ["benchmarks/bench_churn.py", "--quick"],
+}
+
+#: Metric direction markers.
+HIGHER, LOWER, EXACT = "higher-is-better", "lower-is-better", "exact"
+
+
+def _metrics_throughput(record: dict) -> dict:
+    out = {}
+    for row in record.get("results", []):
+        out[f"n={row['n']}/speedup"] = (row["speedup"], HIGHER)
+    return out
+
+
+def _metrics_chord_batch(record: dict) -> dict:
+    out = {}
+    for row in record.get("results", []):
+        key = f"n={row['n']}/{row['phase']}"
+        out[f"{key}/speedup"] = (row["speedup"], HIGHER)
+        for flag in ("identical_peers", "identical_messages", "identical_hops"):
+            out[f"{key}/{flag}"] = (bool(row.get(flag)), EXACT)
+    return out
+
+
+def _metrics_service(record: dict) -> dict:
+    out = {}
+    for row in record.get("dispatch_comparison", []):
+        key = f"n={row['n']}/shards={row['shards']}/{row['dispatch']}"
+        out[f"{key}/sustained_rps"] = (row["sustained_rps"], HIGHER)
+    return out
+
+
+def _metrics_churn(record: dict) -> dict:
+    out = {}
+    for scenario in record.get("scenarios", []):
+        name = scenario.get("spec", {}).get("name", "?")
+        out[f"{name}/ring_recovered"] = (bool(scenario.get("ring_recovered")), EXACT)
+        inflation = (scenario.get("inflation") or {}).get("messages_per_sample")
+        if inflation is not None:
+            out[f"{name}/msgs_per_sample_inflation"] = (inflation, LOWER)
+    return out
+
+
+EXTRACTORS = {
+    "BENCH_throughput.json": _metrics_throughput,
+    "BENCH_chord_batch.json": _metrics_chord_batch,
+    "BENCH_service.json": _metrics_service,
+    "BENCH_churn.json": _metrics_churn,
+}
+
+
+def _load_committed(name: str, ref: str, baseline_dir: Path | None) -> dict | None:
+    if baseline_dir is not None:
+        path = baseline_dir / name
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{name}"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:  # not committed yet (first run of a new bench)
+        return None
+    return json.loads(proc.stdout)
+
+
+def compare(fresh: dict, committed: dict, extractor, tolerance: float) -> list[dict]:
+    """Shared-key comparison: one verdict row per comparable metric."""
+    fresh_metrics = extractor(fresh)
+    committed_metrics = extractor(committed)
+    rows = []
+    for key in sorted(set(fresh_metrics) & set(committed_metrics)):
+        new, kind = fresh_metrics[key]
+        old, _ = committed_metrics[key]
+        if kind == EXACT:
+            # only a healthy->broken flip is a regression
+            regressed = bool(old) and not bool(new)
+        elif kind == HIGHER:
+            regressed = old > 0 and new < old * tolerance
+        else:  # LOWER
+            regressed = old > 0 and new > old / tolerance
+        rows.append(
+            {"metric": key, "kind": kind, "committed": old, "fresh": new,
+             "regressed": regressed}
+        )
+    return rows
+
+
+def _run_quick(out_dir: Path, names) -> None:
+    for name in names:
+        cmd = QUICK_COMMANDS.get(name)
+        if cmd is None:
+            continue
+        script, *flags = cmd
+        print(f"-- regenerating {name} ({script} --quick)")
+        subprocess.run(
+            [sys.executable, str(ROOT / script), *flags, "--out", str(out_dir / name)],
+            cwd=ROOT,
+            check=True,
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench", action="append", choices=sorted(EXTRACTORS),
+        help="restrict to these artifacts (default: all known)",
+    )
+    parser.add_argument(
+        "--fresh-dir", type=Path, default=ROOT,
+        help="directory holding the freshly generated BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline-ref", default="HEAD",
+        help="git ref to read committed baselines from (default: HEAD)",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=None,
+        help="read baselines from this directory instead of git",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.4,
+        help="allowed fresh/committed ratio floor for perf metrics "
+             "(default 0.4: quick-vs-full configs are only loosely comparable)",
+    )
+    parser.add_argument(
+        "--run", action="store_true",
+        help="regenerate the quick-mode artifacts into a temp dir first",
+    )
+    args = parser.parse_args(argv)
+    names = args.bench if args.bench else sorted(EXTRACTORS)
+
+    fresh_dir = args.fresh_dir
+    tmp = None
+    if args.run:
+        tmp = tempfile.TemporaryDirectory(prefix="bench-fresh-")
+        fresh_dir = Path(tmp.name)
+        _run_quick(fresh_dir, names)
+
+    any_regressed = False
+    compared = 0
+    for name in names:
+        fresh_path = fresh_dir / name
+        if not fresh_path.exists():
+            print(f"{name}: no fresh output at {fresh_path}, skipping")
+            continue
+        committed = _load_committed(name, args.baseline_ref, args.baseline_dir)
+        if committed is None:
+            print(f"{name}: no committed baseline, skipping")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        rows = compare(fresh, committed, EXTRACTORS[name], args.tolerance)
+        if not rows:
+            print(f"{name}: no comparable metrics (configurations disjoint)")
+            continue
+        print(f"== {name} (tolerance {args.tolerance:g}, baseline "
+              f"{args.baseline_dir or args.baseline_ref})")
+        for row in rows:
+            compared += 1
+            mark = "REGRESSED" if row["regressed"] else "ok"
+            old, new = row["committed"], row["fresh"]
+            fmt = (lambda v: f"{v:.3g}" if isinstance(v, float) else str(v))
+            print(f"  {mark:>9}  {row['metric']:<50} "
+                  f"committed={fmt(old):>8}  fresh={fmt(new):>8}")
+            any_regressed |= row["regressed"]
+    if tmp is not None:
+        tmp.cleanup()
+    if compared == 0:
+        print("nothing compared (no overlapping artifacts); treating as pass")
+        return 0
+    if any_regressed:
+        print("regression check FAILED (non-blocking in CI; inspect the rows above)",
+              file=sys.stderr)
+        return 1
+    print(f"regression check passed ({compared} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

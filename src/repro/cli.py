@@ -10,6 +10,7 @@ Subcommands::
     python -m repro serve      --n 5000 --rate 1.0 --shards 2 --requests 2000
     python -m repro scenario run --preset smoke     # serve under live churn
     python -m repro scenario list                   # the named churn regimes
+    python -m repro bench chord-batch --quick       # lockstep lookup bench
 
 Every subcommand accepts ``--seed`` for reproducibility and prints a
 plain-text report; exit status is non-zero on invalid arguments.
@@ -107,6 +108,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override maintenance cadence (0 disables)")
     p_run.add_argument("--out", type=Path, default=None,
                        help="also write the JSON record to this path")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run an artifact-producing benchmark without leaving the CLI",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_cb = bench_sub.add_parser(
+        "chord-batch",
+        help="Chord lookup throughput: scalar h() loop vs the lockstep engine",
+    )
+    p_cb.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    p_cb.add_argument("--out", type=Path, default=None, help="JSON output path")
+    p_cb.add_argument("--sizes", type=int, nargs="+", default=None,
+                      help="override the ring sizes to measure")
+    p_cb.add_argument("--k", type=int, default=None,
+                      help="override lookups per batch")
     return parser
 
 
@@ -304,6 +321,23 @@ def _cmd_scenario(args) -> int:
     return 0 if (result.ring_recovered and not result.truncated) else 1
 
 
+def _cmd_bench(args) -> int:
+    # Benchmarks own their argument handling; rebuild their argv so the
+    # CLI stays a thin launcher and the flags cannot drift apart.
+    from .bench import chord_batch
+
+    argv = ["--seed", str(args.seed)]
+    if args.quick:
+        argv.append("--quick")
+    if args.out is not None:
+        argv += ["--out", str(args.out)]
+    if args.sizes:
+        argv += ["--sizes", *map(str, args.sizes)]
+    if args.k is not None:
+        argv += ["--k", str(args.k)]
+    return chord_batch.main(argv)
+
+
 _COMMANDS = {
     "estimate": _cmd_estimate,
     "sample": _cmd_sample,
@@ -311,6 +345,7 @@ _COMMANDS = {
     "chord": _cmd_chord,
     "serve": _cmd_serve,
     "scenario": _cmd_scenario,
+    "bench": _cmd_bench,
 }
 
 

@@ -140,6 +140,23 @@ class BatchSampler:
         #: up as extra trials, never as a leaked substrate exception.
         self.stale_trials = 0
 
+    @property
+    def dht(self) -> DHT:
+        """The substrate this engine samples over (read-only)."""
+        return self._dht
+
+    def warm(self) -> bool:
+        """Pre-build the substrate's batch-routing caches, if it has any.
+
+        Delegates to the substrate's ``warm_lockstep`` hook (the Chord
+        adapter rebuilds its ring snapshot); a no-op returning False on
+        substrates without one.  Serving shards call this right after a
+        churn-recovery :meth:`refresh` so the next dispatch does not pay
+        cache (re)construction on the request path.
+        """
+        warm = getattr(self._dht, "warm_lockstep", None)
+        return bool(warm()) if warm is not None else False
+
     def refresh(self, n_hat: float | None = None) -> SamplerParams:
         """Re-derive parameters from a fresh size estimate (see
         :meth:`RandomPeerSampler.refresh <repro.core.sampler.RandomPeerSampler.refresh>`;
@@ -210,24 +227,48 @@ class BatchSampler:
         return results
 
     def _trials_fallback(self, points: Sequence[float]) -> list[TrialResult]:
-        """Per-call path for substrates without a flat point array.
+        """Batched-resolution path for substrates without a flat point array.
 
-        Runs each trial's ``h`` resolution and clockwise walk under a
+        The expensive half of each trial is resolving ``h(s)`` -- an
+        O(log n) routed lookup on a live overlay.  Substrates that offer
+        a failure-tolerant batched resolver (``resolve_many``; the Chord
+        adapter's is backed by the lockstep snapshot engine) get the
+        whole round's points in one call; the clockwise walks then run
+        per trial through ``next`` as before.  Substrates without one
+        resolve point by point, which is cost-identical to ``h_many`` on
+        per-call substrates.
+
+        Either way each trial runs under a
         :class:`~repro.dht.api.PeerUnreachableError` guard: on a live
         overlay a peer can crash mid-walk, and the correct response is to
         discard that trial (it consumed randomness, it produced nothing)
         and let the rejection loop redraw -- not to abort the whole
-        batch.  Point-by-point resolution is cost-identical to
-        ``h_many`` on per-call substrates, which by the
-        :class:`~repro.dht.api.BulkDHT` contract implement it as a loop.
+        batch.
         """
         dht = self._dht
         lam = self.params.lam
         budget = self.params.walk_budget
+        resolve_many = getattr(dht, "resolve_many", None)
+        firsts: list[PeerRef | None]
+        if resolve_many is not None and len(points) > 1:
+            firsts = resolve_many(points)
+        else:
+            firsts = []
+            for s in points:
+                try:
+                    firsts.append(dht.h(s))
+                except PeerUnreachableError:
+                    firsts.append(None)
         results = []
-        for s in points:
+        for s, first in zip(points, firsts):
+            if first is None:
+                self.stale_trials += 1
+                results.append(
+                    TrialResult(s=s, outcome=TrialOutcome.EXHAUSTED, peer=None, walk_hops=0)
+                )
+                continue
             try:
-                results.append(_trial_from_first(dht, lam, budget, s, dht.h(s)))
+                results.append(_trial_from_first(dht, lam, budget, s, first))
             except PeerUnreachableError:
                 self.stale_trials += 1
                 results.append(

@@ -36,12 +36,28 @@ and one meter update per trial.  A bulk-capable substrate provides:
   the meter amounts identical to what the per-call path would have.
 
 Fallback semantics: substrates that cannot answer from a flat array
-(the live Chord simulator) may still implement ``h_many`` as a
-per-call loop -- :class:`~repro.dht.chord.ChordDHT` does -- but they do
-*not* satisfy :class:`BulkDHT`, and batch callers must detect this
-(``isinstance(dht, BulkDHT)``) and fall back to the per-call ``h`` /
-``next`` protocol.  The semantics of both paths are identical; only the
-constant factors differ.
+(the live Chord simulator) may still implement ``h_many`` -- the
+:class:`~repro.dht.chord.ChordDHT` adapter resolves batches through a
+lockstep replay engine that is charge-identical to a per-call loop --
+but they do *not* satisfy :class:`BulkDHT` (no ``points_array`` /
+``bulk_op_costs``: a live overlay has no free flat point array and its
+per-lookup costs are measured, not unit-priced), and batch callers must
+detect this (``isinstance(dht, BulkDHT)``) and keep the per-call
+``h``/``next`` trial protocol.  The semantics of both paths are
+identical; only the constant factors differ.
+
+Two further *optional* per-call-substrate hooks, discovered by
+``getattr`` rather than protocol check:
+
+- ``resolve_many(xs) -> list[PeerRef | None]`` -- failure-tolerant
+  batched ``h``: charge-identical to a loop of ``h`` calls with the
+  substrate's retryable liveness error caught per point (``None`` marks
+  a point whose lookup failed terminally).  Batch samplers use it to
+  resolve a whole rejection round in one call and redraw just the
+  failed trials.
+- ``warm_lockstep() -> bool`` -- pre-build any batch-routing caches off
+  the request path (free of charges and randomness); returns whether
+  batched resolution is engaged.
 """
 
 from __future__ import annotations

@@ -3,12 +3,17 @@ standard-DHT substrate: iterative ``O(log n)`` lookups, successor lists,
 stabilization, and churn tolerance.
 """
 
+from .batch import BatchLookupStats, LookupTrace, RingSnapshot, lockstep_resolve
 from .idspace import id_to_point, in_open_closed, in_open_open, point_to_target_id
 from .network import ChordDHT, ChordNetwork
 from .node import ChordNode, LookupError_, LookupResult
 from .virtual import VirtualChordNetwork
 
 __all__ = [
+    "BatchLookupStats",
+    "LookupTrace",
+    "RingSnapshot",
+    "lockstep_resolve",
     "VirtualChordNetwork",
     "id_to_point",
     "point_to_target_id",

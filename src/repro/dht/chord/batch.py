@@ -1,0 +1,557 @@
+"""Lockstep batch lookup engine over an epoch-cached Chord ring snapshot.
+
+The per-call Chord lookup pays Python RPC dispatch, metrics-counter and
+finger-scan overhead *per hop*.  For a batch of ``k`` lookups on a ring
+whose state is not changing, that work is pure interpretation overhead:
+every routing step is a deterministic function of frozen node state.
+This module resolves whole batches against a :class:`RingSnapshot` -- a
+flat array view of the ring (sorted identifiers, first-successor array,
+a dense finger matrix and padded successor-list matrix) -- advancing all
+in-flight lookups **in lockstep**, one hop per round, with the routing
+decisions of a round computed as a handful of vectorized array
+operations instead of ``k`` RPC round trips.
+
+Correctness contract
+--------------------
+
+The engine is a *charge-identical replay*, not an approximation: for
+every target it must produce the same owner, the same hop count, and
+the same message/latency charges that :meth:`ChordNode.lookup` (or
+``lookup_recursive``) would have produced against the same frozen node
+state.  Three design rules make that exact:
+
+- **Epoch invalidation.**  :class:`~repro.dht.chord.network.ChordNetwork`
+  bumps a ``churn_epoch`` counter on every membership or maintenance
+  event (join, crash, leave, stabilize, rewire).  A snapshot records the
+  epoch it was built at and is discarded the moment the counter moves,
+  so the engine never routes on state the live path would no longer see.
+- **Cost determinism.**  Offline replay is only charge-identical when
+  the transport's per-call costs are deterministic (a ``deterministic``
+  latency model and ``loss_rate == 0``); the adapter checks this before
+  engaging and otherwise keeps the per-call loop.
+- **Exact fallback.**  The vectorized lane handles the hot path -- no
+  crashed references, no exclusion lists.  A lookup that touches a dead
+  node (a stale finger/successor pointing at a crashed peer) is replayed
+  from scratch by :func:`_sim_iterative`, a line-by-line Python
+  transcription of the client-driven loop *including* its
+  excluded-node rerouting, still against the snapshot.  A lookup that
+  fails terminally (hop budget exhausted, dead recursive hop) is
+  reported with ``ok=False`` and the adapter re-executes it -- and
+  everything after it -- through the live per-call path, which replays
+  the failed attempt's charges, triggers the same stabilization retry,
+  and leaves the network in the same state as a scalar call sequence.
+
+Because successful lookups never mutate node state, evaluating a batch
+against one frozen snapshot is order-equivalent to evaluating it
+sequentially; the first terminal failure is the first point at which
+the live path would have mutated the network (stabilization), which is
+exactly where the adapter cuts over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+try:  # optional acceleration; the pure-Python lane is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional dependency
+    _np = None
+
+from ..api import NUMPY_MIN_BATCH
+from .idspace import in_open_closed, in_open_open
+from .node import hop_budget
+
+__all__ = ["BatchLookupStats", "LookupTrace", "RingSnapshot", "lockstep_resolve"]
+
+
+@dataclass(frozen=True, slots=True)
+class LookupTrace:
+    """Outcome and exact cost accounting of one replayed lookup.
+
+    ``messages``/``latency``/``rpc_calls``/``rpc_timeouts`` are the
+    amounts the live transport would have charged; ``ok=False`` marks a
+    terminal failure (the live path would raise ``LookupError_``), whose
+    charges the caller must *discard* and re-execute live.
+    """
+
+    owner: int
+    hops: int
+    messages: int
+    latency: float
+    rpc_calls: int
+    rpc_timeouts: int
+    ok: bool
+
+
+@dataclass(slots=True)
+class BatchLookupStats:
+    """Where an adapter's batched lookups were resolved (observability).
+
+    ``lockstep`` counts lookups answered by the snapshot engine,
+    ``delegated`` those the engine flagged as failing and handed back to
+    the live per-call path, and ``percall`` points that never reached
+    the engine (batch too small, or a non-deterministic cost model).
+    """
+
+    lockstep: int = 0
+    delegated: int = 0
+    percall: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "lockstep": self.lockstep,
+            "delegated": self.delegated,
+            "percall": self.percall,
+        }
+
+
+class RingSnapshot:
+    """Immutable array view of a :class:`ChordNetwork` at one churn epoch.
+
+    Copies every node's successor list and finger table (the live lists
+    mutate in place during stabilization) and, when numpy is available,
+    lays them out as dense matrices indexed by ring position so a
+    lockstep round is a few vectorized gathers instead of per-node
+    attribute traffic.  Build cost is O(n * m); the network caches one
+    snapshot per epoch so static phases amortize it across every batch
+    issued until the next membership event.
+    """
+
+    __slots__ = (
+        "epoch", "m", "n", "ids", "pos", "succ_lists", "finger_lists",
+        "ids_np", "succ_first_np", "finger_mat", "succ_mat", "pos_table",
+    )
+
+    #: Largest identifier space for which a dense id -> position table is
+    #: materialized (2^22 entries of int32 = 16 MiB); larger spaces fall
+    #: back to binary search for liveness/position queries.
+    MAX_TABLE_BITS = 22
+
+    def __init__(self, epoch: int, m: int, ids, succ_lists, finger_lists):
+        self.epoch = epoch
+        self.m = m
+        self.ids = ids
+        self.n = len(ids)
+        self.pos = {node_id: i for i, node_id in enumerate(ids)}
+        self.succ_lists = succ_lists
+        self.finger_lists = finger_lists
+        if _np is not None and self.n:
+            self.ids_np = _np.asarray(ids, dtype=_np.int64)
+            self.succ_first_np = _np.fromiter(
+                (s[0] if s else node_id for node_id, s in zip(ids, succ_lists)),
+                dtype=_np.int64,
+                count=self.n,
+            )
+            self.finger_mat = _np.fromiter(
+                (-1 if f is None else f for fl in finger_lists for f in fl),
+                dtype=_np.int64,
+                count=self.n * m,
+            ).reshape(self.n, m)
+            width = max((len(s) for s in succ_lists), default=1)
+            succ_mat = _np.full((self.n, width), -1, dtype=_np.int64)
+            for i, s in enumerate(succ_lists):
+                if s:
+                    succ_mat[i, : len(s)] = s
+            self.succ_mat = succ_mat
+            if m <= self.MAX_TABLE_BITS:
+                # Dense id -> position + 1 (0 = dead): O(1) liveness and
+                # position gathers per round instead of binary searches.
+                table = _np.zeros(1 << m, dtype=_np.int32)
+                table[self.ids_np] = _np.arange(1, self.n + 1, dtype=_np.int32)
+                self.pos_table = table
+            else:
+                self.pos_table = None
+        else:
+            self.ids_np = None
+            self.succ_first_np = None
+            self.finger_mat = None
+            self.succ_mat = None
+            self.pos_table = None
+
+    @classmethod
+    def build(cls, network) -> "RingSnapshot":
+        ids = list(network.sorted_ids())
+        nodes = network.nodes
+        succ_lists = [tuple(nodes[i].successors) for i in ids]
+        finger_lists = [tuple(nodes[i].fingers) for i in ids]
+        return cls(network.churn_epoch, network.m, ids, succ_lists, finger_lists)
+
+    def alive(self, node_id: int) -> bool:
+        """Whether ``node_id`` was a live ring member at snapshot time."""
+        return node_id in self.pos
+
+
+def lockstep_resolve(
+    snapshot: RingSnapshot,
+    entry_id: int,
+    targets,
+    *,
+    mode: str = "iterative",
+    rpc_latency: float,
+    oneway_latency: float,
+    timeout: float,
+) -> list[LookupTrace]:
+    """Replay one lookup per target from ``entry_id``, all in lockstep.
+
+    ``rpc_latency`` is the full round-trip charge of one successful RPC
+    (two one-way samples), ``oneway_latency`` a single forwarded leg,
+    ``timeout`` the charge of a call to a dead node.  Returns one
+    :class:`LookupTrace` per target, in order; traces with ``ok=False``
+    carry the charges of the *failed attempt*, which callers discard in
+    favour of a live re-execution (see the module docstring).
+    """
+    if entry_id not in snapshot.pos:
+        raise KeyError(f"entry node {entry_id} is not in the snapshot")
+    budget = hop_budget(snapshot.m)
+    if (
+        _np is None
+        or snapshot.ids_np is None
+        or len(targets) < NUMPY_MIN_BATCH
+    ):
+        sim = _sim_iterative if mode == "iterative" else _sim_recursive
+        lat = rpc_latency if mode == "iterative" else oneway_latency
+        return [
+            sim(snapshot, entry_id, t, budget, lat, timeout) for t in targets
+        ]
+    if mode == "iterative":
+        return _vector_resolve(
+            snapshot, entry_id, targets, budget, rpc_latency, timeout,
+            recursive=False,
+        )
+    return _vector_resolve(
+        snapshot, entry_id, targets, budget, oneway_latency, timeout,
+        recursive=True,
+    )
+
+
+# -- exact Python replay (slow lane, and the no-numpy path) ----------------
+
+
+def _sim_step(snapshot: RingSnapshot, node_id: int, target: int, excluded):
+    """``ChordNode.lookup_step`` evaluated against the snapshot.
+
+    Byte-for-byte transcription of the live routing step -- the
+    effective successor skips excluded ids, ``closest_preceding_node``
+    scans fingers then successors in reverse, and a self/excluded best
+    hop falls through to the successor -- so replayed routes cannot
+    drift from what the live node would have answered.
+    """
+    i = snapshot.pos[node_id]
+    succs = snapshot.succ_lists[i]
+    succ = next((s for s in succs if s not in excluded), node_id)
+    if succ == node_id or in_open_closed(target, node_id, succ):
+        return "done", succ
+    nxt = None
+    for finger in reversed(snapshot.finger_lists[i]):
+        if (
+            finger is not None
+            and finger not in excluded
+            and in_open_open(finger, node_id, target)
+        ):
+            nxt = finger
+            break
+    if nxt is None:
+        for s in reversed(succs):
+            if s not in excluded and in_open_open(s, node_id, target):
+                nxt = s
+                break
+    if nxt is None:
+        nxt = succs[0] if succs else node_id  # get_successor()
+    if nxt == node_id or nxt in excluded:
+        nxt = succ
+    return "forward", nxt
+
+
+def _sim_iterative(
+    snapshot: RingSnapshot,
+    entry_id: int,
+    target: int,
+    budget: int,
+    rpc_latency: float,
+    timeout: float,
+) -> LookupTrace:
+    """Replay of the client-driven iterative loop, exclusions included.
+
+    Mirrors :meth:`ChordNode.lookup` statement for statement: the first
+    step is answered locally (uncharged), each forward is one charged
+    RPC, a dead owner is pinged (one lost message + timeout), excluded,
+    and the query re-asked from the last responsive node, and the hop
+    budget is checked at exactly the same points.
+    """
+    excluded: tuple[int, ...] = ()
+    current = entry_id
+    kind, nxt = _sim_step(snapshot, entry_id, target, excluded)
+    hops = 0
+    msgs = 0
+    calls = 0
+    touts = 0
+    lat = 0.0
+
+    def ask(node_id: int):
+        nonlocal msgs, calls, lat
+        if node_id != entry_id:
+            calls += 1
+            msgs += 2
+            lat += rpc_latency
+        return _sim_step(snapshot, node_id, target, excluded)
+
+    while True:
+        if kind == "done":
+            owner = nxt
+            if owner == entry_id:
+                return LookupTrace(owner, hops, msgs, lat, calls, touts, True)
+            if snapshot.alive(owner):
+                calls += 1
+                msgs += 2
+                lat += rpc_latency  # the liveness ping before handing out the owner
+                return LookupTrace(owner, hops, msgs, lat, calls, touts, True)
+            calls += 1
+            touts += 1
+            msgs += 1
+            lat += timeout
+            excluded = excluded + (owner,)
+            hops += 1
+            if hops >= budget:
+                return LookupTrace(-1, hops, msgs, lat, calls, touts, False)
+            kind, nxt = ask(current)
+            continue
+        if hops >= budget:
+            return LookupTrace(-1, hops, msgs, lat, calls, touts, False)
+        if snapshot.alive(nxt):
+            calls += 1
+            msgs += 2
+            lat += rpc_latency
+            kind, result = _sim_step(snapshot, nxt, target, excluded)
+            hops += 1
+            current, nxt = nxt, result
+        else:
+            calls += 1
+            touts += 1
+            msgs += 1
+            lat += timeout
+            excluded = excluded + (nxt,)
+            hops += 1
+            kind, nxt = ask(current)
+
+
+def _sim_recursive(
+    snapshot: RingSnapshot,
+    entry_id: int,
+    target: int,
+    budget: int,
+    oneway_latency: float,
+    timeout: float,
+) -> LookupTrace:
+    """Replay of the forwarded (recursive) chain.
+
+    Mirrors ``lookup_recursive``/``forward_lookup``: one charged one-way
+    message per forwarded hop, the budget checked on arrival, a dead hop
+    or a dead owner failing the whole query (no client-side rerouting),
+    and the owner's single direct reply charged as one message with no
+    latency leg.
+    """
+    cur = entry_id
+    hops = 0
+    msgs = 0
+    calls = 0
+    touts = 0
+    lat = 0.0
+    while True:
+        if hops > budget:
+            return LookupTrace(-1, hops, msgs, lat, calls, touts, False)
+        kind, nxt = _sim_step(snapshot, cur, target, ())
+        if kind == "done":
+            owner = nxt
+            if owner != entry_id:
+                if not snapshot.alive(owner):
+                    return LookupTrace(-1, hops, msgs, lat, calls, touts, False)
+                msgs += 1  # the owner's direct reply to the querier
+            return LookupTrace(owner, hops, msgs, lat, calls, touts, True)
+        if not snapshot.alive(nxt):
+            calls += 1
+            touts += 1
+            msgs += 1
+            lat += timeout
+            return LookupTrace(-1, hops, msgs, lat, calls, touts, False)
+        calls += 1
+        msgs += 1
+        lat += oneway_latency
+        hops += 1
+        cur = nxt
+
+
+# -- the vectorized lane ----------------------------------------------------
+
+
+def _alive_np(ids, values):
+    """Membership of ``values`` in the sorted ``ids`` array."""
+    pos = _np.searchsorted(ids, values)
+    pos = _np.minimum(pos, len(ids) - 1)
+    return ids[pos] == values
+
+
+# Per-lookup states of the lockstep frontier.
+_ACTIVE, _OK, _REPLAY = 0, 1, 2
+
+
+def _vector_resolve(
+    snapshot: RingSnapshot,
+    entry_id: int,
+    targets,
+    budget: int,
+    hop_latency: float,
+    timeout: float,
+    *,
+    recursive: bool,
+) -> list[LookupTrace]:
+    """Advance all lookups one hop per round via array-indexed routing.
+
+    Handles only the uncomplicated path -- every touched node alive, no
+    exclusion lists.  The moment a lookup meets a dead reference or
+    exhausts its budget it is parked in the ``_REPLAY`` state and
+    finished by the exact Python simulator, which recomputes it from
+    scratch (replays are side-effect-free, so restarting loses nothing).
+    ``hop_latency`` is the round-trip charge per hop in iterative mode
+    and the one-way charge in recursive mode.
+
+    Interval tests use modular distances: with the identifier space a
+    power of two, ``in_open_open(x, a, b)`` is
+    ``dx != 0 and (dx < db or db == 0)`` for ``dx = (x-a) & mask``,
+    ``db = (b-a) & mask`` (``db == 0`` covers the ``a == b`` whole-ring
+    convention), and ``in_open_closed(x, a, b)`` with ``a != b`` is
+    ``dx != 0 and dx <= db`` -- two integer ops and two compares per
+    element, no branching.
+    """
+    np = _np
+    k = len(targets)
+    ids = snapshot.ids_np
+    fingers = snapshot.finger_mat
+    succ_mat = snapshot.succ_mat
+    succ_first = snapshot.succ_first_np
+    table = snapshot.pos_table
+    m = snapshot.m
+    mask = (1 << m) - 1
+    t = np.asarray(targets, dtype=np.int64)
+
+    # Values probed below are always node ids drawn from snapshot state
+    # (fingers, successor entries), never the -1 padding, so the dense
+    # table can be indexed directly.
+    if table is not None:
+        alive_of = lambda v: table[v] > 0
+        pos_of = lambda v: table[v].astype(np.int64) - 1
+    else:
+        alive_of = lambda v: _alive_np(ids, v)
+        pos_of = lambda v: np.searchsorted(ids, v)
+    cur = np.full(k, snapshot.pos[entry_id], dtype=np.int64)
+    hops = np.zeros(k, dtype=np.int64)
+    owner = np.full(k, -1, dtype=np.int64)
+    pinged = np.zeros(k, dtype=bool)
+    state = np.full(k, _ACTIVE, dtype=np.int8)
+
+    while True:
+        act = np.nonzero(state == _ACTIVE)[0]
+        if act.size == 0:
+            break
+        if recursive:
+            # forward_lookup checks the budget on arrival, before routing.
+            over = hops[act] > budget
+            if over.any():
+                state[act[over]] = _REPLAY
+                act = act[~over]
+                if act.size == 0:
+                    continue
+        c = cur[act]
+        node = ids[c]
+        tgt = t[act]
+        succ = succ_first[c]
+        # in_open_closed(tgt, node, succ); succ == node (whole-ring case)
+        # short-circuits the test, so the a != b modular form suffices.
+        d_t = (tgt - node) & mask
+        d_s = (succ - node) & mask
+        done = (succ == node) | ((d_t != 0) & (d_t <= d_s))
+
+        if done.any():
+            d_idx = act[done]
+            own = succ[done]
+            is_entry = own == entry_id
+            ok = is_entry | alive_of(own)
+            ok_idx = d_idx[ok]
+            state[ok_idx] = _OK
+            owner[ok_idx] = own[ok]
+            pinged[ok_idx] = ~is_entry[ok]
+            # Dead owner: iterative mode excludes and re-routes, recursive
+            # mode fails outright -- both exactly replayed in Python.
+            state[d_idx[~ok]] = _REPLAY
+
+        fwd = ~done
+        if not fwd.any():
+            continue
+        f_idx = act[fwd]
+        if not recursive:
+            # The iterative client checks the budget before forwarding.
+            over = hops[f_idx] >= budget
+            if over.any():
+                state[f_idx[over]] = _REPLAY
+                f_idx = f_idx[~over]
+                if f_idx.size == 0:
+                    continue
+        c = cur[f_idx]
+        node = ids[c]
+        tgt = t[f_idx]
+        succ = succ_first[c]
+        # closest_preceding_node: the highest finger strictly inside
+        # (node, target), whole rows at once.  Reversing the column axis
+        # makes argmax return the *first* admissible entry scanning from
+        # the top finger down -- the live node's scan order.
+        d_t = (tgt - node) & mask
+        whole_ring = (d_t == 0)[:, None]
+        rows = fingers[c]
+        d_f = (rows - node[:, None]) & mask
+        ok_f = (rows >= 0) & (d_f != 0) & ((d_f < d_t[:, None]) | whole_ring)
+        rev = ok_f[:, ::-1]
+        pick = rev.argmax(axis=1)
+        found = rev[np.arange(rows.shape[0]), pick]
+        nxt = rows[np.arange(rows.shape[0]), m - 1 - pick]
+        if not found.all():
+            # ... then the successor list in reverse, then the successor.
+            miss = np.nonzero(~found)[0]
+            rows = succ_mat[c[miss]]
+            d_s = (rows - node[miss, None]) & mask
+            ok_s = (
+                (rows >= 0)
+                & (d_s != 0)
+                & ((d_s < d_t[miss, None]) | whole_ring[miss])
+            )
+            rev = ok_s[:, ::-1]
+            pick = rev.argmax(axis=1)
+            sub_found = rev[np.arange(rows.shape[0]), pick]
+            sub_nxt = rows[np.arange(rows.shape[0]), rows.shape[1] - 1 - pick]
+            nxt[miss] = np.where(sub_found, sub_nxt, succ[miss])
+        nxt = np.where(nxt == node, succ, nxt)  # lookup_step's self-fallback
+        alive = alive_of(nxt)
+        state[f_idx[~alive]] = _REPLAY  # dead hop: reroute (or fail) exactly
+        live_idx = f_idx[alive]
+        hops[live_idx] += 1
+        cur[live_idx] = pos_of(nxt[alive])
+
+    sim = _sim_recursive if recursive else _sim_iterative
+    traces = []
+    for i in range(k):
+        if state[i] == _OK:
+            h = int(hops[i])
+            if recursive:
+                calls = h
+                msgs = h + (1 if int(owner[i]) != entry_id else 0)
+            else:
+                calls = h + (1 if pinged[i] else 0)
+                msgs = 2 * calls
+            traces.append(
+                LookupTrace(
+                    int(owner[i]), h, msgs, hop_latency * calls, calls, 0, True
+                )
+            )
+        else:
+            traces.append(
+                sim(snapshot, entry_id, int(t[i]), budget, hop_latency, timeout)
+            )
+    return traces

@@ -13,7 +13,8 @@ import networkx as nx
 from ...core.intervals import SortedCircle
 from ...sim.kernel import Simulator
 from ...sim.network import LatencyModel, RpcTimeout, RpcTransport
-from ..api import CostMeter, PeerRef
+from ..api import NUMPY_MIN_BATCH, CostMeter, PeerRef
+from .batch import BatchLookupStats, RingSnapshot, lockstep_resolve
 from .idspace import id_to_point, point_to_target_id
 from .node import ChordNode, LookupError_
 
@@ -52,6 +53,20 @@ class ChordNetwork:
         #: can be disabled to study *pure* pairwise stabilization.
         self.ring_merge = ring_merge
         self.nodes: dict[int, ChordNode] = {}
+        #: Monotone counter bumped by every membership or maintenance
+        #: event (join/crash/leave/stabilize/rewire).  Epoch-keyed caches
+        #: -- the memoized :meth:`sorted_ids` and the lockstep engine's
+        #: :class:`~repro.dht.chord.batch.RingSnapshot` -- are rebuilt
+        #: lazily whenever this moves.  Callers that mutate node state
+        #: *directly* (bypassing the network API) must call
+        #: :meth:`bump_epoch` themselves.
+        self.churn_epoch = 0
+        #: How many ring snapshots have been (re)built -- epoch-cache
+        #: observability for benches and scenario reports.
+        self.snapshot_builds = 0
+        self._sorted_cache: list[int] | None = None
+        self._sorted_epoch = -1
+        self._snapshot: RingSnapshot | None = None
 
     # -- bootstrap ---------------------------------------------------------
 
@@ -105,6 +120,14 @@ class ChordNetwork:
                 fresh.append(candidate)
         return fresh
 
+    def bump_epoch(self) -> None:
+        """Invalidate epoch-keyed caches after a state mutation.
+
+        Called by every mutating network method; exposed publicly for
+        tests and tools that reach into node state directly.
+        """
+        self.churn_epoch += 1
+
     def rewire_perfectly(self) -> None:
         """Set every node's state to the stabilized fixed point (oracle)."""
         ids = sorted(self.nodes)
@@ -119,6 +142,7 @@ class ChordNetwork:
             for f in range(self.m):
                 target = (node_id + (1 << f)) % size
                 node.fingers[f] = self._oracle_successor(ids, target)
+        self.bump_epoch()
 
     @staticmethod
     def _oracle_successor(sorted_ids: list[int], target: int) -> int:
@@ -139,6 +163,7 @@ class ChordNetwork:
         self.transport.register(node_id, node)
         if entry is not None:
             node.join(entry)
+        self.bump_epoch()
         return node
 
     def crash_node(self, node_id: int) -> None:
@@ -155,6 +180,7 @@ class ChordNetwork:
             raise KeyError(f"no node {node_id}")
         del self.nodes[node_id]
         self.transport.deregister(node_id)
+        self.bump_epoch()
 
     def _random_alive_id(self) -> int | None:
         others = [i for i in self.nodes]
@@ -181,6 +207,7 @@ class ChordNetwork:
                 node.fix_next_finger()
         if self.ring_merge:
             self._merge_rings()
+        self.bump_epoch()
 
     def _merge_rings(self) -> None:
         """Re-join nodes that churn has split off the main ring.
@@ -240,8 +267,36 @@ class ChordNetwork:
     # -- oracles for tests and analysis ----------------------------------------
 
     def sorted_ids(self) -> list[int]:
-        """Alive identifiers in clockwise ring order (oracle view)."""
-        return sorted(self.nodes)
+        """Alive identifiers in clockwise ring order (oracle view).
+
+        Memoized on :attr:`churn_epoch`: static phases pay the O(n log n)
+        sort once per epoch instead of on every call (the pre-memoization
+        behaviour re-sorted on *each* lookup failover, bench row and
+        oracle check).  The returned list is shared -- treat it as
+        read-only.  A length guard catches direct ``nodes`` mutations
+        that forgot :meth:`bump_epoch`.
+        """
+        if (
+            self._sorted_cache is None
+            or self._sorted_epoch != self.churn_epoch
+            or len(self._sorted_cache) != len(self.nodes)
+        ):
+            self._sorted_cache = sorted(self.nodes)
+            self._sorted_epoch = self.churn_epoch
+        return self._sorted_cache
+
+    def snapshot(self) -> RingSnapshot:
+        """The epoch-cached array view used by the lockstep lookup engine.
+
+        Rebuilt lazily on first use after :attr:`churn_epoch` moves, so
+        thousands of batched lookups in a static phase share one build
+        while any membership/maintenance event invalidates it before the
+        next batch.
+        """
+        if self._snapshot is None or self._snapshot.epoch != self.churn_epoch:
+            self._snapshot = RingSnapshot.build(self)
+            self.snapshot_builds += 1
+        return self._snapshot
 
     def ring_is_correct(self) -> bool:
         """Every successor pointer equals the next alive id clockwise."""
@@ -305,6 +360,36 @@ class ChordNetwork:
         return cls.build(n, m=m, rng=rng, **kwargs).dht(lookup_mode=lookup_mode)
 
 
+try:  # optional acceleration for batched point -> target conversion
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional dependency
+    _np = None
+
+
+def _targets_for(points, m: int):
+    """``point_to_target_id`` over a vector, stopping at the first invalid.
+
+    Returns the converted prefix (possibly the whole vector); the caller
+    replays the first unconverted point through the scalar path so an
+    out-of-domain value raises exactly where a per-call loop would.
+    """
+    if _np is not None and len(points) >= NUMPY_MIN_BATCH:
+        arr = _np.asarray(points, dtype=_np.float64)
+        ok = (arr > 0.0) & (arr <= 1.0)  # negated form would let NaN through
+        if not ok.all():
+            arr = arr[: int(_np.argmin(ok))]
+        size = 1 << m
+        # same float product and ceiling as math.ceil(x * size) % size
+        return _np.ceil(arr * size).astype(_np.int64) % size
+    targets: list[int] = []
+    for x in points:
+        try:
+            targets.append(point_to_target_id(x, m))
+        except ValueError:
+            break
+    return targets
+
+
 class ChordDHT:
     """The paper's DHT interface over a live :class:`ChordNetwork`.
 
@@ -336,6 +421,10 @@ class ChordDHT:
         self._retries = retries
         self._lookup_mode = lookup_mode
         self.cost = CostMeter()
+        #: Where this adapter's batched lookups were resolved (lockstep
+        #: engine vs live per-call) -- read by benches and the scenario
+        #: runner's shard reports.
+        self.batch_stats = BatchLookupStats()
 
     def _ref(self, node_id: int) -> PeerRef:
         return PeerRef(peer_id=node_id, point=id_to_point(node_id, self._network.m))
@@ -415,17 +504,159 @@ class ChordDHT:
             )
         return self._ref(result.node_id)
 
-    def h_many(self, xs) -> list[PeerRef]:
-        """Graceful per-call fallback: one iterative lookup per point.
+    # -- batched lookups (the lockstep engine) ---------------------------
 
-        A live Chord overlay has no flat point array to resolve against,
-        so there is nothing to vectorize -- each point still costs one
-        real lookup and is metered per call.  ``ChordDHT`` deliberately
-        does *not* implement ``points_array``/``successor_of_index`` and
-        therefore fails the ``BulkDHT`` check: batch callers detect that
-        and keep their per-call walk path, preserving exact semantics.
+    def lockstep_eligible(self) -> bool:
+        """Whether snapshot replay is charge-identical to live lookups.
+
+        Requires a loss-free transport and a deterministic latency model
+        (see :class:`~repro.sim.network.LatencyModel`): under either
+        stochastic ingredient, replaying lookups off-transport would
+        consume the RNG stream differently from live execution and the
+        equivalence guarantee -- same peers, hops and charges as a
+        scalar ``h`` loop -- would be lost.  Ineligible adapters keep
+        the per-call loop.
         """
-        return [self.h(x) for x in xs]
+        transport = self._network.transport
+        return transport.loss_rate == 0.0 and bool(
+            getattr(transport.latency_model, "deterministic", False)
+        )
+
+    def warm_lockstep(self) -> bool:
+        """Pre-build the ring snapshot off the request path.
+
+        Serving shards call this after churn-recovery refreshes so the
+        first batch of a re-admitted shard does not pay the snapshot
+        build inside its dispatch.  Returns whether the lockstep engine
+        is engaged for this adapter.  Free of charges and randomness.
+        """
+        if not self.lockstep_eligible():
+            return False
+        self._network.snapshot()
+        return True
+
+    def h_many(self, xs) -> list[PeerRef]:
+        """``h`` over a whole vector of points via lockstep batch routing.
+
+        Resolves all points in one pass over the epoch-cached
+        :class:`~repro.dht.chord.batch.RingSnapshot` -- every in-flight
+        lookup advanced one hop per round through array-indexed finger
+        tables -- and charges the meter and transport counters the exact
+        per-lookup amounts the equivalent ``[self.h(x) for x in xs]``
+        loop would have, including routing around crashed fingers.  A
+        lookup the engine cannot complete (the live path would raise and
+        stabilize) cuts the batch over to live per-call execution from
+        that index on, preserving the scalar loop's retry/stabilization
+        sequence exactly.  When replay cannot be charge-identical (lossy
+        transport, stochastic latency; see :meth:`lockstep_eligible`)
+        the whole batch takes the per-call loop.
+
+        ``ChordDHT`` still deliberately does *not* implement
+        ``points_array``/``bulk_op_costs`` and therefore fails the
+        ``BulkDHT`` check: a live overlay has no free flat point array,
+        and batch samplers must keep metering real per-hop costs rather
+        than synthetic unit costs.
+        """
+        return self._h_many(list(xs), tolerant=False)
+
+    def resolve_many(self, xs) -> list[PeerRef | None]:
+        """Failure-tolerant :meth:`h_many`: per-point ``None`` on failure.
+
+        Same batched resolution and identical charges, but a point whose
+        lookup fails terminally (after the live path's own retries and
+        stabilization attempts) yields ``None`` instead of raising, so
+        batch samplers can redraw just that trial.  Mirrors a loop of
+        ``h`` calls with ``LookupError_`` caught per point.
+        """
+        return self._h_many(list(xs), tolerant=True)
+
+    def _h_scalar(self, x: float, tolerant: bool) -> PeerRef | None:
+        if not tolerant:
+            return self.h(x)
+        try:
+            return self.h(x)
+        except LookupError_:
+            return None
+
+    def _h_many(self, points: list, tolerant: bool) -> list:
+        if len(points) < 2 or not self.lockstep_eligible():
+            self.batch_stats.percall += len(points)
+            return [self._h_scalar(x, tolerant) for x in points]
+        network = self._network
+        transport = network.transport
+        # Deterministic models return a constant and consume no RNG, so
+        # sampling here mirrors (not perturbs) the live per-call charges.
+        one_way = transport.latency_model.sample(network.rng)
+        out: list = []
+        i = 0
+        while i < len(points):
+            entry = self._entry_node()
+            snapshot = network.snapshot()
+            targets = _targets_for(points[i:], network.m)
+            if len(targets) == 0:
+                out.append(self._h_scalar(points[i], tolerant))
+                i += 1
+                continue
+            traces = lockstep_resolve(
+                snapshot,
+                entry.node_id,
+                targets,
+                mode=self._lookup_mode,
+                rpc_latency=one_way + one_way,
+                oneway_latency=one_way,
+                timeout=transport.timeout,
+            )
+            n_ok = next(
+                (j for j, tr in enumerate(traces) if not tr.ok), len(traces)
+            )
+            if n_ok:
+                self._commit_traces(traces[:n_ok])
+                out.extend(self._ref(tr.owner) for tr in traces[:n_ok])
+                i += n_ok
+            if n_ok < len(traces):
+                # The engine predicts this lookup fails; the live path
+                # replays the failed attempt's charges, stabilizes and
+                # retries -- and may mutate the ring, so the loop
+                # re-snapshots before resuming lockstep for the rest.
+                self.batch_stats.delegated += 1
+                out.append(self._h_scalar(points[i], tolerant))
+                i += 1
+        return out
+
+    def _commit_traces(self, traces) -> None:
+        """Charge a batch of successful replays exactly as live calls."""
+        messages = 0
+        calls = 0
+        timeouts = 0
+        latency = 0.0
+        for trace in traces:
+            messages += trace.messages
+            calls += trace.rpc_calls
+            timeouts += trace.rpc_timeouts
+            latency += trace.latency
+        transport = self._network.transport
+        metrics = transport.metrics
+        if calls:
+            metrics.counter("rpc.calls").increment(calls)
+        if timeouts:
+            metrics.counter("rpc.timeouts").increment(timeouts)
+        if messages:
+            metrics.counter("messages").increment(messages)
+        transport.elapsed += latency
+        self.cost.charge_bulk(
+            h_calls=len(traces), messages=messages, latency=latency
+        )
+        self.batch_stats.lockstep += len(traces)
+
+    def successor_of_index(self, i: int) -> PeerRef:
+        """The live peer at clockwise ring position ``i % n`` (uncharged).
+
+        Oracle-style access backed by the epoch-memoized sorted-id view,
+        mirroring ``IdealDHT.successor_of_index`` for callers that
+        index the ring directly (tests, analysis tooling).
+        """
+        ids = self._network.sorted_ids()
+        return self._ref(ids[i % len(ids)])
 
     def next(self, peer: PeerRef) -> PeerRef:
         """``next(p)`` via one ``get_successor`` RPC (cost: O(1))."""

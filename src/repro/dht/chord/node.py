@@ -15,7 +15,18 @@ from ...sim.network import RpcTimeout, RpcTransport
 from ..api import PeerUnreachableError
 from .idspace import id_to_point, in_open_closed, in_open_open
 
-__all__ = ["ChordNode", "LookupError_", "LookupResult"]
+__all__ = ["ChordNode", "LookupError_", "LookupResult", "hop_budget"]
+
+
+def hop_budget(m: int) -> int:
+    """Default per-lookup hop budget: ``4 * m``.
+
+    ``O(log n)`` hops suffice on a stabilized ring; the 4x headroom
+    absorbs reroutes around fresh crashes.  Shared with the lockstep
+    batch engine (:mod:`repro.dht.chord.batch`), which must exhaust a
+    lookup at exactly the same hop the live path would.
+    """
+    return 4 * m
 
 
 class LookupError_(PeerUnreachableError):
@@ -159,7 +170,7 @@ class ChordNode:
         times out or the hop budget is exhausted (possible during churn
         before stabilization catches up).
         """
-        budget = max_hops if max_hops is not None else 4 * self.m
+        budget = max_hops if max_hops is not None else hop_budget(self.m)
         excluded: tuple[int, ...] = ()
         # First step is answered locally (no RPC): we are the client.
         current = self.node_id
@@ -222,7 +233,7 @@ class ChordNode:
         classical iterative-vs-recursive trade-off, measured in bench
         E16.  Raises :class:`LookupError_` on any mid-chain failure.
         """
-        budget = max_hops if max_hops is not None else 4 * self.m
+        budget = max_hops if max_hops is not None else hop_budget(self.m)
         try:
             owner, hops = self.forward_lookup(target_id, 0, budget)
         except RpcTimeout as exc:

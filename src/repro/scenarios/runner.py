@@ -68,6 +68,9 @@ class ShardReport:
     messages_per_sample: float | None
     latency_per_sample: float | None
     stale_trials: int  # engine trials lost to unreachable peers
+    lockstep_lookups: int  # lookups resolved by the snapshot engine
+    delegated_lookups: int  # engine-flagged failures replayed live
+    snapshot_builds: int  # ring snapshots (re)built under churn epochs
     ring_correct_after_recovery: bool
 
     def to_record(self) -> dict:
@@ -298,6 +301,7 @@ def _shard_reports(
         )
         cost = substrates[shard_id].cost.snapshot()
         sampler = service.shards[shard_id].dispatch.sampler
+        batch_stats = getattr(substrates[shard_id], "batch_stats", None)
         reports.append(
             ShardReport(
                 shard_id=shard_id,
@@ -317,6 +321,9 @@ def _shard_reports(
                 messages_per_sample=cost.messages / draws if draws else None,
                 latency_per_sample=cost.latency / draws if draws else None,
                 stale_trials=getattr(sampler, "stale_trials", 0),
+                lockstep_lookups=batch_stats.lockstep if batch_stats else 0,
+                delegated_lookups=batch_stats.delegated if batch_stats else 0,
+                snapshot_builds=getattr(net, "snapshot_builds", 0),
                 ring_correct_after_recovery=ring_ok[shard_id],
             )
         )

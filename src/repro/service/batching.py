@@ -239,10 +239,16 @@ class ShardWorker:
         self._cooling = False
         # Re-estimate *after* the backoff, when stabilization has had a
         # chance to repair the overlay the estimate will run against;
-        # a failed refresh just keeps the old parameters.
+        # a failed refresh just keeps the old parameters.  Then pre-warm
+        # the substrate's batch-routing caches (the Chord lockstep
+        # snapshot) so the retried batch dispatches against a fresh
+        # snapshot instead of rebuilding one mid-dispatch.
         refresh = getattr(self._dispatch, "refresh", None)
         if refresh is not None:
             refresh()
+        warm = getattr(self._dispatch, "warm", None)
+        if warm is not None:
+            warm()
         if not self.busy and self._queue:
             self._flush()
 

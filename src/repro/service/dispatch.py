@@ -99,6 +99,18 @@ class _SamplerDispatch:
             return False
         return True
 
+    def warm(self) -> bool:
+        """Pre-build the sampler's substrate routing caches (best effort).
+
+        After a churn recovery the Chord substrate's lockstep snapshot is
+        stale; rebuilding it here -- off the dispatch path, right after
+        :meth:`refresh` -- keeps the re-admitted shard's first batch from
+        paying the rebuild inside its service time.  Free of charges and
+        randomness; False when the sampler has no caches to warm.
+        """
+        warm = getattr(self.sampler, "warm", None)
+        return bool(warm()) if warm is not None else False
+
 
 class BatchDispatch(_SamplerDispatch):
     """Micro-batch execution through a :class:`BatchSampler`."""

@@ -33,7 +33,15 @@ __all__ = [
 
 
 class LatencyModel(Protocol):
-    """Samples one-way network delays (abstract time units)."""
+    """Samples one-way network delays (abstract time units).
+
+    Models may additionally declare a class attribute
+    ``deterministic = True`` to promise that :meth:`sample` always
+    returns the same value *and never consumes the RNG*.  Offline cost
+    replays (the Chord lockstep lookup engine) are only charge-identical
+    to live execution under a deterministic model, so they check this
+    flag before engaging.
+    """
 
     def sample(self, rng: random.Random) -> float:
         ...
@@ -42,6 +50,9 @@ class LatencyModel(Protocol):
 @dataclass(frozen=True)
 class ConstantLatency:
     """Every hop takes exactly ``delay`` units (the default: 1)."""
+
+    #: ``sample`` is a constant and ignores the RNG (see LatencyModel).
+    deterministic = True
 
     delay: float = 1.0
 
@@ -124,6 +135,24 @@ class RpcTransport:
     def node(self, node_id: int) -> Any:
         """Direct (cost-free) access to a node object, for tests/oracles."""
         return self._nodes[node_id]
+
+    # -- cost-model introspection (read-only) ---------------------------
+    #
+    # Exposed so offline replays (the Chord lockstep lookup engine) can
+    # decide whether simulating calls off-transport is charge-identical
+    # to issuing them, and charge the exact per-call amounts if so.
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    @property
+    def loss_rate(self) -> float:
+        return self._loss_rate
+
+    @property
+    def timeout(self) -> float:
+        return self._timeout
 
     @property
     def node_ids(self) -> list[int]:

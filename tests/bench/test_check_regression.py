@@ -1,0 +1,156 @@
+"""The bench regression guard: metric extraction, tolerance, verdicts."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def chord_record(speedup, identical=True, phase="static", n=1000):
+    return {
+        "benchmark": "chord_batch",
+        "results": [
+            {
+                "n": n,
+                "phase": phase,
+                "speedup": speedup,
+                "identical_peers": identical,
+                "identical_messages": identical,
+                "identical_hops": identical,
+            }
+        ],
+    }
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        rows = check_regression.compare(
+            chord_record(4.0),
+            chord_record(8.0),
+            check_regression._metrics_chord_batch,
+            tolerance=0.4,
+        )
+        speedups = [r for r in rows if r["metric"].endswith("speedup")]
+        assert speedups and not any(r["regressed"] for r in speedups)
+
+    def test_cliff_beyond_tolerance_is_flagged(self):
+        rows = check_regression.compare(
+            chord_record(2.0),
+            chord_record(8.0),
+            check_regression._metrics_chord_batch,
+            tolerance=0.4,
+        )
+        assert any(r["regressed"] for r in rows if r["metric"].endswith("speedup"))
+
+    def test_improvement_never_flags(self):
+        rows = check_regression.compare(
+            chord_record(50.0),
+            chord_record(8.0),
+            check_regression._metrics_chord_batch,
+            tolerance=0.4,
+        )
+        assert not any(r["regressed"] for r in rows)
+
+    def test_identity_flip_is_always_a_regression(self):
+        rows = check_regression.compare(
+            chord_record(100.0, identical=False),
+            chord_record(8.0, identical=True),
+            check_regression._metrics_chord_batch,
+            tolerance=0.4,
+        )
+        flags = [r for r in rows if r["kind"] == "exact"]
+        assert flags and all(r["regressed"] for r in flags)
+
+    def test_disjoint_configurations_compare_nothing(self):
+        rows = check_regression.compare(
+            chord_record(4.0, n=1000),
+            chord_record(8.0, n=100000),
+            check_regression._metrics_chord_batch,
+            tolerance=0.4,
+        )
+        assert rows == []
+
+    def test_lower_is_better_direction(self):
+        make = lambda inflation: {
+            "scenarios": [
+                {
+                    "spec": {"name": "moderate"},
+                    "ring_recovered": True,
+                    "inflation": {"messages_per_sample": inflation},
+                }
+            ]
+        }
+        rows = check_regression.compare(
+            make(9.0), make(2.0), check_regression._metrics_churn, tolerance=0.4
+        )
+        assert any(r["regressed"] for r in rows)
+        rows = check_regression.compare(
+            make(2.1), make(2.0), check_regression._metrics_churn, tolerance=0.4
+        )
+        assert not any(r["regressed"] for r in rows)
+
+
+class TestMainEndToEnd:
+    def test_baseline_dir_comparison(self, tmp_path, capsys):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        (fresh / "BENCH_chord_batch.json").write_text(json.dumps(chord_record(6.0)))
+        (base / "BENCH_chord_batch.json").write_text(json.dumps(chord_record(7.0)))
+        rc = check_regression.main(
+            [
+                "--bench", "BENCH_chord_batch.json",
+                "--fresh-dir", str(fresh),
+                "--baseline-dir", str(base),
+            ]
+        )
+        assert rc == 0
+        assert "regression check passed" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        (fresh / "BENCH_chord_batch.json").write_text(json.dumps(chord_record(1.0)))
+        (base / "BENCH_chord_batch.json").write_text(json.dumps(chord_record(9.0)))
+        rc = check_regression.main(
+            [
+                "--bench", "BENCH_chord_batch.json",
+                "--fresh-dir", str(fresh),
+                "--baseline-dir", str(base),
+            ]
+        )
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_artifacts_pass_vacuously(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        rc = check_regression.main(
+            [
+                "--bench", "BENCH_chord_batch.json",
+                "--fresh-dir", str(empty),
+                "--baseline-dir", str(empty),
+            ]
+        )
+        assert rc == 0
+        assert "nothing compared" in capsys.readouterr().out
+
+    def test_committed_repo_artifacts_parse(self):
+        # every committed baseline must stay extractable, else the CI
+        # guard silently compares nothing
+        root = check_regression.ROOT
+        for name, extractor in check_regression.EXTRACTORS.items():
+            path = root / name
+            if not path.exists():
+                continue
+            metrics = extractor(json.loads(path.read_text()))
+            assert metrics, f"no metrics extracted from {name}"

@@ -1,0 +1,345 @@
+"""The lockstep batch lookup engine: exact equivalence with scalar lookups.
+
+The engine's contract (see :mod:`repro.dht.chord.batch`) is *replay*,
+not approximation: ``h_many`` must return the identical peers, charge
+the identical meter/transport amounts, and take the identical hop
+counts as a loop of scalar ``h`` calls under the same seeds -- on
+healthy rings, with crashed nodes still referenced by finger tables and
+successor lists, and in both lookup modes.  These tests pin that
+contract, plus the epoch-keyed caching it rides on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import BatchSampler
+from repro.core.sampler import RandomPeerSampler
+from repro.dht.api import BulkDHT
+from repro.dht.chord import ChordNetwork
+from repro.dht.chord.batch import lockstep_resolve
+from repro.dht.chord.idspace import point_to_target_id
+from repro.dht.chord.node import LookupError_
+from repro.sim.network import UniformLatency
+
+
+def build_twins(seed, n=64, m=16, crashes=0, mode="iterative", **kwargs):
+    """Two identical rings (same seed): batched path vs scalar reference."""
+    nets = [
+        ChordNetwork.build(n, m=m, rng=random.Random(seed), **kwargs)
+        for _ in range(2)
+    ]
+    if crashes:
+        rng = random.Random(seed + 99)
+        ids = list(nets[0].sorted_ids())
+        victims = rng.sample([i for i in ids if i != min(ids)], crashes)
+        for victim in victims:
+            for net in nets:
+                net.crash_node(victim)
+    return nets[0].dht(lookup_mode=mode), nets[1].dht(lookup_mode=mode)
+
+
+def points(k, seed):
+    rng = random.Random(seed)
+    return [1.0 - rng.random() for _ in range(k)]
+
+
+def scalar_loop(dht, xs, tolerant=False):
+    out = []
+    for x in xs:
+        if not tolerant:
+            out.append(dht.h(x))
+            continue
+        try:
+            out.append(dht.h(x))
+        except LookupError_:
+            out.append(None)
+    return out
+
+
+def assert_charges_equal(dht_a, dht_b):
+    assert dht_a.cost.snapshot() == dht_b.cost.snapshot()
+    ta, tb = dht_a._network.transport, dht_b._network.transport
+    assert ta.messages_sent == tb.messages_sent
+    assert ta.elapsed == tb.elapsed
+    assert (
+        ta.metrics.counter("rpc.calls").value
+        == tb.metrics.counter("rpc.calls").value
+    )
+    assert (
+        ta.metrics.counter("rpc.timeouts").value
+        == tb.metrics.counter("rpc.timeouts").value
+    )
+
+
+class TestStaticEquivalence:
+    # both kernels: python simulation (small) and the numpy vector lane
+    @pytest.mark.parametrize("batch", [8, 200])
+    @pytest.mark.parametrize("mode", ["iterative", "recursive"])
+    def test_peers_and_charges_match_scalar_loop(self, batch, mode):
+        dht_a, dht_b = build_twins(11, mode=mode)
+        xs = points(batch, 5)
+        assert dht_a.h_many(xs) == scalar_loop(dht_b, xs)
+        assert_charges_equal(dht_a, dht_b)
+        assert dht_a.cost.h_calls == batch
+        assert dht_a.batch_stats.lockstep == batch
+
+    @pytest.mark.parametrize("batch", [8, 200])
+    def test_hop_counts_match_scalar_lookups(self, batch):
+        dht_a, dht_b = build_twins(12)
+        net_b = dht_b._network
+        entry = net_b.nodes[dht_b.entry_id]
+        targets = [point_to_target_id(x, net_b.m) for x in points(batch, 6)]
+        scalar = [entry.lookup(t) for t in targets]
+        transport = dht_a._network.transport
+        traces = lockstep_resolve(
+            dht_a._network.snapshot(),
+            dht_a.entry_id,
+            targets,
+            mode="iterative",
+            rpc_latency=2.0,
+            oneway_latency=1.0,
+            timeout=transport.timeout,
+        )
+        assert [t.owner for t in traces] == [r.node_id for r in scalar]
+        assert [t.hops for t in traces] == [r.hops for r in scalar]
+        assert all(t.ok for t in traces)
+
+    def test_imperfect_ring_from_sequential_joins(self):
+        # A ring built by the real join protocol has imperfect tables;
+        # the replay must follow them, not an oracle route.
+        dht_a, dht_b = build_twins(13, n=24, perfect=False)
+        xs = points(150, 7)
+        assert dht_a.h_many(xs) == scalar_loop(dht_b, xs)
+        assert_charges_equal(dht_a, dht_b)
+
+    def test_mid_batch_domain_error_matches_scalar_sequence(self):
+        dht_a, dht_b = build_twins(14)
+        xs = [0.5, 0.25, 1.5, 0.75]
+        with pytest.raises(ValueError):
+            dht_a.h_many(xs)
+        with pytest.raises(ValueError):
+            scalar_loop(dht_b, xs)
+        # the valid prefix was served and charged before the raise
+        assert dht_a.cost.h_calls == 2
+        assert_charges_equal(dht_a, dht_b)
+
+    def test_empty_and_single_point_batches(self):
+        dht_a, dht_b = build_twins(15)
+        assert dht_a.h_many([]) == []
+        assert dht_a.h_many([0.5]) == [dht_b.h(0.5)]
+        assert_charges_equal(dht_a, dht_b)
+
+    def test_single_node_ring(self):
+        net = ChordNetwork.build(1, m=8, rng=random.Random(3))
+        dht = net.dht()
+        xs = points(80, 8)
+        refs = dht.h_many(xs)
+        assert all(r.peer_id == dht.entry_id for r in refs)
+        assert dht.cost.messages == 0  # the entry owns everything locally
+
+
+class TestCrashedReferences:
+    """Dead fingers/successors: the exact-fallback lanes of the engine."""
+
+    @pytest.mark.parametrize("batch", [8, 200])
+    @pytest.mark.parametrize("crashes", [1, 10])
+    def test_iterative_routes_around_crashes_identically(self, batch, crashes):
+        dht_a, dht_b = build_twins(21, n=80, crashes=crashes)
+        xs = points(batch, 9)
+        assert dht_a.h_many(xs) == scalar_loop(dht_b, xs)
+        assert_charges_equal(dht_a, dht_b)
+        # crashes leave timeouts behind -- proves the dead-hop lane ran
+        assert dht_a._network.transport.metrics.counter("rpc.timeouts").value > 0
+
+    @pytest.mark.parametrize("batch", [8, 200])
+    def test_recursive_failures_are_replayed_identically(self, batch):
+        # Recursive lookups cannot reroute: some fail, h retries and
+        # stabilizes, and the batch must replay that exact sequence.
+        dht_a, dht_b = build_twins(22, n=80, crashes=10, mode="recursive")
+        xs = points(batch, 10)
+        assert dht_a.resolve_many(xs) == scalar_loop(dht_b, xs, tolerant=True)
+        assert_charges_equal(dht_a, dht_b)
+
+    def test_strict_h_many_raises_like_the_scalar_loop(self):
+        dht_a, dht_b = build_twins(23, n=80, crashes=10, mode="recursive")
+        xs = points(200, 10)
+        err_a = err_b = None
+        try:
+            dht_a.h_many(xs)
+        except LookupError_ as exc:
+            err_a = str(exc)
+        try:
+            scalar_loop(dht_b, xs)
+        except LookupError_ as exc:
+            err_b = str(exc)
+        assert err_a == err_b  # either both clean or the same failure
+        assert_charges_equal(dht_a, dht_b)
+
+    def test_hop_counts_with_crashed_fingers(self):
+        dht_a, dht_b = build_twins(24, n=80, crashes=8)
+        net_b = dht_b._network
+        entry = net_b.nodes[dht_b.entry_id]
+        targets = [point_to_target_id(x, net_b.m) for x in points(150, 11)]
+        transport = dht_a._network.transport
+        traces = lockstep_resolve(
+            dht_a._network.snapshot(),
+            dht_a.entry_id,
+            targets,
+            mode="iterative",
+            rpc_latency=2.0,
+            oneway_latency=1.0,
+            timeout=transport.timeout,
+        )
+        for trace, target in zip(traces, targets):
+            result = entry.lookup(target)
+            assert (trace.owner, trace.hops) == (result.node_id, result.hops)
+
+
+class TestEligibility:
+    def test_lossy_transport_disables_lockstep(self):
+        net = ChordNetwork.build(16, m=16, rng=random.Random(31), loss_rate=0.2)
+        dht = net.dht()
+        assert not dht.lockstep_eligible()
+        assert not dht.warm_lockstep()
+        xs = points(8, 12)
+        dht.h_many(xs)
+        assert dht.batch_stats.lockstep == 0
+        assert dht.batch_stats.percall == len(xs)
+
+    def test_stochastic_latency_disables_lockstep(self):
+        net = ChordNetwork.build(
+            16, m=16, rng=random.Random(32), latency=UniformLatency(0.5, 1.5)
+        )
+        assert not net.dht().lockstep_eligible()
+
+    def test_default_transport_is_eligible(self):
+        net = ChordNetwork.build(16, m=16, rng=random.Random(33))
+        dht = net.dht()
+        assert dht.lockstep_eligible()
+        assert dht.warm_lockstep()
+
+    def test_chord_is_still_not_bulk(self):
+        # BulkDHT would route trial classification through a flat point
+        # array with synthetic unit costs -- wrong for a live overlay.
+        net = ChordNetwork.build(8, m=16, rng=random.Random(34))
+        assert not isinstance(net.dht(), BulkDHT)
+
+
+class TestEpochCaching:
+    def test_sorted_ids_memoized_per_epoch(self):
+        net = ChordNetwork.build(16, m=16, rng=random.Random(41))
+        first = net.sorted_ids()
+        assert net.sorted_ids() is first  # cached within the epoch
+        net.join_node()
+        second = net.sorted_ids()
+        assert second is not first
+        assert len(second) == 17
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda net: net.join_node(),
+            lambda net: net.crash_node(max(net.nodes)),
+            lambda net: net.leave_node(max(net.nodes)),
+            lambda net: net.stabilize_round(),
+            lambda net: net.rewire_perfectly(),
+        ],
+        ids=["join", "crash", "leave", "stabilize", "rewire"],
+    )
+    def test_every_mutator_bumps_the_epoch(self, mutate):
+        net = ChordNetwork.build(16, m=16, rng=random.Random(42))
+        before = net.churn_epoch
+        mutate(net)
+        assert net.churn_epoch > before
+
+    def test_snapshot_cached_until_epoch_moves(self):
+        net = ChordNetwork.build(16, m=16, rng=random.Random(43))
+        snap = net.snapshot()
+        assert net.snapshot() is snap
+        assert net.snapshot_builds == 1
+        net.crash_node(max(net.nodes))
+        fresh = net.snapshot()
+        assert fresh is not snap
+        assert net.snapshot_builds == 2
+        assert fresh.n == snap.n - 1
+
+    def test_snapshot_copies_node_state(self):
+        # later in-place mutation of live lists must not leak into a
+        # snapshot someone may still be holding
+        net = ChordNetwork.build(8, m=16, rng=random.Random(44))
+        snap = net.snapshot()
+        some_id = net.sorted_ids()[0]
+        saved = tuple(snap.succ_lists[snap.pos[some_id]])
+        net.nodes[some_id].successors.append(12345)
+        assert tuple(snap.succ_lists[snap.pos[some_id]]) == saved
+
+    def test_stale_snapshot_never_routes_after_churn(self):
+        dht_a, dht_b = build_twins(45, n=48)
+        xs = points(60, 13)
+        assert dht_a.h_many(xs) == scalar_loop(dht_b, xs)
+        # crash a batch of nodes on both rings, no stabilization
+        ids = [i for i in dht_a._network.sorted_ids() if i != dht_a.entry_id]
+        for victim in random.Random(46).sample(ids, 6):
+            dht_a._network.crash_node(victim)
+            dht_b._network.crash_node(victim)
+        xs = points(60, 14)
+        assert dht_a.h_many(xs) == scalar_loop(dht_b, xs)
+        assert_charges_equal(dht_a, dht_b)
+
+
+class TestSuccessorOfIndex:
+    def test_wraps_and_matches_ring_order(self):
+        net = ChordNetwork.build(12, m=16, rng=random.Random(51))
+        dht = net.dht()
+        ids = net.sorted_ids()
+        assert dht.successor_of_index(0).peer_id == ids[0]
+        assert dht.successor_of_index(len(ids)).peer_id == ids[0]
+        assert dht.successor_of_index(len(ids) + 3).peer_id == ids[3]
+        before = dht.cost.snapshot()
+        dht.successor_of_index(5)
+        assert dht.cost.snapshot() == before  # uncharged oracle access
+
+
+class TestSamplerIntegration:
+    def test_trial_many_matches_scalar_trials_on_chord(self):
+        dht_a, dht_b = build_twins(61, n=64)
+        scalar = RandomPeerSampler(dht_b, n_hat=64.0)
+        engine = BatchSampler(dht_a, params=scalar.params)
+        xs = points(120, 15)
+        batched = engine.trial_many(xs)
+        reference = [scalar.trial(x) for x in xs]
+        assert batched == reference
+        assert_charges_equal(dht_a, dht_b)
+
+    def test_sample_many_uses_lockstep_and_stays_uniform(self):
+        net = ChordNetwork.build(48, m=16, rng=random.Random(62))
+        dht = net.dht()
+        engine = BatchSampler(dht, n_hat=48.0, rng=random.Random(63))
+        peers = engine.sample_many(300)
+        assert len(peers) == 300
+        assert dht.batch_stats.lockstep > 0  # rounds went through h_many
+        assert {p.peer_id for p in peers} <= set(net.nodes)
+
+    def test_engine_warm_builds_the_snapshot(self):
+        net = ChordNetwork.build(24, m=16, rng=random.Random(64))
+        dht = net.dht()
+        engine = BatchSampler(dht, n_hat=24.0)
+        assert engine.warm() is True
+        assert net.snapshot_builds == 1
+
+    def test_stale_trials_counted_on_terminal_failures(self):
+        # recursive mode + crashes: some resolutions fail terminally and
+        # must surface as redrawn stale trials, never an exception
+        dht_a, _ = build_twins(65, n=64, crashes=8, mode="recursive")
+        engine = BatchSampler(dht_a, n_hat=64.0, rng=random.Random(66))
+        results = engine.trial_many(points(150, 16))
+        assert len(results) == 150
+        failed = [r for r in results if r.peer is None]
+        assert engine.stale_trials >= 0
+        assert all(r.peer is None or r.peer.peer_id in dht_a._network.nodes
+                   for r in results)
+        # hard failures show up as EXHAUSTED, not exceptions
+        assert len(failed) + sum(r.peer is not None for r in results) == 150

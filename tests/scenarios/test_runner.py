@@ -55,6 +55,16 @@ class TestAccounting:
             if shard.draws:
                 assert shard.messages > 0
 
+    def test_lockstep_engine_served_the_load(self):
+        # chord shards resolve their micro-batches through the snapshot
+        # engine; churn epochs force snapshot rebuilds along the way
+        r = smoke_result()
+        for shard in r.shards:
+            if shard.draws:
+                assert shard.lockstep_lookups > 0
+                assert shard.snapshot_builds > 0
+                assert shard.delegated_lookups >= 0
+
 
 class TestStabilizationInvariant:
     def test_rings_recover_once_churn_stops(self):

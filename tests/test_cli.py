@@ -148,3 +148,16 @@ class TestCommands:
     def test_scenario_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenario"])
+
+    def test_bench_chord_batch_runs_and_writes(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_chord_batch.json"
+        assert main(["bench", "chord-batch", "--quick",
+                     "--sizes", "256", "--k", "120", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "lockstep" in out
+        assert "static speedup" in out
+        assert out_path.exists()
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
