@@ -1,0 +1,31 @@
+"""Backend comparison: the sampling workload on Chord vs Kademlia.
+
+Thin entry point around :mod:`repro.bench.backends` (also reachable as
+``python -m repro bench backends``), kept in ``benchmarks/`` so the
+artifact-producing scripts stay discoverable in one place.  See the
+module docstring there for what is measured; results land in
+``BENCH_backends.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+from repro.bench.backends import emit, main, run
+
+
+def test_backends_quick(show, tmp_path):
+    """Smoke configuration: both substrates serve the identical contract."""
+    table, results = run([256], samples=60, probes=30, seed=0)
+    show(table)
+    emit(results, tmp_path / "BENCH_backends.json", quick=True, seed=0)
+    backends = {r["backend"] for r in results}
+    assert backends == {"chord", "kademlia"}
+    static = [r for r in results if r["phase"] == "static"]
+    assert all(r["all_sampled_live"] for r in static)
+    assert all(r["msgs_per_sample"] > 0 for r in results)
+    # both substrates must stay in the same cost order of magnitude
+    pair = {r["backend"]: r["msgs_per_sample"] for r in static}
+    assert pair["kademlia"] < 20 * pair["chord"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

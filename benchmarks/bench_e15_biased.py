@@ -9,7 +9,6 @@ report the rejection overhead as a function of how peaked the bias is.
 
 from __future__ import annotations
 
-import math
 import random
 from collections import Counter
 

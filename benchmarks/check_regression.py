@@ -12,14 +12,22 @@ are keyed only by configuration axes both modes share (ring size,
 dispatch mode, scenario name -- never batch counts or request totals)
 and the default tolerance is deliberately loose: the guard exists to
 catch a 3x cliff from a bad refactor, not 10% noise.  It is wired into
-CI as a *non-blocking* step (``continue-on-error``): a red run is a
-prompt to look at the numbers, not a merge gate.
+PR CI as a *non-blocking* step (``continue-on-error``): a red run is a
+prompt to look at the numbers, not a merge gate.  The nightly workflow
+runs it *blocking* with ``--strict``.
+
+A fresh artifact with **no committed baseline always fails** (exit 1):
+an uncommitted ``BENCH_*.json`` is a hole in the safety net, not a
+pass.  ``--strict`` additionally fails on missing fresh artifacts and
+on empty comparisons, so silent coverage loss cannot slip through the
+nightly.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py            # worktree vs HEAD
     PYTHONPATH=src python benchmarks/check_regression.py --run      # regenerate quick first
     PYTHONPATH=src python benchmarks/check_regression.py --baseline-dir /path/to/baselines
+    PYTHONPATH=src python benchmarks/check_regression.py --strict   # the nightly's mode
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ QUICK_COMMANDS = {
     "BENCH_chord_batch.json": ["benchmarks/bench_chord_batch.py", "--quick"],
     "BENCH_service.json": ["benchmarks/bench_service.py", "--quick"],
     "BENCH_churn.json": ["benchmarks/bench_churn.py", "--quick"],
+    "BENCH_backends.json": ["benchmarks/bench_backends.py", "--quick"],
 }
 
 #: Metric direction markers.
@@ -81,11 +90,26 @@ def _metrics_churn(record: dict) -> dict:
     return out
 
 
+def _metrics_backends(record: dict) -> dict:
+    out = {}
+    for row in record.get("results", []):
+        key = f"{row['backend']}/n={row['n']}/{row['phase']}"
+        out[f"{key}/sustained_rps"] = (row["sustained_rps"], HIGHER)
+        out[f"{key}/msgs_per_sample"] = (row["msgs_per_sample"], LOWER)
+        if row["phase"] == "static":
+            # Dead draws are an invariant violation only on a static
+            # overlay; the churn phase tolerates them by design (that is
+            # what its stale_trials column records).
+            out[f"{key}/all_sampled_live"] = (bool(row.get("all_sampled_live")), EXACT)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_throughput.json": _metrics_throughput,
     "BENCH_chord_batch.json": _metrics_chord_batch,
     "BENCH_service.json": _metrics_service,
     "BENCH_churn.json": _metrics_churn,
+    "BENCH_backends.json": _metrics_backends,
 }
 
 
@@ -126,6 +150,10 @@ def compare(fresh: dict, committed: dict, extractor, tolerance: float) -> list[d
              "regressed": regressed}
         )
     return rows
+
+
+def _fmt(value) -> str:
+    return f"{value:.3g}" if isinstance(value, float) else str(value)
 
 
 def _run_quick(out_dir: Path, names) -> None:
@@ -169,6 +197,11 @@ def main(argv=None) -> int:
         "--run", action="store_true",
         help="regenerate the quick-mode artifacts into a temp dir first",
     )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="missing fresh artifacts and empty comparisons fail too "
+             "(the nightly's blocking mode); the default only skips them",
+    )
     args = parser.parse_args(argv)
     names = args.bench if args.bench else sorted(EXTRACTORS)
 
@@ -181,19 +214,32 @@ def main(argv=None) -> int:
 
     any_regressed = False
     compared = 0
+    errors: list[str] = []
     for name in names:
         fresh_path = fresh_dir / name
         if not fresh_path.exists():
-            print(f"{name}: no fresh output at {fresh_path}, skipping")
+            if args.strict:
+                errors.append(f"{name}: no fresh output at {fresh_path}")
+            else:
+                print(f"{name}: no fresh output at {fresh_path}, skipping")
             continue
         committed = _load_committed(name, args.baseline_ref, args.baseline_dir)
         if committed is None:
-            print(f"{name}: no committed baseline, skipping")
+            # Fresh output exists but nothing is committed to guard it:
+            # that is a hole in the safety net, not a pass.  Commit the
+            # artifact (or --bench-restrict away from it) to go green.
+            errors.append(
+                f"{name}: fresh output present but no committed baseline "
+                f"at {args.baseline_dir or args.baseline_ref}"
+            )
             continue
         fresh = json.loads(fresh_path.read_text())
         rows = compare(fresh, committed, EXTRACTORS[name], args.tolerance)
         if not rows:
-            print(f"{name}: no comparable metrics (configurations disjoint)")
+            if args.strict:
+                errors.append(f"{name}: no comparable metrics (configurations disjoint)")
+            else:
+                print(f"{name}: no comparable metrics (configurations disjoint)")
             continue
         print(f"== {name} (tolerance {args.tolerance:g}, baseline "
               f"{args.baseline_dir or args.baseline_ref})")
@@ -201,17 +247,22 @@ def main(argv=None) -> int:
             compared += 1
             mark = "REGRESSED" if row["regressed"] else "ok"
             old, new = row["committed"], row["fresh"]
-            fmt = (lambda v: f"{v:.3g}" if isinstance(v, float) else str(v))
             print(f"  {mark:>9}  {row['metric']:<50} "
-                  f"committed={fmt(old):>8}  fresh={fmt(new):>8}")
+                  f"committed={_fmt(old):>8}  fresh={_fmt(new):>8}")
             any_regressed |= row["regressed"]
     if tmp is not None:
         tmp.cleanup()
-    if compared == 0:
+    for message in errors:
+        print(f"ERROR: {message}", file=sys.stderr)
+    if compared == 0 and not errors:
+        if args.strict:
+            print("nothing compared (no overlapping artifacts): FAILED in "
+                  "--strict mode", file=sys.stderr)
+            return 1
         print("nothing compared (no overlapping artifacts); treating as pass")
         return 0
-    if any_regressed:
-        print("regression check FAILED (non-blocking in CI; inspect the rows above)",
+    if any_regressed or errors:
+        print("regression check FAILED (inspect the rows and errors above)",
               file=sys.stderr)
         return 1
     print(f"regression check passed ({compared} metrics)")

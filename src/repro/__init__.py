@@ -6,7 +6,8 @@ The package provides:
 - :mod:`repro.core` -- the paper's algorithms (Estimate-n, Choose-Random-
   Peer) plus the exact uniformity analysis and property checkers;
 - :mod:`repro.dht` -- substrates exposing the paper's ``h``/``next``
-  interface: an analytic oracle and a message-level Chord simulator;
+  interface: an analytic oracle and message-level Chord (ring) and
+  Kademlia (XOR) simulators;
 - :mod:`repro.sim` -- the discrete-event kernel, RPC transport, churn;
 - :mod:`repro.service` -- sampling-as-a-service: micro-batching shard
   workers, health-aware routing, admission control, churn failover;
@@ -61,6 +62,7 @@ from .apps import RandomLinkMaintainer
 from .core import AdaptiveSampler, BiasedPeerSampler, inverse_distance_weight
 from .dht import BulkDHT, CostMeter, CostSnapshot, IdealDHT, LogCost, PeerRef
 from .dht.chord import ChordDHT, ChordNetwork, VirtualChordNetwork
+from .dht.kademlia import KademliaDHT, KademliaNetwork
 from .sim import RngRegistry, Simulator
 
 __version__ = "1.0.0"
@@ -99,6 +101,8 @@ __all__ = [
     "PeerRef",
     "ChordDHT",
     "ChordNetwork",
+    "KademliaDHT",
+    "KademliaNetwork",
     "VirtualChordNetwork",
     "BiasedPeerSampler",
     "AdaptiveSampler",

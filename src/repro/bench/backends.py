@@ -1,0 +1,235 @@
+"""Substrate backend comparison: Chord vs Kademlia under the same workload.
+
+King & Saia write Choose-Random-Peer against an abstract DHT and assume
+standard-DHT costs (``t_h = m_h = O(log n)``, unit ``next``).  The repo
+now carries two message-level realizations of that interface -- the
+successor-structured Chord ring and the XOR-structured Kademlia overlay
+-- and this bench measures how the *same* sampling workload prices out
+on each:
+
+- ``rpcs/h``: mean RPCs one ``h`` resolution costs (routing hops plus
+  verification), from a pure-lookup probe;
+- ``msgs/sample`` and ``latency/sample``: the full algorithm cost per
+  uniform draw, walks included, from the substrate meter;
+- ``sustained req/s``: wall-clock sampler-tier throughput of a
+  ``BatchSampler.sample_many`` drive (the per-call engine path both
+  live overlays use);
+
+each in a *static* phase and under *moderate churn* -- a burst of live
+joins and crashes (no maintenance rounds) before sampling, so lookups
+route around the damage reactively, the regime where the two overlays'
+liveness models actually differ.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_backends.py``,
+or ``python -m repro bench backends``; add ``--quick`` for the CI smoke
+configuration) and writes ``BENCH_backends.json`` at the repo root so
+the backend cost gap is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+from ..core.engine import BatchSampler
+from ..dht.chord.network import ChordNetwork
+from ..dht.kademlia.network import KademliaNetwork
+from .harness import Table, write_bench_json
+
+__all__ = ["main", "run", "measure_backend", "DEFAULT_OUT", "BACKENDS"]
+
+FULL_SIZES = [10_000, 100_000]
+FULL_SAMPLES = 400
+FULL_PROBES = 200
+# Quick mode shares n=10_000 with the full baselines so the CI
+# regression guard has comparable rows (same convention as chord-batch).
+QUICK_SIZES = [512, 10_000]
+QUICK_SAMPLES = 100
+QUICK_PROBES = 40
+
+#: Membership events per churn burst, as a fraction of n (joins and
+#: crashes alternate, so the population stays roughly stationary) --
+#: the same moderate regime as the chord-batch bench.
+CHURN_FRACTION = 0.002
+
+DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_backends.json"
+
+BACKENDS = ("chord", "kademlia")
+
+
+def _build(backend: str, n: int, seed: int):
+    """One substrate adapter per backend, sized for the bench.
+
+    Chord uses its usual 20-bit ring; Kademlia a 24-bit id space with
+    the protocol's classic ``k=20``/``alpha=3`` (id width only has to
+    hold ``n`` distinct ids -- routing behaviour is width-independent,
+    while table wiring scales with it).
+    """
+    rng = random.Random(seed)
+    if backend == "chord":
+        return ChordNetwork.build_dht(n, m=20, rng=rng)
+    return KademliaNetwork.build_dht(n, m=24, k=20, alpha=3, rng=rng)
+
+
+def _points(k: int, seed: int) -> list[float]:
+    rng = random.Random(seed)
+    return [1.0 - rng.random() for _ in range(k)]
+
+
+def _churn_burst(net, events: int, rng) -> int:
+    """Apply a live join/crash burst; no maintenance runs afterwards."""
+    applied = 0
+    size = 1 << net.m
+    for i in range(events):
+        ids = net.sorted_ids()
+        if i % 2 == 0 and len(ids) > 8:
+            victim = ids[rng.randrange(len(ids))]
+            if victim == min(ids):
+                continue  # keep the adapter's default entry node alive
+            net.crash_node(victim)
+        else:
+            candidate = rng.randrange(size)
+            while candidate in net.nodes:
+                candidate = rng.randrange(size)
+            net.join_node(candidate)
+        applied += 1
+    return applied
+
+
+def _measure_phase(dht, phase: str, samples: int, probes: int, seed: int,
+                   churn_events: int = 0) -> dict:
+    """Probe lookups, then a timed sampling drive, off one meter."""
+    # -- pure-lookup probe: what does one h cost on this substrate? --
+    before = dht.cost.snapshot()
+    for x in _points(probes, seed + 1):
+        dht.h(x)
+    probe = dht.cost.snapshot() - before
+
+    # -- the sampling drive: the full algorithm, walks included --
+    engine = BatchSampler(dht, rng=random.Random(seed + 2))
+    before = dht.cost.snapshot()
+    t0 = time.perf_counter()
+    peers = engine.sample_many(samples)
+    elapsed = time.perf_counter() - t0
+    delta = dht.cost.snapshot() - before
+
+    live = set(dht._network.nodes)
+    return {
+        "phase": phase,
+        "samples": samples,
+        "probes": probes,
+        "churn_events": churn_events,
+        "rpcs_per_lookup": probe.messages / (2 * probe.h_calls),
+        "msgs_per_lookup": probe.messages / probe.h_calls,
+        "msgs_per_sample": delta.messages / samples,
+        "latency_per_sample": delta.latency / samples,
+        "next_calls_per_sample": delta.next_calls / samples,
+        "sustained_rps": samples / elapsed,
+        "stale_trials": engine.stale_trials,
+        "all_sampled_live": all(p.peer_id in live for p in peers),
+    }
+
+
+def measure_backend(backend: str, n: int, samples: int, probes: int,
+                    seed: int = 0) -> list[dict]:
+    """Static and moderate-churn rows for one backend at one size."""
+    dht = _build(backend, n, seed)
+    rows = [
+        {"backend": backend, "n": n,
+         **_measure_phase(dht, "static", samples, probes, seed + 10)}
+    ]
+    churn_rng = random.Random(seed + 3)
+    events = max(4, int(n * CHURN_FRACTION))
+    applied = _churn_burst(dht._network, events, churn_rng)
+    rows.append(
+        {"backend": backend, "n": n,
+         **_measure_phase(dht, "churn", samples, probes, seed + 20,
+                          churn_events=applied)}
+    )
+    return rows
+
+
+def run(sizes, samples: int, probes: int, seed: int = 0) -> tuple[Table, list[dict]]:
+    table = Table(
+        "Substrate backends under the sampling workload: Chord vs Kademlia",
+        ["backend", "n", "phase", "rpcs/h", "msgs/sample", "lat/sample",
+         "req/s", "stale", "live"],
+    )
+    results = []
+    for n in sizes:
+        for backend in BACKENDS:
+            for row in measure_backend(backend, n, samples, probes, seed=seed):
+                results.append(row)
+                table.add_row(
+                    row["backend"], row["n"], row["phase"],
+                    row["rpcs_per_lookup"], row["msgs_per_sample"],
+                    row["latency_per_sample"], row["sustained_rps"],
+                    row["stale_trials"], row["all_sampled_live"],
+                )
+    for n in sizes:
+        pair = {
+            r["backend"]: r for r in results
+            if r["n"] == n and r["phase"] == "static"
+        }
+        if len(pair) == 2:
+            ratio = pair["kademlia"]["msgs_per_sample"] / pair["chord"]["msgs_per_sample"]
+            table.note(
+                f"n={n}: kademlia pays {ratio:.2f}x chord's msgs/sample "
+                "(XOR routing + census verification vs native successors)"
+            )
+    table.note("rpcs/h: mean RPCs per pure h() resolution (routing + verification)")
+    table.note("msgs/sample & req/s: full Choose-Random-Peer drives via the per-call engine path")
+    table.note("churn rows sample right after a live join/crash burst, no maintenance (reactive-only)")
+    return table, results
+
+
+def emit(results: list[dict], out: Path, quick: bool, seed: int) -> Path:
+    record = {
+        "benchmark": "backends",
+        "backends": list(BACKENDS),
+        "quick": quick,
+        "seed": seed,
+        "generated_unix": time.time(),
+        "results": results,
+    }
+    return write_bench_json(out, record)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="override the overlay sizes to measure",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None, help="override draws per phase"
+    )
+    args = parser.parse_args(argv)
+    if args.samples is not None and args.samples < 1:
+        parser.error("--samples must be positive")
+    if args.sizes is not None and any(n < 1 for n in args.sizes):
+        parser.error("--sizes must be positive")
+
+    sizes = args.sizes if args.sizes is not None else (
+        QUICK_SIZES if args.quick else FULL_SIZES
+    )
+    samples = args.samples if args.samples is not None else (
+        QUICK_SAMPLES if args.quick else FULL_SAMPLES
+    )
+    probes = QUICK_PROBES if args.quick else FULL_PROBES
+    table, results = run(sizes, samples, probes, seed=args.seed)
+    table.show()
+    path = emit(results, args.out, quick=args.quick, seed=args.seed)
+    print(f"wrote {path}")
+
+    broken = [r for r in results if r["phase"] == "static" and not r["all_sampled_live"]]
+    if broken:
+        print(f"FAIL: {len(broken)} static row(s) sampled a dead peer", file=sys.stderr)
+        return 1
+    return 0

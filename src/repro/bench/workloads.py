@@ -7,15 +7,21 @@ via :class:`~repro.sim.rng.RngRegistry`.
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 
 from ..core.sampler import RandomPeerSampler
 from ..dht.chord.network import ChordDHT, ChordNetwork
 from ..dht.ideal import IdealDHT
+from ..dht.kademlia.network import KademliaDHT, KademliaNetwork
 from ..sim.rng import RngRegistry
 
-__all__ = ["make_ideal_dht", "make_chord_dht", "make_sampler", "selection_counts"]
+__all__ = [
+    "make_ideal_dht",
+    "make_chord_dht",
+    "make_kademlia_dht",
+    "make_sampler",
+    "selection_counts",
+]
 
 
 def make_ideal_dht(n: int, seed: int, stream: str = "ring") -> IdealDHT:
@@ -39,6 +45,24 @@ def make_chord_dht(
     """
     rng = RngRegistry(seed).stream(stream)
     return ChordNetwork.build_dht(n, m=m, rng=rng, lookup_mode=lookup_mode)
+
+
+def make_kademlia_dht(
+    n: int,
+    seed: int,
+    m: int = 32,
+    k: int = 20,
+    alpha: int = 3,
+    stream: str = "kademlia",
+) -> KademliaDHT:
+    """A perfectly-wired simulated Kademlia overlay's ``h``/``next`` adapter.
+
+    The underlying :class:`~repro.dht.kademlia.network.KademliaNetwork`
+    is reachable as ``dht._network`` for experiments that perturb the
+    overlay, mirroring :func:`make_chord_dht`.
+    """
+    rng = RngRegistry(seed).stream(stream)
+    return KademliaNetwork.build_dht(n, m=m, k=k, alpha=alpha, rng=rng)
 
 
 def make_sampler(

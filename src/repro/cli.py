@@ -4,13 +4,17 @@ Subcommands::
 
     python -m repro estimate   --n 5000             # Estimate-n accuracy
     python -m repro sample     --n 5000 --samples 5 # uniform draws + costs
+    python -m repro sample     --n 500 --backend kademlia   # XOR substrate
     python -m repro sample     --n 5000 --samples 500 --batch  # bulk engine
     python -m repro uniformity --n 256 --draws 20000
     python -m repro chord      --n 128 --samples 20 # on simulated Chord
     python -m repro serve      --n 5000 --rate 1.0 --shards 2 --requests 2000
+    python -m repro serve      --substrate kademlia --n 2000 --requests 1000
     python -m repro scenario run --preset smoke     # serve under live churn
+    python -m repro scenario run --preset smoke --backend kademlia
     python -m repro scenario list                   # the named churn regimes
     python -m repro bench chord-batch --quick       # lockstep lookup bench
+    python -m repro bench backends --quick          # Chord-vs-Kademlia costs
 
 Every subcommand accepts ``--seed`` for reproducibility and prints a
 plain-text report; exit status is non-zero on invalid arguments.
@@ -33,10 +37,29 @@ from .core.estimate import estimate_n, estimate_n_median
 from .core.sampler import RandomPeerSampler
 from .dht.chord.network import ChordNetwork
 from .dht.ideal import IdealDHT
-from .scenarios import PRESETS, preset, results_record, results_table, run_scenario
+from .dht.kademlia.network import KademliaNetwork
+from .scenarios import BACKENDS, PRESETS, preset, results_record, results_table, run_scenario
 from .service import DISPATCH_MODES, POLICIES, SUBSTRATES, build_load, build_service
 
 __all__ = ["build_parser", "main"]
+
+#: Every substrate a single-ring subcommand can be pointed at.
+BACKEND_CHOICES = ("ideal", "chord", "kademlia")
+
+
+def _build_backend_dht(backend: str, n: int, seed: int, m: int | None = None):
+    """One substrate of the requested backend for the demo subcommands.
+
+    Chord defaults to its usual 20-bit ring, Kademlia to the practical
+    32-bit space (``KademliaNetwork.build_dht``'s default); both
+    validate that ``n`` distinct ids fit.
+    """
+    rng = random.Random(seed)
+    if backend == "chord":
+        return ChordNetwork.build_dht(n, m=m if m is not None else 20, rng=rng)
+    if backend == "kademlia":
+        return KademliaNetwork.build_dht(n, m=m if m is not None else 32, rng=rng)
+    return IdealDHT.random(n, rng)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample = sub.add_parser("sample", help="draw uniform peers with cost stats")
     p_sample.add_argument("--n", type=int, default=1000)
     p_sample.add_argument("--samples", type=int, default=5)
+    p_sample.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="ideal",
+        help="substrate to sample over: the analytic oracle, the Chord "
+             "simulator, or the Kademlia simulator",
+    )
     p_sample.add_argument(
         "--batch", action="store_true",
         help="draw all samples in one BatchSampler.sample_many call "
@@ -87,8 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-queue", type=int, default=256, help="per-shard admission bound")
     p_serve.add_argument("--policy", choices=POLICIES, default="round-robin")
     p_serve.add_argument("--dispatch", choices=DISPATCH_MODES, default="batch")
-    p_serve.add_argument("--substrate", choices=SUBSTRATES, default="ideal")
+    p_serve.add_argument("--substrate", "--backend", choices=SUBSTRATES, default="ideal",
+                         help="shard substrate (--backend is an alias)")
     p_serve.add_argument("--chord-m", type=int, default=20, help="Chord identifier bits")
+    p_serve.add_argument("--kad-bits", type=int, default=32, help="Kademlia identifier bits")
+    p_serve.add_argument("--kad-k", type=int, default=20, help="Kademlia bucket size")
 
     p_scn = sub.add_parser(
         "scenario",
@@ -98,6 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
     scn_sub.add_parser("list", help="show the named presets and their regimes")
     p_run = scn_sub.add_parser("run", help="run one preset scenario end to end")
     p_run.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    p_run.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="override the shard overlay (chord or kademlia)")
     p_run.add_argument("--requests", type=int, default=None, help="override offered requests")
     p_run.add_argument("--rate", type=float, default=None, help="override arrival rate")
     p_run.add_argument("--churn-rate", type=float, default=None,
@@ -124,6 +157,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the ring sizes to measure")
     p_cb.add_argument("--k", type=int, default=None,
                       help="override lookups per batch")
+    p_bk = bench_sub.add_parser(
+        "backends",
+        help="substrate comparison: the sampling workload on Chord vs Kademlia",
+    )
+    p_bk.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    p_bk.add_argument("--out", type=Path, default=None, help="JSON output path")
+    p_bk.add_argument("--sizes", type=int, nargs="+", default=None,
+                      help="override the overlay sizes to measure")
+    p_bk.add_argument("--samples", type=int, default=None,
+                      help="override draws per phase")
     return parser
 
 
@@ -151,11 +194,15 @@ def _cmd_sample(args) -> int:
     if args.n < 1 or args.samples < 1:
         print("error: --n and --samples must be positive", file=sys.stderr)
         return 2
-    rng = random.Random(args.seed)
-    dht = IdealDHT.random(args.n, rng)
+    try:
+        dht = _build_backend_dht(args.backend, args.n, args.seed)
+    except ValueError as exc:  # id space too small for --n
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed + 1)
     if args.batch:
         engine = BatchSampler(dht, rng=rng)
-        print(f"n={args.n}  n_hat={engine.params.n_hat:.1f}  "
+        print(f"n={args.n}  backend={args.backend}  n_hat={engine.params.n_hat:.1f}  "
               f"lambda={engine.params.lam:.3e}  walk_budget={engine.params.walk_budget}  "
               f"mode=batch")
         result = engine.sample_many_attributed(args.samples)
@@ -169,7 +216,7 @@ def _cmd_sample(args) -> int:
               f"messages/sample {result.cost.messages / args.samples:.1f}")
         return 0
     sampler = RandomPeerSampler(dht, rng=rng)
-    print(f"n={args.n}  n_hat={sampler.params.n_hat:.1f}  "
+    print(f"n={args.n}  backend={args.backend}  n_hat={sampler.params.n_hat:.1f}  "
           f"lambda={sampler.params.lam:.3e}  walk_budget={sampler.params.walk_budget}")
     for i in range(args.samples):
         stats = sampler.sample_with_stats()
@@ -235,6 +282,8 @@ def _cmd_serve(args) -> int:
             substrate=args.substrate,
             seed=args.seed,
             chord_m=args.chord_m,
+            kad_bits=args.kad_bits,
+            kad_k=args.kad_k,
             policy=args.policy,
             dispatch=args.dispatch,
             max_batch=args.max_batch,
@@ -290,6 +339,7 @@ def _cmd_scenario(args) -> int:
     overrides = {
         key: value
         for key, value in (
+            ("backend", args.backend),
             ("requests", args.requests),
             ("rate", args.rate),
             ("churn_rate", args.churn_rate),
@@ -324,8 +374,6 @@ def _cmd_scenario(args) -> int:
 def _cmd_bench(args) -> int:
     # Benchmarks own their argument handling; rebuild their argv so the
     # CLI stays a thin launcher and the flags cannot drift apart.
-    from .bench import chord_batch
-
     argv = ["--seed", str(args.seed)]
     if args.quick:
         argv.append("--quick")
@@ -333,6 +381,14 @@ def _cmd_bench(args) -> int:
         argv += ["--out", str(args.out)]
     if args.sizes:
         argv += ["--sizes", *map(str, args.sizes)]
+    if args.bench_command == "backends":
+        from .bench import backends
+
+        if args.samples is not None:
+            argv += ["--samples", str(args.samples)]
+        return backends.main(argv)
+    from .bench import chord_batch
+
     if args.k is not None:
         argv += ["--k", str(args.k)]
     return chord_batch.main(argv)

@@ -1,0 +1,41 @@
+"""Optional-dependency gates shared across the package.
+
+numpy is an acceleration, never a requirement: every vectorized path
+has a pure-Python twin with identical semantics (asserted by the seeded
+equivalence tests).  All numpy imports go through :func:`load_numpy` so
+one switch covers every site:
+
+- numpy missing from the environment -> pure-Python paths, silently;
+- ``REPRO_PURE_PYTHON`` set to a truthy value (anything but ``""`` or
+  ``"0"``) -> pure-Python paths even when numpy *is* installed.  CI's
+  test matrix uses this to exercise the fallback lanes on every push
+  instead of only on machines that happen to lack numpy.
+
+The flag is read once at import time (modules bind ``_np`` at module
+scope); set it before importing :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["PURE_PYTHON_ENV", "load_numpy"]
+
+#: Environment variable that forces the pure-Python paths.
+PURE_PYTHON_ENV = "REPRO_PURE_PYTHON"
+
+
+def pure_python_forced() -> bool:
+    """Whether the environment pins the pure-Python fallback paths."""
+    return os.environ.get(PURE_PYTHON_ENV, "0") not in ("", "0")
+
+
+def load_numpy():
+    """numpy, or ``None`` when unavailable or disabled by the env flag."""
+    if pure_python_forced():
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - depends on the environment
+        return None
+    return numpy

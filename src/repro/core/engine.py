@@ -37,12 +37,9 @@ import random
 from bisect import bisect_left
 from collections.abc import Sequence
 
-try:  # optional acceleration; the pure-Python path is always available
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is an optional dependency
-    _np = None
-
 from dataclasses import dataclass
+
+from ..compat import load_numpy
 
 from ..dht.api import (
     DHT,
@@ -64,6 +61,10 @@ from .sampler import (
 )
 
 __all__ = ["BatchSampler", "BatchSampleResult"]
+
+# Optional acceleration; the pure-Python path is always available and
+# REPRO_PURE_PYTHON forces it (see repro.compat).
+_np = load_numpy()
 
 #: Largest double strictly below 1.0 -- the clamp value
 #: :func:`~repro.core.intervals.clockwise_distance` uses to keep wrap

@@ -1,7 +1,9 @@
-"""DHT substrates: the abstract interface, the ideal oracle, and Chord."""
+"""DHT substrates: the abstract interface, the ideal oracle, and the
+message-level Chord (ring) and Kademlia (XOR) overlays."""
 
 from .api import DHT, BulkDHT, CostMeter, CostSnapshot, PeerRef
 from .ideal import CostModel, IdealDHT, LogCost
+from .kademlia import KademliaDHT, KademliaNetwork
 
 __all__ = [
     "DHT",
@@ -11,5 +13,7 @@ __all__ = [
     "PeerRef",
     "CostModel",
     "IdealDHT",
+    "KademliaDHT",
+    "KademliaNetwork",
     "LogCost",
 ]

@@ -52,16 +52,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-try:  # optional acceleration; the pure-Python lane is always available
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is an optional dependency
-    _np = None
-
+from ...compat import load_numpy
 from ..api import NUMPY_MIN_BATCH
 from .idspace import in_open_closed, in_open_open
 from .node import hop_budget
 
 __all__ = ["BatchLookupStats", "LookupTrace", "RingSnapshot", "lockstep_resolve"]
+
+# Optional acceleration; the pure-Python lane is always available and
+# REPRO_PURE_PYTHON forces it (see repro.compat).
+_np = load_numpy()
 
 
 @dataclass(frozen=True, slots=True)
@@ -437,11 +437,21 @@ def _vector_resolve(
     # (fingers, successor entries), never the -1 padding, so the dense
     # table can be indexed directly.
     if table is not None:
-        alive_of = lambda v: table[v] > 0
-        pos_of = lambda v: table[v].astype(np.int64) - 1
+
+        def alive_of(v):
+            return table[v] > 0
+
+        def pos_of(v):
+            return table[v].astype(np.int64) - 1
+
     else:
-        alive_of = lambda v: _alive_np(ids, v)
-        pos_of = lambda v: np.searchsorted(ids, v)
+
+        def alive_of(v):
+            return _alive_np(ids, v)
+
+        def pos_of(v):
+            return np.searchsorted(ids, v)
+
     cur = np.full(k, snapshot.pos[entry_id], dtype=np.int64)
     hops = np.zeros(k, dtype=np.int64)
     owner = np.full(k, -1, dtype=np.int64)

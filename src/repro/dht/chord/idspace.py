@@ -1,15 +1,16 @@
 """Chord identifier-space arithmetic.
 
 Chord hashes peers onto ``m``-bit identifiers arranged clockwise on a
-ring of size ``2**m``.  The paper's continuous model lives on the unit
-circle ``(0, 1]``; we map identifier ``j`` to the point ``j / 2**m``,
-with ``j == 0`` landing on ``1.0`` (the same location, since the circle
-identifies 0 and 1).  All interval tests below are on raw identifiers.
+ring of size ``2**m``.  The id <-> unit-circle mapping is shared with
+the other discrete-id substrates (:mod:`repro.dht.idspace`) and
+re-exported here; what is Chord-specific is the ring geometry -- the
+clockwise interval tests on raw identifiers that drive successor
+ownership and finger routing.
 """
 
 from __future__ import annotations
 
-import math
+from ..idspace import id_to_point, point_to_target_id
 
 __all__ = [
     "id_to_point",
@@ -17,27 +18,6 @@ __all__ = [
     "in_open_closed",
     "in_open_open",
 ]
-
-
-def id_to_point(node_id: int, m: int) -> float:
-    """Location of identifier ``node_id`` on the unit circle ``(0, 1]``."""
-    size = 1 << m
-    if not 0 <= node_id < size:
-        raise ValueError(f"id {node_id} outside [0, 2^{m})")
-    return 1.0 if node_id == 0 else node_id / size
-
-
-def point_to_target_id(x: float, m: int) -> int:
-    """The identifier whose Chord successor is ``h(x)``.
-
-    A node at identifier ``j`` has point ``j / 2**m``; the clockwise-
-    closest peer to ``x`` is the first node with ``j >= x * 2**m``,
-    i.e. Chord's ``find_successor(ceil(x * 2**m) mod 2**m)``.
-    """
-    if not 0.0 < x <= 1.0:
-        raise ValueError(f"point {x!r} outside the unit circle (0, 1]")
-    size = 1 << m
-    return math.ceil(x * size) % size
 
 
 def in_open_closed(x: int, a: int, b: int) -> bool:

@@ -10,10 +10,12 @@ import random
 
 import networkx as nx
 
+from ...compat import load_numpy
 from ...core.intervals import SortedCircle
 from ...sim.kernel import Simulator
 from ...sim.network import LatencyModel, RpcTimeout, RpcTransport
 from ..api import NUMPY_MIN_BATCH, CostMeter, PeerRef
+from ..vantage import EntryVantageMixin
 from .batch import BatchLookupStats, RingSnapshot, lockstep_resolve
 from .idspace import id_to_point, point_to_target_id
 from .node import ChordNode, LookupError_
@@ -360,10 +362,9 @@ class ChordNetwork:
         return cls.build(n, m=m, rng=rng, **kwargs).dht(lookup_mode=lookup_mode)
 
 
-try:  # optional acceleration for batched point -> target conversion
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is an optional dependency
-    _np = None
+# Optional acceleration for batched point -> target conversion; None
+# when numpy is absent or REPRO_PURE_PYTHON is set (see repro.compat).
+_np = load_numpy()
 
 
 def _targets_for(points, m: int):
@@ -390,7 +391,7 @@ def _targets_for(points, m: int):
     return targets
 
 
-class ChordDHT:
+class ChordDHT(EntryVantageMixin):
     """The paper's DHT interface over a live :class:`ChordNetwork`.
 
     ``h(x)`` runs one Chord lookup from the entry node -- iterative
@@ -429,51 +430,8 @@ class ChordDHT:
     def _ref(self, node_id: int) -> PeerRef:
         return PeerRef(peer_id=node_id, point=id_to_point(node_id, self._network.m))
 
-    @property
-    def entry_id(self) -> int:
-        """The node id the adapter currently issues lookups from."""
-        return self._entry_id
-
-    @property
-    def entry_is_alive(self) -> bool:
-        """Whether the current vantage peer is still in the ring."""
-        return self._entry_id in self._network.nodes
-
-    def refresh_entry(self, entry_id: int | None = None) -> int:
-        """Re-root the adapter at a live vantage peer and return its id.
-
-        With ``entry_id=None`` the clockwise-nearest live node to the old
-        vantage is adopted -- the same failover rule :meth:`_entry_node`
-        applies lazily -- so callers can proactively shed a stale entry
-        (e.g. a serving shard re-admitting itself after churn).
-        """
-        if entry_id is not None:
-            if entry_id not in self._network.nodes:
-                raise KeyError(f"entry node {entry_id} is not alive")
-            self._entry_id = entry_id
-        else:
-            self._entry_id = self._nearest_alive(self._entry_id)
-        return self._entry_id
-
-    def _nearest_alive(self, node_id: int) -> int:
-        """The first live id clockwise of ``node_id`` (wrapping)."""
-        ids = self._network.sorted_ids()
-        if not ids:
-            # A permanent condition, not a transient routing failure:
-            # per the dht.api contract this must NOT be retryable.
-            raise ValueError("no live peers: the network is empty")
-        i = bisect.bisect_left(ids, node_id)
-        return ids[i % len(ids)]
-
-    def _entry_node(self) -> ChordNode:
-        node = self._network.nodes.get(self._entry_id)
-        if node is None:
-            # Our vantage peer departed; fail over to the clockwise-
-            # nearest survivor (spreads re-rooted adapters around the
-            # ring instead of piling them onto one global node).
-            self._entry_id = self._nearest_alive(self._entry_id)
-            node = self._network.nodes[self._entry_id]
-        return node
+    # entry_id / entry_is_alive / refresh_entry / _entry_node come from
+    # EntryVantageMixin -- the failover discipline shared with KademliaDHT.
 
     def h(self, x: float) -> PeerRef:
         """``h(x)`` via an iterative lookup (cost: measured, ~O(log n))."""

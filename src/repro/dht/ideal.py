@@ -18,15 +18,15 @@ from bisect import bisect_left
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-try:  # optional acceleration for the bulk interface
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is an optional dependency
-    _np = None
-
+from ..compat import load_numpy
 from ..core.intervals import SortedCircle
 from .api import NUMPY_MIN_BATCH, CostMeter, PeerRef
 
 __all__ = ["CostModel", "LogCost", "IdealDHT"]
+
+# Optional acceleration for the bulk interface; None when numpy is
+# absent or REPRO_PURE_PYTHON pins the fallback lanes (see repro.compat).
+_np = load_numpy()
 
 
 @dataclass(frozen=True)

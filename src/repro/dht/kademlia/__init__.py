@@ -1,0 +1,41 @@
+"""A message-level Kademlia simulator (Maymounkov & Mazieres) used as
+the XOR-metric substrate: k-bucket routing tables with LRU liveness
+eviction, alpha-parallel iterative lookups, bucket refresh as the
+stabilization analogue, and successor-style resolution built from
+aligned-block certification so the paper's ``h``/``next`` interface is
+exact on a substrate that has no ring.
+"""
+
+from .idspace import (
+    aligned_limit,
+    bucket_index,
+    bucket_range,
+    id_to_point,
+    point_to_target_id,
+    xor_distance,
+)
+from .network import DEFAULT_BITS, KademliaDHT, KademliaNetwork
+from .node import (
+    KademliaLookupError_,
+    KademliaNode,
+    LookupOutcome,
+    SuccessorResult,
+    lookup_budget,
+)
+
+__all__ = [
+    "DEFAULT_BITS",
+    "KademliaDHT",
+    "KademliaLookupError_",
+    "KademliaNetwork",
+    "KademliaNode",
+    "LookupOutcome",
+    "SuccessorResult",
+    "aligned_limit",
+    "bucket_index",
+    "bucket_range",
+    "id_to_point",
+    "lookup_budget",
+    "point_to_target_id",
+    "xor_distance",
+]

@@ -1,0 +1,81 @@
+"""Kademlia identifier-space arithmetic: the XOR metric over ``m``-bit ids.
+
+Kademlia (Maymounkov & Mazieres) measures distance between identifiers
+as their bitwise XOR interpreted as an integer.  The metric is symmetric
+and unidirectional -- for any point and distance there is exactly one id
+at that distance -- which is what lets a node's routing table be a
+binary trie of *buckets*: bucket ``i`` of node ``x`` holds contacts
+whose distance to ``x`` lies in ``[2**i, 2**(i+1))``, i.e. ids that
+agree with ``x`` above bit ``i`` and differ at bit ``i``.
+
+The paper's unit-circle mapping is shared with every other discrete-id
+substrate (:mod:`repro.dht.idspace`); this module adds the XOR-side
+helpers plus the *aligned block* arithmetic the successor resolution in
+:mod:`repro.dht.kademlia.network` is built on.  An aligned block
+``[base, base + 2**j)`` (``base`` a multiple of ``2**j``) is
+simultaneously a numeric interval and an XOR ball: for any ``y`` inside,
+``base XOR y == y - base``, so *XOR order from the base equals numeric
+order within the block*.  That identity is what turns Kademlia's
+nearest-in-XOR lookups into the clockwise-successor primitive the
+sampler needs.
+"""
+
+from __future__ import annotations
+
+from ..idspace import id_to_point, point_to_target_id
+
+__all__ = [
+    "id_to_point",
+    "point_to_target_id",
+    "xor_distance",
+    "bucket_index",
+    "bucket_range",
+    "aligned_limit",
+]
+
+
+def xor_distance(a: int, b: int) -> int:
+    """The Kademlia metric: ``a XOR b`` as an unsigned integer."""
+    return a ^ b
+
+
+def bucket_index(own_id: int, other_id: int) -> int:
+    """Which of ``own_id``'s buckets ``other_id`` belongs in.
+
+    The index of the highest bit where the two ids differ -- contacts in
+    bucket ``i`` lie at XOR distance ``[2**i, 2**(i+1))``.  Undefined
+    for ``own_id == other_id`` (a node never stores itself).
+    """
+    d = own_id ^ other_id
+    if d == 0:
+        raise ValueError("a node has no bucket for its own id")
+    return d.bit_length() - 1
+
+
+def bucket_range(own_id: int, i: int) -> tuple[int, int]:
+    """The aligned id block ``[base, base + 2**i)`` covered by bucket ``i``.
+
+    Bucket ``i`` of ``own_id`` is exactly the sibling subtree at bit
+    ``i``: ids sharing the bits above ``i`` and differing at ``i``.
+    """
+    base = ((own_id >> i) ^ 1) << i
+    return base, base + (1 << i)
+
+
+def aligned_limit(cur: int, radius: int, m: int) -> int:
+    """End of the largest aligned run ``[cur, limit)`` inside an XOR ball.
+
+    Given a complete view of every id within XOR distance ``<= radius``
+    of ``cur``, the numerically contiguous stretch that view certifies
+    is ``[cur, limit)`` where ``limit`` is ``cur`` rounded up to its
+    ``2**j`` boundary for ``j = floor(log2 radius)``: every id below
+    that boundary shares ``cur``'s bits from ``j`` up, hence sits at XOR
+    distance ``< 2**j <= radius``.  Beyond the boundary a higher bit
+    flips and the XOR distance can exceed the ball, so nothing further
+    is certified.  Returns ``2**m`` at most (the top of the space).
+    """
+    if radius < 1:
+        raise ValueError("radius must be at least 1")
+    j = radius.bit_length() - 1
+    limit = ((cur >> j) + 1) << j
+    return min(limit, 1 << m)

@@ -1,0 +1,76 @@
+"""Shared vantage-peer discipline for live-overlay DHT adapters.
+
+Every message-level substrate adapter issues its lookups *from
+somewhere*: a vantage ("entry") peer that stands in for the local node
+of the paper's algorithms.  On a dynamic overlay that peer can die, and
+the adapter must fail over without leaking substrate-specific errors --
+the same rule whether the overlay underneath is a Chord ring or a
+Kademlia table, because the rule only needs the oracle membership view.
+
+:class:`EntryVantageMixin` centralizes it.  Hosts provide two
+attributes: ``_entry_id`` (the current vantage id) and ``_network``
+exposing ``nodes`` (the live-node mapping) and ``sorted_ids()`` (the
+epoch-memoized clockwise oracle view).  Failover re-roots at the
+clockwise-nearest survivor, which spreads re-rooted adapters around the
+ring instead of piling them onto one global node.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["EntryVantageMixin"]
+
+
+class EntryVantageMixin:
+    """Entry-peer bookkeeping shared by the live substrate adapters."""
+
+    @property
+    def entry_id(self) -> int:
+        """The node id the adapter currently issues lookups from."""
+        return self._entry_id
+
+    @property
+    def entry_is_alive(self) -> bool:
+        """Whether the current vantage peer is still in the overlay."""
+        return self._entry_id in self._network.nodes
+
+    def refresh_entry(self, entry_id: int | None = None) -> int:
+        """Re-root the adapter at a live vantage peer and return its id.
+
+        With ``entry_id=None`` the clockwise-nearest live node to the
+        old vantage is adopted -- the same failover rule
+        :meth:`_entry_node` applies lazily -- so callers can proactively
+        shed a stale entry (e.g. a serving shard re-admitting itself
+        after churn).
+        """
+        if entry_id is not None:
+            if entry_id not in self._network.nodes:
+                raise KeyError(f"entry node {entry_id} is not alive")
+            self._entry_id = entry_id
+        else:
+            self._entry_id = self._nearest_alive(self._entry_id)
+        return self._entry_id
+
+    def _nearest_alive(self, node_id: int) -> int:
+        """The first live id clockwise of ``node_id`` (wrapping, oracle)."""
+        ids = self._network.sorted_ids()
+        if not ids:
+            # A permanent condition, not a transient routing failure:
+            # per the dht.api contract this must NOT be retryable.
+            raise ValueError("no live peers: the network is empty")
+        i = bisect.bisect_left(ids, node_id)
+        return ids[i % len(ids)]
+
+    def _entry_node(self):
+        """The live vantage node object, failing over if it departed.
+
+        Re-roots at the clockwise-nearest survivor, which spreads
+        re-rooted adapters around the ring instead of piling them onto
+        one global node.
+        """
+        node = self._network.nodes.get(self._entry_id)
+        if node is None:
+            self._entry_id = self._nearest_alive(self._entry_id)
+            node = self._network.nodes[self._entry_id]
+        return node

@@ -25,9 +25,10 @@ regimes into ``BENCH_churn.json``.
 
 from .report import find_baseline, results_record, results_table
 from .runner import ScenarioResult, ShardReport, run_scenario, run_specs
-from .spec import PRESETS, ScenarioSpec, preset, sweep
+from .spec import BACKENDS, PRESETS, ScenarioSpec, preset, sweep
 
 __all__ = [
+    "BACKENDS",
     "PRESETS",
     "ScenarioResult",
     "ScenarioSpec",

@@ -3,8 +3,11 @@
 The runner wires the full dynamic-membership stack on **one**
 discrete-event clock:
 
-- per shard, a message-level :class:`~repro.dht.chord.network.ChordNetwork`
-  ring with periodic stabilization scheduled on the shared simulator;
+- per shard, a message-level overlay -- a
+  :class:`~repro.dht.chord.network.ChordNetwork` ring or a
+  :class:`~repro.dht.kademlia.network.KademliaNetwork` (per
+  ``spec.backend``) -- with periodic maintenance (stabilization or
+  bucket refresh) scheduled on the shared simulator;
 - per shard, a :class:`~repro.sim.churn.ChurnProcess` issuing Poisson
   joins, graceful leaves and fail-stop crashes *while requests are in
   flight*;
@@ -36,6 +39,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.stats import chi_square_uniform, total_variation_from_uniform
 from ..dht.chord.network import ChordNetwork
+from ..dht.kademlia.network import KademliaNetwork
 from ..service.core import SamplingService
 from ..service.loadgen import LoadGenerator
 from ..sim.churn import ChurnProcess
@@ -162,8 +166,25 @@ class ScenarioResult:
         }
 
 
-def _build_ring(spec: ScenarioSpec, shard_id: int, sim, rngs) -> ChordNetwork:
+def _build_ring(spec: ScenarioSpec, shard_id: int, sim, rngs):
+    """One shard overlay of the spec's backend, seeded from its own stream.
+
+    Both classes expose the same membership/maintenance vocabulary
+    (``join_node``/``crash_node``/``leave_node``,
+    ``start_periodic_maintenance``, ``run_stabilization``,
+    ``ring_is_correct``), so everything downstream of construction is
+    backend-agnostic.
+    """
     ring_rng = random.Random(rngs.fresh(f"shard{shard_id}.ring").getrandbits(64))
+    if spec.backend == "kademlia":
+        return KademliaNetwork.build(
+            spec.n,
+            m=spec.chord_m,
+            k=spec.kad_k,
+            alpha=spec.kad_alpha,
+            rng=ring_rng,
+            sim=sim,
+        )
     return ChordNetwork.build(spec.n, m=spec.chord_m, rng=ring_rng, sim=sim)
 
 

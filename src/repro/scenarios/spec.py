@@ -24,7 +24,12 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-__all__ = ["ScenarioSpec", "PRESETS", "preset", "sweep"]
+__all__ = ["BACKENDS", "ScenarioSpec", "PRESETS", "preset", "sweep"]
+
+#: Message-level substrates the runner can drive.  ``chord`` stabilizes
+#: a successor ring; ``kademlia`` refreshes k-buckets -- same churn
+#: process, same serving stack, different liveness model.
+BACKENDS = ("chord", "kademlia")
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,13 +42,19 @@ class ScenarioSpec:
     is the offered request load on the whole service.
     ``stabilize_interval=0`` disables periodic maintenance -- the
     pathological regime where only lookup-time repair fights churn.
+    For the ``kademlia`` backend, ``stabilize_interval`` paces bucket
+    refresh (its stabilization analogue) and ``chord_m`` is read as the
+    generic identifier width of the shard overlays.
     """
 
     name: str
     # -- substrate shape --
+    backend: str = "chord"  # which message-level overlay each shard runs
     n: int = 64  # initial peers per shard ring
     shards: int = 2
-    chord_m: int = 16  # identifier bits per ring
+    chord_m: int = 16  # identifier bits per ring (either backend)
+    kad_k: int = 8  # Kademlia bucket size (scenario-sized)
+    kad_alpha: int = 3  # Kademlia lookup concurrency
     # -- membership dynamics --
     churn_rate: float = 0.0  # Poisson membership events / time unit / shard
     crash_fraction: float = 0.5  # P(departure is a crash, not a leave)
@@ -66,8 +77,14 @@ class ScenarioSpec:
     recovery_rounds: int = 80  # stabilization-round budget after churn stops
 
     def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
         if self.n < 1 or self.shards < 1 or self.requests < 1:
             raise ValueError("n, shards and requests must be positive")
+        if self.kad_k < 1 or self.kad_alpha < 1:
+            raise ValueError("kad_k and kad_alpha must be positive")
         if self.n > (1 << self.chord_m):
             raise ValueError(
                 f"identifier space 2^{self.chord_m} too small for n={self.n}"

@@ -26,6 +26,7 @@ from ..core.engine import BatchSampler
 from ..core.sampler import RandomPeerSampler
 from ..dht.chord.network import ChordNetwork
 from ..dht.ideal import IdealDHT
+from ..dht.kademlia.network import KademliaNetwork
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
 from .admission import AdmissionController
@@ -46,7 +47,7 @@ __all__ = [
 ]
 
 DISPATCH_MODES = ("batch", "scalar")
-SUBSTRATES = ("ideal", "chord", "mixed")
+SUBSTRATES = ("ideal", "chord", "kademlia", "mixed")
 
 
 class SamplingService:
@@ -191,16 +192,20 @@ def build_substrates(
     rngs: RngRegistry | None = None,
     seed: int = 0,
     chord_m: int = 20,
+    kad_bits: int = 32,
+    kad_k: int = 20,
+    kad_alpha: int = 3,
     replicate_rings: bool = False,
 ) -> list:
     """Construct the shard substrates for :func:`build_service`.
 
-    ``substrate`` is ``ideal`` (analytic oracle, bulk-capable), ``chord``
-    (message-level simulator; the engine degrades to its per-call path),
-    or ``mixed`` (alternating).  ``replicate_rings=True`` gives every
-    ideal shard the *same* ring (one peer population served by many
-    shards) instead of independent rings -- what uniformity tests over
-    the union of shards want.
+    ``substrate`` is ``ideal`` (analytic oracle, bulk-capable),
+    ``chord`` or ``kademlia`` (message-level simulators; the engine
+    degrades to its per-call path), or ``mixed`` (alternating ideal and
+    chord -- the oracle-vs-overlay split the mixed-shard tests pin).
+    ``replicate_rings=True`` gives every ideal shard the *same* ring
+    (one peer population served by many shards) instead of independent
+    rings -- what uniformity tests over the union of shards want.
     """
     if shards < 1:
         raise ValueError("need at least one shard")
@@ -216,6 +221,12 @@ def build_substrates(
         ring_rng = random.Random(rngs.fresh(stream).getrandbits(64))
         if kind == "ideal":
             out.append(IdealDHT.random(n, ring_rng))
+        elif kind == "kademlia":
+            out.append(
+                KademliaNetwork.build_dht(
+                    n, m=kad_bits, k=kad_k, alpha=kad_alpha, rng=ring_rng
+                )
+            )
         else:
             out.append(ChordNetwork.build_dht(n, m=chord_m, rng=ring_rng))
     return out
@@ -228,6 +239,9 @@ def build_service(
     substrate: str = "ideal",
     seed: int = 0,
     chord_m: int = 20,
+    kad_bits: int = 32,
+    kad_k: int = 20,
+    kad_alpha: int = 3,
     replicate_rings: bool = False,
     **service_kwargs,
 ) -> SamplingService:
@@ -239,6 +253,9 @@ def build_service(
         substrate=substrate,
         rngs=rngs,
         chord_m=chord_m,
+        kad_bits=kad_bits,
+        kad_k=kad_k,
+        kad_alpha=kad_alpha,
         replicate_rings=replicate_rings,
     )
     return SamplingService(subs, rngs=rngs, **service_kwargs)

@@ -1,10 +1,12 @@
 """Churn processes: Poisson joins and departures driven by the simulator.
 
 A :class:`ChurnProcess` schedules node arrivals and departures with
-exponential interarrival times on a
-:class:`~repro.dht.chord.network.ChordNetwork`, keeping the population
-near a target size.  Departures are crashes with probability
-``crash_fraction`` and graceful leaves otherwise.
+exponential interarrival times on any overlay exposing the membership
+vocabulary (``join_node``/``crash_node``/``leave_node``/``nodes``/
+``__len__`` -- the Chord and Kademlia networks both do), keeping the
+population near a target size.  Departures are crashes with probability
+``crash_fraction`` and graceful leaves otherwise (Kademlia treats the
+two identically: it has no splice-out protocol).
 
 Randomness follows the sim layer's seeding contract: pass an
 :class:`~repro.sim.rng.RngRegistry` (the process draws from its own
@@ -35,7 +37,7 @@ class ChurnEvent:
 
 
 class ChurnProcess:
-    """Poisson churn on a Chord network.
+    """Poisson churn on a DHT overlay network.
 
     ``rate`` is the expected number of membership events per time unit.
     Each event is a join or a departure with equal probability, except

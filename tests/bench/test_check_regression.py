@@ -6,8 +6,6 @@ import importlib.util
 import json
 from pathlib import Path
 
-import pytest
-
 _SCRIPT = (
     Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
 )
@@ -81,15 +79,17 @@ class TestCompare:
         assert rows == []
 
     def test_lower_is_better_direction(self):
-        make = lambda inflation: {
-            "scenarios": [
-                {
-                    "spec": {"name": "moderate"},
-                    "ring_recovered": True,
-                    "inflation": {"messages_per_sample": inflation},
-                }
-            ]
-        }
+        def make(inflation):
+            return {
+                "scenarios": [
+                    {
+                        "spec": {"name": "moderate"},
+                        "ring_recovered": True,
+                        "inflation": {"messages_per_sample": inflation},
+                    }
+                ]
+            }
+
         rows = check_regression.compare(
             make(9.0), make(2.0), check_regression._metrics_churn, tolerance=0.4
         )
@@ -131,7 +131,7 @@ class TestMainEndToEnd:
         assert rc == 1
         assert "REGRESSED" in capsys.readouterr().out
 
-    def test_missing_artifacts_pass_vacuously(self, tmp_path, capsys):
+    def test_missing_fresh_artifacts_skip_by_default(self, tmp_path, capsys):
         empty = tmp_path / "empty"
         empty.mkdir()
         rc = check_regression.main(
@@ -144,6 +144,56 @@ class TestMainEndToEnd:
         assert rc == 0
         assert "nothing compared" in capsys.readouterr().out
 
+    def test_missing_committed_baseline_fails(self, tmp_path, capsys):
+        # an absent committed BENCH_*.json used to read as a pass; it is
+        # a hole in the guard and must exit non-zero
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        (fresh / "BENCH_chord_batch.json").write_text(json.dumps(chord_record(6.0)))
+        rc = check_regression.main(
+            [
+                "--bench", "BENCH_chord_batch.json",
+                "--fresh-dir", str(fresh),
+                "--baseline-dir", str(base),
+            ]
+        )
+        assert rc == 1
+        assert "no committed baseline" in capsys.readouterr().err
+
+    def test_strict_fails_on_missing_fresh_artifact(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        rc = check_regression.main(
+            [
+                "--strict",
+                "--bench", "BENCH_chord_batch.json",
+                "--fresh-dir", str(empty),
+                "--baseline-dir", str(empty),
+            ]
+        )
+        assert rc == 1
+        assert "no fresh output" in capsys.readouterr().err
+
+    def test_strict_fails_on_disjoint_configurations(self, tmp_path, capsys):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        (fresh / "BENCH_chord_batch.json").write_text(
+            json.dumps(chord_record(6.0, n=1000))
+        )
+        (base / "BENCH_chord_batch.json").write_text(
+            json.dumps(chord_record(6.0, n=100000))
+        )
+        rc = check_regression.main(
+            [
+                "--strict",
+                "--bench", "BENCH_chord_batch.json",
+                "--fresh-dir", str(fresh),
+                "--baseline-dir", str(base),
+            ]
+        )
+        assert rc == 1
+        assert "no comparable metrics" in capsys.readouterr().err
+
     def test_committed_repo_artifacts_parse(self):
         # every committed baseline must stay extractable, else the CI
         # guard silently compares nothing
@@ -154,3 +204,35 @@ class TestMainEndToEnd:
                 continue
             metrics = extractor(json.loads(path.read_text()))
             assert metrics, f"no metrics extracted from {name}"
+
+    def test_every_known_artifact_has_a_committed_baseline(self):
+        # the PR guard errors on fresh-without-baseline, so a bench
+        # registered here must ship its baseline in the same change
+        root = check_regression.ROOT
+        for name in check_regression.EXTRACTORS:
+            assert (root / name).exists(), f"{name} baseline not committed"
+
+
+class TestBackendsExtractor:
+    def test_metrics_per_backend_size_and_phase(self):
+        record = {
+            "results": [
+                {
+                    "backend": "chord", "n": 10000, "phase": "static",
+                    "sustained_rps": 140.0, "msgs_per_sample": 4500.0,
+                    "all_sampled_live": True,
+                },
+                {
+                    "backend": "kademlia", "n": 10000, "phase": "churn",
+                    "sustained_rps": 28.0, "msgs_per_sample": 4600.0,
+                    "all_sampled_live": True,
+                },
+            ]
+        }
+        metrics = check_regression._metrics_backends(record)
+        assert metrics["chord/n=10000/static/sustained_rps"] == (140.0, "higher-is-better")
+        assert metrics["kademlia/n=10000/churn/msgs_per_sample"] == (4600.0, "lower-is-better")
+        assert metrics["chord/n=10000/static/all_sampled_live"] == (True, "exact")
+        # churn-phase dead draws are documented-acceptable (stale_trials
+        # records them), so no exact invariant is registered there
+        assert "kademlia/n=10000/churn/all_sampled_live" not in metrics

@@ -7,7 +7,7 @@ import random
 
 import pytest
 
-from repro.dht.chord import ChordDHT, ChordNetwork, LookupError_
+from repro.dht.chord import ChordNetwork
 from repro.dht.chord.idspace import id_to_point
 
 

@@ -1,0 +1,300 @@
+"""Kademlia substrate unit tests: XOR idspace, k-buckets, lookups,
+successor certification, and the network's churn/maintenance API.
+
+The cross-backend behaviour (h/next semantics, charges, uniformity) is
+covered by the conformance suite (``tests/dht/test_conformance.py``);
+these tests pin the Kademlia-specific mechanics underneath it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.dht.api import PeerUnreachableError
+from repro.dht.kademlia import (
+    KademliaLookupError_,
+    KademliaNetwork,
+    aligned_limit,
+    bucket_index,
+    bucket_range,
+    xor_distance,
+)
+from repro.sim.churn import ChurnProcess
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class TestIdspace:
+    def test_xor_distance_is_a_metric_on_samples(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            a, b, c = (rng.randrange(1 << 32) for _ in range(3))
+            assert xor_distance(a, b) == xor_distance(b, a)
+            assert xor_distance(a, a) == 0
+            # XOR satisfies the stronger "unidirectional" triangle bound
+            assert xor_distance(a, c) <= xor_distance(a, b) | xor_distance(b, c)
+
+    def test_bucket_index_is_highest_differing_bit(self):
+        assert bucket_index(0b1000, 0b1001) == 0
+        assert bucket_index(0b1000, 0b0000) == 3
+        assert bucket_index(5, 4) == 0
+
+    def test_bucket_index_rejects_self(self):
+        with pytest.raises(ValueError):
+            bucket_index(7, 7)
+
+    def test_bucket_range_is_the_sibling_block(self):
+        # bucket 2 of 0b1010: flip bit 2, clear the bits below -> [0b1100, 0b1100+4)
+        base, end = bucket_range(0b1010, 2)
+        assert (base, end) == (0b1100, 0b1100 + 4)
+        # every id in the range lands back in that bucket
+        for y in range(base, end):
+            if y != 0b1010:
+                assert bucket_index(0b1010, y) == 2
+
+    def test_aligned_limit_certifies_only_shared_prefix(self):
+        # cur=6 (110), radius=3 -> j=1, boundary at 8
+        assert aligned_limit(6, 3, m=4) == 8
+        # aligned cur reaches its full 2^j block
+        assert aligned_limit(8, 7, m=4) == 12
+        # clamped at the top of the space
+        assert aligned_limit(14, 8, m=4) == 16
+        with pytest.raises(ValueError):
+            aligned_limit(3, 0, m=4)
+
+    def test_every_certified_id_is_inside_the_ball(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            m = 16
+            cur = rng.randrange(1 << m)
+            radius = rng.randrange(1, 1 << m)
+            limit = aligned_limit(cur, radius, m)
+            assert limit > cur
+            for y in (cur, (cur + limit - 1) // 2, limit - 1):
+                assert xor_distance(cur, y) <= radius
+
+
+def small_net(n=32, m=16, k=4, seed=0, **kwargs) -> KademliaNetwork:
+    return KademliaNetwork.build(n, m=m, k=k, rng=random.Random(seed), **kwargs)
+
+
+class TestBuckets:
+    def test_observe_respects_lru_order(self):
+        net = KademliaNetwork(m=8, k=3, rng=random.Random(0))
+        node = net._register(0)
+        for other in (0b10000001, 0b10000010, 0b10000011):
+            net._register(other)
+            node.observe(other)
+        i = bucket_index(0, 0b10000001)
+        assert net.nodes[0].buckets[i] == [0b10000001, 0b10000010, 0b10000011]
+        node.observe(0b10000001)  # seen again: moves to tail
+        assert node.buckets[i] == [0b10000010, 0b10000011, 0b10000001]
+
+    def test_full_bucket_parks_newcomer_in_replacement_cache(self):
+        net = KademliaNetwork(m=8, k=2, rng=random.Random(0))
+        node = net._register(0)
+        members = [0b10000001, 0b10000010, 0b10000011]
+        for other in members:
+            net._register(other)
+            node.observe(other)
+        i = bucket_index(0, members[0])
+        assert node.buckets[i] == members[:2]  # uptime-bias: members keep slots
+        assert node.replacements[i] == [members[2]]
+        assert not node.knows(members[2])
+
+    def test_forget_promotes_from_replacement_cache(self):
+        net = KademliaNetwork(m=8, k=2, rng=random.Random(0))
+        node = net._register(0)
+        members = [0b10000001, 0b10000010, 0b10000011]
+        for other in members:
+            net._register(other)
+            node.observe(other)
+        node.forget(members[0])
+        i = bucket_index(0, members[0])
+        assert members[2] in node.buckets[i]  # cache promoted
+        assert node.knows(members[2]) and not node.knows(members[0])
+
+    def test_probe_stale_evicts_dead_head_with_charged_ping(self):
+        net = KademliaNetwork(m=8, k=2, rng=random.Random(0))
+        node = net._register(0)
+        other = net._register(0b10000001).node_id
+        node.observe(other)
+        net.crash_node(other)
+        before = net.transport.messages_sent
+        assert node.probe_stale() == 1  # evicted
+        assert not node.knows(other)
+        assert net.transport.messages_sent > before  # the ping was charged
+
+    def test_find_node_observes_the_sender(self):
+        net = small_net(n=8, k=4, seed=3)
+        a, b = sorted(net.nodes)[:2]
+        net.nodes[a].forget(b)
+        net.nodes[a].find_node(0, sender_id=b)
+        assert net.nodes[a].knows(b)
+
+
+class TestLookups:
+    def test_iterative_lookup_finds_true_k_closest(self):
+        net = small_net(n=64, m=16, k=6, seed=4)
+        ids = net.sorted_ids()
+        entry = net.nodes[ids[0]]
+        rng = random.Random(5)
+        for _ in range(40):
+            target = rng.randrange(1 << 16)
+            out = entry.iterative_find_node(target)
+            expect = sorted(ids, key=lambda i: i ^ target)[: net.k]
+            assert list(out.ids) == expect
+            assert out.complete
+
+    def test_find_successor_matches_oracle_across_wrap(self):
+        net = small_net(n=48, m=16, k=6, seed=6)
+        ids = net.sorted_ids()
+        entry = net.nodes[ids[0]]
+        # targets straddling every kind of boundary, including wrap
+        targets = [0, 1, (1 << 16) - 1, (1 << 15), (1 << 15) - 1]
+        targets += [i + d for i in ids[::7] for d in (-1, 0, 1)]
+        for t in targets:
+            t %= 1 << 16
+            expect = ids[bisect.bisect_left(ids, t) % len(ids)]
+            result = entry.find_successor(t)
+            assert result.node_id == expect, f"successor({t})"
+            assert result.census[0] == result.node_id
+
+    def test_census_is_a_consecutive_clockwise_run(self):
+        net = small_net(n=64, m=16, k=8, seed=7)
+        ids = net.sorted_ids()
+        entry = net.nodes[ids[0]]
+        result = entry.find_successor(ids[10] + 1)
+        census = list(result.census)
+        start = ids.index(census[0])
+        assert census == [ids[(start + j) % len(ids)] for j in range(len(census))]
+
+    def test_lookup_routes_around_dead_contacts(self):
+        net = small_net(n=48, m=16, k=6, seed=8)
+        ids = net.sorted_ids()
+        entry = net.nodes[ids[0]]
+        rng = random.Random(9)
+        victims = [i for i in ids[1:]][::4]
+        for v in victims:
+            net.crash_node(v)
+        alive = set(net.sorted_ids())
+        for _ in range(20):
+            t = rng.randrange(1 << 16)
+            try:
+                owner = entry.find_successor(t).node_id
+            except KademliaLookupError_:
+                continue  # retryable, acceptable mid-churn
+            assert owner in alive
+
+    def test_lookup_error_is_retryable_liveness_error(self):
+        assert issubclass(KademliaLookupError_, PeerUnreachableError)
+
+
+class TestNetwork:
+    def test_build_perfect_tables_hold_block_minima(self):
+        # the invariant the O(1) next() relies on: every non-empty bucket
+        # retains its block's numerically smallest member
+        net = small_net(n=64, m=16, k=4, seed=10)
+        ids = net.sorted_ids()
+        for node_id, node in net.nodes.items():
+            for i, bucket in node.buckets.items():
+                base, end = bucket_range(node_id, i)
+                lo = bisect.bisect_left(ids, base)
+                if lo < len(ids) and ids[lo] < end:
+                    assert ids[lo] in bucket
+
+    def test_join_node_announces_and_learns(self):
+        net = small_net(n=24, m=16, k=6, seed=11)
+        joiner = net.join_node()
+        assert joiner.node_id in net.nodes
+        # the joiner learned a neighbourhood and someone learned it
+        assert joiner.contacts()
+        assert any(
+            node.knows(joiner.node_id)
+            for node_id, node in net.nodes.items()
+            if node_id != joiner.node_id
+        )
+
+    def test_leave_is_observationally_a_crash(self):
+        net = small_net(n=16, m=16, k=4, seed=12)
+        ids = net.sorted_ids()
+        net.leave_node(ids[3])
+        assert ids[3] not in net.nodes
+        with pytest.raises(KeyError):
+            net.leave_node(ids[3])
+
+    def test_epoch_bumps_on_membership_and_maintenance(self):
+        net = small_net(n=16, m=16, k=4, seed=13)
+        e0 = net.churn_epoch
+        net.join_node()
+        assert net.churn_epoch > e0
+        e1 = net.churn_epoch
+        net.refresh_round()
+        assert net.churn_epoch > e1
+
+    def test_sorted_ids_and_points_are_epoch_cached(self):
+        net = small_net(n=16, m=16, k=4, seed=14)
+        first = net.sorted_ids()
+        assert net.sorted_ids() is first  # cached within an epoch
+        pts = net.points_array()
+        assert net.points_array() is pts
+        net.join_node()
+        assert net.sorted_ids() is not first
+
+    def test_refresh_recovers_routing_after_crashes(self):
+        net = small_net(n=48, m=16, k=6, seed=15)
+        ids = net.sorted_ids()
+        for v in ids[1::4]:
+            net.crash_node(v)
+        rounds = 0
+        while not net.routing_is_correct() and rounds < 40:
+            net.refresh_round()
+            rounds += 1
+        assert net.routing_is_correct(), f"not converged after {rounds} rounds"
+
+    def test_sequential_join_bootstrap_converges(self):
+        net = KademliaNetwork.build(
+            20, m=16, k=6, rng=random.Random(16), perfect=False
+        )
+        rounds = 0
+        while not net.routing_is_correct() and rounds < 30:
+            net.refresh_round()
+            rounds += 1
+        assert net.routing_is_correct()
+
+    def test_churn_process_drives_kademlia_and_recovery(self):
+        sim = Simulator()
+        net = KademliaNetwork.build(24, m=16, k=6, rng=random.Random(17), sim=sim)
+        net.start_periodic_maintenance(4.0)
+        churn = ChurnProcess(
+            net, sim, rate=0.3, rng=RngRegistry(18), target_size=24, min_size=6
+        )
+        churn.start()
+        sim.run_for(200.0)
+        churn.stop()
+        counts = churn.event_counts()
+        assert sum(counts.values()) > 0
+        rounds = 0
+        while not net.routing_is_correct() and rounds < 60:
+            net.refresh_round()
+            rounds += 1
+        assert net.routing_is_correct()
+
+    def test_build_dht_validates_id_space(self):
+        with pytest.raises(ValueError):
+            KademliaNetwork.build_dht(100, m=6)
+
+    def test_dht_entry_failover_after_entry_crash(self):
+        net = small_net(n=24, m=16, k=6, seed=19)
+        dht = net.dht()
+        entry = dht.entry_id
+        net.crash_node(entry)
+        peer = dht.h(0.5)  # lazily re-roots at the clockwise-nearest survivor
+        assert peer.peer_id in net.nodes
+        assert dht.entry_id != entry
+        assert dht.entry_is_alive
+        dht.refresh_entry(min(net.nodes))
+        assert dht.entry_id == min(net.nodes)

@@ -12,7 +12,6 @@ import math
 import random
 from collections import Counter
 
-import pytest
 
 from repro import (
     ChordNetwork,

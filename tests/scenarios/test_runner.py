@@ -130,3 +130,26 @@ class TestDeterminismAndRecord:
         churny = record["scenarios"][1]
         assert churny["inflation"]["messages_per_sample"] is not None
         assert find_baseline(results) is static
+
+
+class TestKademliaBackend:
+    """The same scenario stack must drive the XOR overlay unchanged."""
+
+    def test_churning_kademlia_scenario_end_to_end(self):
+        spec = preset("smoke", backend="kademlia", n=20, chord_m=12, requests=50)
+        result = run_scenario(spec)
+        summary = result.summary
+        offered = summary["completed"] + summary["failed"] + summary["rejected"]
+        assert offered == 50  # nothing lost, nothing leaked
+        assert result.churn_events >= 0
+        assert result.ring_recovered  # bucket refresh restored the invariant
+        assert not result.truncated
+        assert result.to_record()["spec"]["backend"] == "kademlia"
+
+    def test_kademlia_static_control_is_deterministic(self):
+        spec = preset("static", backend="kademlia", n=24, chord_m=12, requests=40)
+        a = run_scenario(spec).to_record()
+        b = run_scenario(spec).to_record()
+        a.pop("wall_seconds")
+        b.pop("wall_seconds")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

@@ -83,3 +83,28 @@ class TestSweep:
         (spec,) = sweep(base, churn_rates=(0.25,), crash_fractions=(0.9,),
                         stabilize_intervals=(0.0,))
         assert spec.name == "lab/churn0.25-crash0.9-stab0"
+
+
+class TestBackendField:
+    def test_default_backend_is_chord(self):
+        assert ScenarioSpec(name="x").backend == "chord"
+
+    def test_backends_constant_is_accepted(self):
+        from repro.scenarios import BACKENDS
+
+        for backend in BACKENDS:
+            assert ScenarioSpec(name="x", backend=backend).backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", backend="pastry")
+
+    def test_kademlia_knobs_validated(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", backend="kademlia", kad_k=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", kad_alpha=0)
+
+    def test_backend_lands_in_the_record(self):
+        record = ScenarioSpec(name="x", backend="kademlia").to_record()
+        assert record["backend"] == "kademlia"

@@ -161,3 +161,42 @@ class TestCommands:
     def test_bench_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench"])
+
+
+class TestBackendSwitch:
+    """The --backend substrate switch across subcommands."""
+
+    def test_sample_on_kademlia_backend(self, capsys):
+        assert main(["--seed", "3", "sample", "--n", "64",
+                     "--samples", "2", "--backend", "kademlia"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=kademlia" in out
+        assert "sample 1:" in out
+
+    def test_sample_on_chord_backend(self, capsys):
+        assert main(["--seed", "3", "sample", "--n", "48",
+                     "--samples", "2", "--backend", "chord"]) == 0
+        assert "backend=chord" in capsys.readouterr().out
+
+    def test_sample_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "--backend", "pastry"])
+
+    def test_serve_accepts_backend_alias_for_substrate(self, capsys):
+        assert main(["serve", "--backend", "kademlia", "--n", "32",
+                     "--requests", "20", "--rate", "2.0",
+                     "--kad-bits", "16", "--kad-k", "6"]) == 0
+        assert "substrate=kademlia" in capsys.readouterr().out
+
+    def test_scenario_run_with_kademlia_backend(self, capsys):
+        assert main(["scenario", "run", "--preset", "smoke",
+                     "--backend", "kademlia", "--requests", "30"]) == 0
+        assert "ring ok" in capsys.readouterr().out
+
+    def test_bench_backends_runs_and_writes(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_backends.json"
+        assert main(["bench", "backends", "--quick", "--sizes", "128",
+                     "--samples", "25", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kademlia" in out and "chord" in out
+        assert out_path.exists()
