@@ -1,0 +1,203 @@
+"""Fault benchmark: what structured outages cost, and what recovery buys.
+
+Drives the fault-scenario lab (:mod:`repro.scenarios.faults`) two ways:
+
+- *headline*: the ``mass-failure`` and ``partition-heal`` presets at
+  their full scale on both substrates -- the acceptance runs (a 40%
+  regional kill of a 10k overlay must come back to 100% oracle-correct
+  lookups, on Chord and Kademlia alike);
+- *grid*: a kill-fraction x retry-policy sweep of the mass-kill
+  scenario on both backends, quantifying how much of the outage window
+  a retry discipline papers over (error rate under damage) and what it
+  charges for the privilege (messages per lookup, all attempts metered).
+
+Reported per run: recovery (rounds to all-correct within budget),
+outage and post-recovery error rates, and message-per-lookup inflation
+against the pre-fault baseline.
+
+Results go to ``BENCH_faults.json`` at the repo root (schema in
+docs/BENCHMARKS.md).  Run standalone
+(``PYTHONPATH=src python benchmarks/bench_faults.py``, add ``--quick``
+for the CI smoke configuration) or under pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import Table, write_bench_json
+from repro.scenarios import FaultScenarioSpec, fault_preset, run_fault_scenario
+
+SEED = 0
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+BACKENDS = ("chord", "kademlia")
+
+#: The retry-policy axis: no retries at all, the legacy back-to-back
+#: discipline, and bounded exponential backoff with seeded jitter.
+POLICIES = {
+    "none": dict(retry_attempts=1, retry_base_delay=0.0, retry_factor=1.0,
+                 retry_jitter=0.0),
+    "flat3": dict(retry_attempts=3, retry_base_delay=0.0, retry_factor=1.0,
+                  retry_jitter=0.0),
+    "expo3": dict(retry_attempts=3, retry_base_delay=0.5, retry_factor=2.0,
+                  retry_jitter=0.1),
+}
+
+
+def headline_specs(quick: bool) -> list[FaultScenarioSpec]:
+    """The two scenario presets on both substrates."""
+    shrink = dict(n=256, m=12, probes=32, recovery_round_budget=60) if quick else {}
+    specs = []
+    for preset_name in ("mass-failure", "partition-heal"):
+        for backend in BACKENDS:
+            spec = fault_preset(preset_name, backend=backend, seed=SEED, **shrink)
+            specs.append(spec.with_(name=f"{preset_name}-{backend}"))
+    return specs
+
+
+def grid_specs(quick: bool) -> list[FaultScenarioSpec]:
+    """Mass-kill sweep: backend x kill fraction x retry policy."""
+    fractions = (0.4,) if quick else (0.3, 0.4, 0.5)
+    policies = ("none", "expo3") if quick else tuple(POLICIES)
+    scale = dict(n=256, m=12, probes=32) if quick else dict(n=2048, m=16, probes=64)
+    base = fault_preset("mass-failure", seed=SEED, recovery_round_budget=80, **scale)
+    specs = []
+    for backend in BACKENDS:
+        for fraction in fractions:
+            for policy in policies:
+                specs.append(
+                    base.with_(
+                        name=f"kill{int(fraction * 100)}-{policy}-{backend}",
+                        backend=backend,
+                        kill_fraction=fraction,
+                        **POLICIES[policy],
+                    )
+                )
+    return specs
+
+
+def _policy_label(spec: FaultScenarioSpec) -> str:
+    for label, fields in POLICIES.items():
+        if all(getattr(spec, key) == value for key, value in fields.items()):
+            return label
+    return f"attempts={spec.retry_attempts}"
+
+
+def run_all(specs) -> list:
+    results = []
+    for spec in specs:
+        results.append(run_fault_scenario(spec))
+    return results
+
+
+def results_table(results, title: str) -> Table:
+    table = Table(
+        title=title,
+        headers=["scenario", "backend", "fault", "policy", "recovered",
+                 "rounds", "outage err", "post err", "msgs x outage",
+                 "msgs x post", "wall s"],
+    )
+    for r in results:
+        table.add_row(
+            r.spec.name,
+            r.spec.backend,
+            r.spec.fault,
+            _policy_label(r.spec),
+            r.recovered,
+            r.recovery_rounds if r.recovery_rounds is not None else "-",
+            r.outage.error_rate,
+            r.post.error_rate,
+            r.msgs_inflation_outage or 0.0,
+            r.msgs_inflation_post or 0.0,
+            r.wall_seconds,
+        )
+    table.note("msgs x = messages per lookup relative to the pre-fault baseline")
+    return table
+
+
+def check_results(headline, grid) -> list[str]:
+    """The benchmark's gates; returns human-readable violations."""
+    problems = []
+    for r in headline:
+        if not r.recovered:
+            problems.append(
+                f"{r.spec.name}: did not recover "
+                f"(rounds={r.recovery_rounds}, post_err={r.post.error_rate:.3f})"
+            )
+        if r.post.error_rate != 0.0:
+            problems.append(
+                f"{r.spec.name}: post-recovery lookups not oracle-perfect "
+                f"({r.post.error_rate:.3f})"
+            )
+    for r in grid:
+        # The sweep tolerates slower recovery under weak retry policies,
+        # but blowing the (generous) round budget is a repair failure.
+        if not r.recovered:
+            problems.append(f"grid {r.spec.name}: did not recover in budget")
+    return problems
+
+
+def emit(headline, grid, out: Path, quick: bool) -> Path:
+    def rows(results):
+        out_rows = []
+        for r in results:
+            record = r.to_record()
+            record["policy"] = _policy_label(r.spec)
+            out_rows.append(record)
+        return out_rows
+
+    record = {
+        "seed": SEED,
+        "quick": quick,
+        "headline": rows(headline),
+        "grid": rows(grid),
+        "generated_unix": time.time(),
+    }
+    return write_bench_json(out, record)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument("--no-grid", action="store_true",
+                        help="skip the kill-fraction x retry-policy sweep")
+    args = parser.parse_args(argv)
+
+    headline = run_all(headline_specs(args.quick))
+    results_table(headline, "fault presets: structured outages end to end").show()
+
+    grid = []
+    if not args.no_grid:
+        grid = run_all(grid_specs(args.quick))
+        results_table(grid, "mass-kill sweep: kill fraction x retry policy").show()
+
+    path = emit(headline, grid, args.out, quick=args.quick)
+    print(f"wrote {path}")
+
+    problems = check_results(headline, grid)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def test_faults_bench_quick(show, tmp_path):
+    """CI-scale outages: both presets recover on both backends and the
+    sweep stays within its repair budget, without unhandled exceptions."""
+    headline = run_all(headline_specs(quick=True))
+    show(results_table(headline, "fault presets (quick)"))
+    grid = run_all(grid_specs(quick=True))
+    show(results_table(grid, "mass-kill sweep (quick)"))
+    emit(headline, grid, tmp_path / "BENCH_faults.json", quick=True)
+    assert check_results(headline, grid) == []
+    # the outage must wound lookups before repair runs, or the scenario
+    # is not measuring anything
+    assert any(r.outage.error_rate > 0.0 for r in headline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

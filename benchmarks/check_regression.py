@@ -48,6 +48,7 @@ QUICK_COMMANDS = {
     "BENCH_service.json": ["benchmarks/bench_service.py", "--quick"],
     "BENCH_churn.json": ["benchmarks/bench_churn.py", "--quick"],
     "BENCH_backends.json": ["benchmarks/bench_backends.py", "--quick"],
+    "BENCH_faults.json": ["benchmarks/bench_faults.py", "--quick"],
 }
 
 #: Metric direction markers.
@@ -104,12 +105,37 @@ def _metrics_backends(record: dict) -> dict:
     return out
 
 
+def _metrics_faults(record: dict) -> dict:
+    # Keyed by fault/backend and by kill-fraction/policy/backend -- the
+    # axes quick and full mode share (never by n or probe count, which
+    # differ between modes; recovery rounds are budget-normalized
+    # enough at both scales for the loose tolerance to hold).
+    out = {}
+    for row in record.get("headline", []):
+        spec = row.get("spec", {})
+        key = f"{spec.get('fault', '?')}/{spec.get('backend', '?')}"
+        out[f"{key}/recovered"] = (bool(row.get("recovered")), EXACT)
+        out[f"{key}/post_error_rate"] = (row.get("phases", {})
+                                         .get("post", {})
+                                         .get("error_rate", 1.0), LOWER)
+    for row in record.get("grid", []):
+        spec = row.get("spec", {})
+        key = (f"kill={spec.get('kill_fraction', '?')}"
+               f"/{row.get('policy', '?')}/{spec.get('backend', '?')}")
+        out[f"{key}/recovered"] = (bool(row.get("recovered")), EXACT)
+        inflation = row.get("msgs_inflation_outage")
+        if inflation is not None:
+            out[f"{key}/msgs_inflation_outage"] = (inflation, LOWER)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_throughput.json": _metrics_throughput,
     "BENCH_chord_batch.json": _metrics_chord_batch,
     "BENCH_service.json": _metrics_service,
     "BENCH_churn.json": _metrics_churn,
     "BENCH_backends.json": _metrics_backends,
+    "BENCH_faults.json": _metrics_faults,
 }
 
 

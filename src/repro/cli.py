@@ -12,7 +12,10 @@ Subcommands::
     python -m repro serve      --substrate kademlia --n 2000 --requests 1000
     python -m repro scenario run --preset smoke     # serve under live churn
     python -m repro scenario run --preset smoke --backend kademlia
-    python -m repro scenario list                   # the named churn regimes
+    python -m repro scenario run --preset mass-failure --n 300   # outage lab
+    python -m repro scenario run --preset partition-heal --backend kademlia
+    python -m repro scenario list                   # churn + fault regimes
+    python -m repro faults list                     # injectors and presets
     python -m repro bench chord-batch --quick       # lockstep lookup bench
     python -m repro bench backends --quick          # Chord-vs-Kademlia costs
 
@@ -38,7 +41,18 @@ from .core.sampler import RandomPeerSampler
 from .dht.chord.network import ChordNetwork
 from .dht.ideal import IdealDHT
 from .dht.kademlia.network import KademliaNetwork
-from .scenarios import BACKENDS, PRESETS, preset, results_record, results_table, run_scenario
+from .faults import INJECTORS
+from .scenarios import (
+    BACKENDS,
+    FAULT_PRESETS,
+    PRESETS,
+    fault_preset,
+    preset,
+    results_record,
+    results_table,
+    run_fault_scenario,
+    run_scenario,
+)
 from .service import DISPATCH_MODES, POLICIES, SUBSTRATES, build_load, build_service
 
 __all__ = ["build_parser", "main"]
@@ -128,9 +142,17 @@ def build_parser() -> argparse.ArgumentParser:
     scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
     scn_sub.add_parser("list", help="show the named presets and their regimes")
     p_run = scn_sub.add_parser("run", help="run one preset scenario end to end")
-    p_run.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    p_run.add_argument(
+        "--preset",
+        choices=sorted(PRESETS) + sorted(FAULT_PRESETS),
+        default="smoke",
+        help="a churn regime or a structured-outage regime "
+             f"({', '.join(sorted(FAULT_PRESETS))})",
+    )
     p_run.add_argument("--backend", choices=BACKENDS, default=None,
                        help="override the shard overlay (chord or kademlia)")
+    p_run.add_argument("--n", type=int, default=None,
+                       help="override the overlay size")
     p_run.add_argument("--requests", type=int, default=None, help="override offered requests")
     p_run.add_argument("--rate", type=float, default=None, help="override arrival rate")
     p_run.add_argument("--churn-rate", type=float, default=None,
@@ -141,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override maintenance cadence (0 disables)")
     p_run.add_argument("--out", type=Path, default=None,
                        help="also write the JSON record to this path")
+
+    p_flt = sub.add_parser(
+        "faults",
+        help="fault-injection subsystem: injectors, presets, retry policies",
+    )
+    flt_sub = p_flt.add_subparsers(dest="faults_command", required=True)
+    flt_sub.add_parser("list", help="show the available injectors and outage presets")
 
     p_bench = sub.add_parser(
         "bench",
@@ -323,6 +352,59 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _run_fault_preset(args) -> int:
+    """The outage arm of ``scenario run``: fault presets, recovery report."""
+    churn_only = {
+        "requests": args.requests,
+        "rate": args.rate,
+        "churn-rate": args.churn_rate,
+        "crash-fraction": args.crash_fraction,
+        "stabilize-interval": args.stabilize_interval,
+    }
+    stray = sorted(flag for flag, value in churn_only.items() if value is not None)
+    if stray:
+        print(
+            f"error: --{', --'.join(stray)} only apply to churn presets, "
+            f"not the outage preset {args.preset!r}",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {
+        key: value
+        for key, value in (
+            ("backend", args.backend),
+            ("n", args.n),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    try:
+        spec = fault_preset(args.preset, **overrides)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_fault_scenario(spec)
+    killed = result.population_start - result.population_after_fault
+    print(f"fault scenario {spec.name} on {spec.backend}: n={spec.n}, "
+          f"{spec.fault} ({killed} nodes lost)" if killed
+          else f"fault scenario {spec.name} on {spec.backend}: n={spec.n}, "
+          f"{spec.fault} (no nodes lost)")
+    for phase in (result.baseline, result.outage, result.post):
+        print(f"  {phase.phase:>8}: {phase.correct}/{phase.probes} correct, "
+              f"{phase.wrong} wrong, {phase.failed} failed, "
+              f"{phase.messages_per_probe:.1f} msgs/probe")
+    rounds = "budget exhausted" if result.recovery_rounds is None else (
+        f"{result.recovery_rounds} maintenance rounds")
+    print(f"  recovery: {rounds}, {result.recovery_messages} repair messages, "
+          f"outage error rate {result.outage_error_rate:.2f}, "
+          f"outage msgs/probe x{result.msgs_inflation_outage:.2f} vs baseline")
+    print(f"  recovered: {result.recovered}  (wall {result.wall_seconds:.2f}s)")
+    if args.out is not None:
+        write_bench_json(args.out, result.to_record())
+        print(f"wrote {args.out}")
+    return 0 if result.recovered else 1
+
+
 def _cmd_scenario(args) -> int:
     if args.scenario_command == "list":
         for name in sorted(PRESETS):
@@ -333,13 +415,26 @@ def _cmd_scenario(args) -> int:
                 if spec.churning
                 else "no churn (static control)"
             )
-            print(f"{name:>12}: n={spec.n} x {spec.shards} shards, "
+            print(f"{name:>14}: n={spec.n} x {spec.shards} shards, "
                   f"{spec.requests} requests at rate {spec.rate:g} -- {regime}")
+        for name in sorted(FAULT_PRESETS):
+            spec = FAULT_PRESETS[name]
+            outage = (
+                f"kill {spec.kill_fraction:.0%} ({spec.region})"
+                if spec.fault == "mass-kill"
+                else f"{spec.partition_groups}-way {spec.partition_mode} partition "
+                     f"for {spec.partition_duration:g} time units"
+            )
+            print(f"{name:>14}: n={spec.n} on {spec.backend}, {outage} -- "
+                  f"outage lab (time-to-recovery)")
         return 0
+    if args.preset in FAULT_PRESETS:
+        return _run_fault_preset(args)
     overrides = {
         key: value
         for key, value in (
             ("backend", args.backend),
+            ("n", args.n),
             ("requests", args.requests),
             ("rate", args.rate),
             ("churn_rate", args.churn_rate),
@@ -369,6 +464,28 @@ def _cmd_scenario(args) -> int:
         write_bench_json(args.out, results_record([result], seed=spec.seed))
         print(f"wrote {args.out}")
     return 0 if (result.ring_recovered and not result.truncated) else 1
+
+
+def _cmd_faults(args) -> int:
+    if args.faults_command == "list":
+        print("injectors (compose them in a FaultPlan; see repro.faults):")
+        for name, (cls, summary) in sorted(INJECTORS.items()):
+            print(f"  {name:>14}: {summary}  [{cls.__name__}]")
+        print("outage presets (run with: repro scenario run --preset NAME):")
+        for name in sorted(FAULT_PRESETS):
+            spec = FAULT_PRESETS[name]
+            outage = (
+                f"kill {spec.kill_fraction:.0%} of n={spec.n} in one instant"
+                if spec.fault == "mass-kill"
+                else f"split n={spec.n} into {spec.partition_groups} groups "
+                     f"({spec.partition_mode}) for {spec.partition_duration:g} "
+                     f"time units, then heal"
+            )
+            print(f"  {name:>14}: {outage}; retry {spec.retry_attempts} attempts, "
+                  f"base {spec.retry_base_delay:g}, factor {spec.retry_factor:g}, "
+                  f"jitter {spec.retry_jitter:g}")
+        return 0
+    raise AssertionError(f"unhandled faults subcommand {args.faults_command!r}")
 
 
 def _cmd_bench(args) -> int:
@@ -401,6 +518,7 @@ _COMMANDS = {
     "chord": _cmd_chord,
     "serve": _cmd_serve,
     "scenario": _cmd_scenario,
+    "faults": _cmd_faults,
     "bench": _cmd_bench,
 }
 

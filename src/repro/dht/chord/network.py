@@ -12,6 +12,7 @@ import networkx as nx
 
 from ...compat import load_numpy
 from ...core.intervals import SortedCircle
+from ...faults.retry import RetryPolicy
 from ...sim.kernel import Simulator
 from ...sim.network import LatencyModel, RpcTimeout, RpcTransport
 from ..api import NUMPY_MIN_BATCH, CostMeter, PeerRef
@@ -41,13 +42,16 @@ class ChordNetwork:
         successor_list_size: int = 8,
         sim: Simulator | None = None,
         ring_merge: bool = True,
+        loss_rng: random.Random | None = None,
     ):
         if m < 3:
             raise ValueError("identifier space needs at least 3 bits")
         self.m = m
         self.rng = rng if rng is not None else random.Random()
         self.sim = sim if sim is not None else Simulator()
-        self.transport = RpcTransport(latency=latency, rng=self.rng, loss_rate=loss_rate)
+        self.transport = RpcTransport(
+            latency=latency, rng=self.rng, loss_rate=loss_rate, loss_rng=loss_rng
+        )
         self._slist_size = successor_list_size
         #: Run the network-level ring-merge pass (see :meth:`_merge_rings`)
         #: at the end of every stabilization round.  On by default -- it
@@ -205,6 +209,12 @@ class ChordNetwork:
                 continue
             node.check_predecessor()
             node.stabilize()
+            # Bypass repair: a node with no inbound pointer at all
+            # (correlated kill took its predecessor and the ring failed
+            # over past it) re-inserts itself by self-search -- rectify,
+            # O(log n) messages, cold on a healthy ring.
+            if len(self.nodes) > 1 and node.predecessor is None:
+                node.rectify()
             for _ in range(fingers_per_round):
                 node.fix_next_finger()
         if self.ring_merge:
@@ -216,15 +226,33 @@ class ChordNetwork:
 
         Crash-heavy churn can orphan a node (its entire successor list
         died before repair, so it self-loops) or, worse, let several
-        orphans adopt *each other* into a small island ring.  No pointer
-        in the main ring leads to either, so pairwise stabilization can
-        never re-admit them -- the classic Chord liveness gap that
-        deployed systems close with a separate ring-merge/anti-entropy
-        protocol.  We model that protocol at the network level: find the
-        cycles of the live successor-pointer graph and re-``join`` every
-        member of each minority cycle through a peer of the largest one.
-        Joins run the real lookup protocol and are metered like any
-        other traffic.
+        orphans adopt *each other* into a small island ring.  A
+        partition leaves each side a self-consistent subring, and a
+        correlated arc kill leaves long bypassed *tails*: chains of
+        live, successor-correct nodes that feed into the main cycle
+        while one node upstream skips over all of them.  No pointer in
+        the main ring leads to any of these, so pairwise stabilization
+        re-admits them at best one node per round -- the classic Chord
+        liveness gap that deployed systems close with a separate
+        ring-merge/anti-entropy protocol.  We model that protocol at
+        the network level: find the cycles of the live
+        successor-pointer graph, take the largest as the main ring, and
+        *splice* every live node that is not a member of it -- minority
+        cycles and bypassed tails alike -- via a self-search through a
+        main-ring entry that offers the node to whoever bypasses it
+        (:meth:`ChordNode.rectify`), plus a successor probe that adopts
+        a strictly closer successor if the main ring holds one
+        (:meth:`ChordNode.repair_successor`).  Splicing preserves the
+        island's internal clockwise chain, so a partition-healed half
+        re-enters in one pass instead of being flattened onto a single
+        boundary node (the pathology of re-``join``-ing every member,
+        which then interleaves back one node per round).  Nodes whose
+        successor chain dead-ends at a crashed pointer are skipped:
+        their state is not yet settled enough to splice, and
+        ``stabilize`` repairs the dangling pointer first.  All searches
+        run the real lookup protocol and are metered like any other
+        traffic; on a healthy ring every node sits in the single main
+        cycle and this pass does nothing.
         """
         if len(self.nodes) < 2:
             return
@@ -232,10 +260,12 @@ class ChordNetwork:
         for node_id, node in self.nodes.items():
             s = node.get_successor()
             succ[node_id] = s if s in self.nodes else None
-        # Terminal cycles of the (partial) functional graph; nodes whose
-        # chain dead-ends at a crashed pointer are left to stabilize().
+        # Walk the (partial) functional graph once, recording for every
+        # node whether its chain reaches a cycle or dead-ends (None).
         visited: dict[int, int] = {}  # node -> walk it was first seen in
         cycles: list[set[int]] = []
+        reaches_cycle: set[int] = set()
+        pending: list[list[int]] = []  # paths awaiting terminal resolution
         for walk, start in enumerate(sorted(succ)):
             path = []
             cur = start
@@ -243,19 +273,32 @@ class ChordNetwork:
                 visited[cur] = walk
                 path.append(cur)
                 cur = succ[cur]
-            if cur is not None and visited[cur] == walk:
+            if cur is None:
+                continue  # dead-ends; stabilize() repairs these first
+            if visited[cur] == walk:
                 cycles.append(set(path[path.index(cur):]))
-        if len(cycles) <= 1:
+                reaches_cycle.update(path)
+            elif cur in reaches_cycle:
+                reaches_cycle.update(path)
+            else:
+                pending.append(path)
+        for path in pending:
+            if succ[path[-1]] in reaches_cycle:
+                reaches_cycle.update(path)
+        if not cycles:
             return
         main = max(cycles, key=lambda c: (len(c), -min(c)))
+        stranded = sorted(reaches_cycle - main)
+        if not stranded:
+            return
         entry_pool = sorted(main)
-        for cycle in cycles:
-            if cycle is main:
+        for node_id in stranded:
+            node = self.nodes.get(node_id)
+            if node is None:
                 continue
-            for node_id in sorted(cycle):
-                node = self.nodes.get(node_id)
-                if node is not None:
-                    node.join(self.rng.choice(entry_pool))
+            entry = self.rng.choice(entry_pool)
+            node.rectify(via=entry)
+            node.repair_successor(via=entry)
 
     def run_stabilization(self, rounds: int, fingers_per_round: int = 1) -> None:
         """Run several lock-step maintenance rounds back to back."""
@@ -338,9 +381,21 @@ class ChordNetwork:
                         g.add_edge(node_id, finger)
         return g
 
-    def dht(self, entry_id: int | None = None, lookup_mode: str = "iterative") -> "ChordDHT":
+    def dht(
+        self,
+        entry_id: int | None = None,
+        lookup_mode: str = "iterative",
+        retry_policy: RetryPolicy | None = None,
+        retry_rng: random.Random | None = None,
+    ) -> "ChordDHT":
         """An ``h``/``next`` adapter rooted at ``entry_id`` (default: any)."""
-        return ChordDHT(self, entry_id=entry_id, lookup_mode=lookup_mode)
+        return ChordDHT(
+            self,
+            entry_id=entry_id,
+            lookup_mode=lookup_mode,
+            retry_policy=retry_policy,
+            retry_rng=retry_rng,
+        )
 
     @classmethod
     def build_dht(
@@ -408,6 +463,8 @@ class ChordDHT(EntryVantageMixin):
         entry_id: int | None = None,
         retries: int = 3,
         lookup_mode: str = "iterative",
+        retry_policy: RetryPolicy | None = None,
+        retry_rng: random.Random | None = None,
     ):
         if not network.nodes:
             raise ValueError("cannot adapt an empty network")
@@ -419,7 +476,18 @@ class ChordDHT(EntryVantageMixin):
         if entry_id not in network.nodes:
             raise KeyError(f"entry node {entry_id} is not alive")
         self._entry_id = entry_id
-        self._retries = retries
+        #: The lookup retry discipline.  The default reproduces the
+        #: historical behaviour exactly: ``retries`` back-to-back
+        #: attempts with no backoff.  A policy with backoff charges the
+        #: waits through the transport (see RetryPolicy's determinism
+        #: contract); jittered policies need ``retry_rng``.
+        self._retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(attempts=max(1, retries), base_delay=0.0, factor=1.0)
+        )
+        self._retry_rng = retry_rng
+        self._retries = self._retry_policy.attempts
         self._lookup_mode = lookup_mode
         self.cost = CostMeter()
         #: Where this adapter's batched lookups were resolved (lockstep
@@ -437,11 +505,12 @@ class ChordDHT(EntryVantageMixin):
         """``h(x)`` via an iterative lookup (cost: measured, ~O(log n))."""
         target = point_to_target_id(x, self._network.m)
         transport = self._network.transport
+        policy = self._retry_policy
         before_msgs = transport.messages_sent
         before_time = transport.elapsed
         last_error: Exception | None = None
         result = None
-        for _ in range(self._retries):
+        for failure in range(1, policy.attempts + 1):
             try:
                 entry = self._entry_node()
                 if self._lookup_mode == "recursive":
@@ -451,6 +520,14 @@ class ChordDHT(EntryVantageMixin):
                 break
             except LookupError_ as exc:
                 last_error = exc
+                if policy.should_retry(failure):
+                    # Charge the backoff wait before the repair round so
+                    # the retry attempt sees post-wait ring state; failed
+                    # attempts' messages stay on the meter regardless.
+                    transport.metrics.counter("rpc.retries").increment()
+                    delay = policy.delay(failure, self._retry_rng)
+                    if delay > 0:
+                        transport.charge_delay(delay)
                 self._network.stabilize_round()
         self.cost.charge_h(
             transport.messages_sent - before_msgs,
@@ -458,7 +535,7 @@ class ChordDHT(EntryVantageMixin):
         )
         if result is None:
             raise LookupError_(
-                f"h({x!r}) failed after {self._retries} attempts: {last_error}"
+                f"h({x!r}) failed after {policy.attempts} attempts: {last_error}"
             )
         return self._ref(result.node_id)
 
@@ -467,17 +544,21 @@ class ChordDHT(EntryVantageMixin):
     def lockstep_eligible(self) -> bool:
         """Whether snapshot replay is charge-identical to live lookups.
 
-        Requires a loss-free transport and a deterministic latency model
-        (see :class:`~repro.sim.network.LatencyModel`): under either
-        stochastic ingredient, replaying lookups off-transport would
-        consume the RNG stream differently from live execution and the
-        equivalence guarantee -- same peers, hops and charges as a
-        scalar ``h`` loop -- would be lost.  Ineligible adapters keep
-        the per-call loop.
+        Requires a loss-free transport, a deterministic latency model
+        (see :class:`~repro.sim.network.LatencyModel`), and no active
+        fault state: under a stochastic ingredient, replaying lookups
+        off-transport would consume the RNG stream differently from
+        live execution, and under active faults (partitions, grey
+        latency inflation, loss bursts) the snapshot would not see the
+        blocked edges or inflated charges -- either way the equivalence
+        guarantee (same peers, hops and charges as a scalar ``h`` loop)
+        would be lost.  Ineligible adapters keep the per-call loop.
         """
         transport = self._network.transport
-        return transport.loss_rate == 0.0 and bool(
-            getattr(transport.latency_model, "deterministic", False)
+        return (
+            transport.loss_rate == 0.0
+            and not transport.faults.active
+            and bool(getattr(transport.latency_model, "deterministic", False))
         )
 
     def warm_lockstep(self) -> bool:

@@ -65,7 +65,14 @@ class ChordNode:
             raise ValueError("successor_list_size must be >= 1")
         self.node_id = node_id
         self.m = m
-        self._transport = transport
+        # Bind a node-scoped endpoint so every RPC this node issues
+        # carries it as the source -- what lets partitions and grey
+        # failures attribute deliveries (a raw transport is accepted
+        # for hand-rolled setups and wrapped; an endpoint passes through).
+        make_endpoint = getattr(transport, "endpoint", None)
+        self._transport = (
+            make_endpoint(node_id) if make_endpoint is not None else transport
+        )
         self._slist_size = successor_list_size
         self.successors: list[int] = [node_id]
         self.predecessor: int | None = None
@@ -352,6 +359,96 @@ class ChordNode:
             return
         if not self._is_alive(self.predecessor):
             self.predecessor = None
+
+    def offer_successor(self, candidate_id: int) -> None:
+        """A node claiming to sit between us and our successor (RPC-exposed).
+
+        The successor-side dual of :meth:`notify`: adopt the candidate
+        as first successor when it lies strictly inside
+        ``(self, successor)``.  Stabilize verifies the adoption next
+        round (a liar just gets dropped as dead), so this only ever
+        *tightens* the ring.
+        """
+        succ = self.get_successor()
+        if candidate_id == self.node_id or candidate_id == succ:
+            return
+        if succ == self.node_id or in_open_open(candidate_id, self.node_id, succ):
+            self.successors.insert(0, candidate_id)
+            del self.successors[self._slist_size :]
+
+    def rectify(self, via: int | None = None) -> None:
+        """Re-insert ourselves clockwise when the ring has bypassed us.
+
+        A correlated regional kill can wipe a node's *entire* successor
+        list along with its predecessor: the last survivor before the
+        dead region fails over far past the first survivor after it, and
+        the bypassed survivors -- alive, successor-correct, but with no
+        inbound pointer -- would be walked back into the ring by pairwise
+        stabilization only one node per round (``stabilize`` adopts
+        ``succ.predecessor``, an O(region-size) heal).  The repair used
+        here is a self-search: iteratively route toward our own id; the
+        hop that answers "done" is the node whose successor interval
+        swallowed us, and :meth:`offer_successor` re-closes the ring
+        through us in O(log n) messages.  A no-op on a correct ring (the
+        search ends at our true predecessor, which already points here).
+
+        ``via`` roots the search at another node -- the ring-merge pass
+        uses a main-ring entry so a node from a split-off island searches
+        the ring it needs to re-enter rather than its own.
+        """
+        target = self.node_id
+        budget = hop_budget(self.m)
+        excluded: tuple[int, ...] = ()
+        current = self.node_id if via is None else via
+        hops = 0
+
+        def ask(node_id: int) -> tuple[str, int]:
+            if node_id == self.node_id:
+                return self.lookup_step(target, excluded)
+            return self._transport.rpc(node_id, "lookup_step", target, excluded)
+
+        try:
+            kind, nxt = ask(current)
+        except RpcTimeout:
+            return
+        while kind != "done":
+            if hops >= budget:
+                return
+            try:
+                kind, result = self._transport.rpc(nxt, "lookup_step", target, excluded)
+            except RpcTimeout:
+                excluded = excluded + (nxt,)
+                hops += 1
+                try:
+                    kind, nxt = ask(current)
+                except RpcTimeout:
+                    return
+                continue
+            hops += 1
+            current, nxt = nxt, result
+        if current == self.node_id:
+            return
+        try:
+            self._transport.rpc(current, "offer_successor", self.node_id)
+        except RpcTimeout:
+            pass
+
+    def repair_successor(self, via: int) -> None:
+        """Adopt our true clockwise successor as found through ``via``.
+
+        The outward half of ring merging: a node re-splicing into
+        another ring keeps its own (island-internal) successor unless
+        the search through the other ring finds a strictly closer one --
+        :meth:`offer_successor`'s adopt-if-closer guard makes a stale or
+        wrong answer harmless.  Used with :meth:`rectify`, which handles
+        the inward half (the other ring adopting *us*).
+        """
+        target = (self.node_id + 1) % (1 << self.m)
+        try:
+            result = self._transport.rpc(via, "lookup", target)
+        except (RpcTimeout, LookupError_):
+            return
+        self.offer_successor(result.node_id)
 
     def fix_next_finger(self) -> None:
         """Refresh one finger-table entry per call (Chord's ``fix_fingers``)."""

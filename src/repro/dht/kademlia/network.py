@@ -34,6 +34,7 @@ import random
 from array import array
 from collections import Counter
 
+from ...faults.retry import RetryPolicy
 from ...sim.kernel import Simulator
 from ...sim.network import LatencyModel, RpcTimeout, RpcTransport
 from ..api import CostMeter, PeerRef
@@ -67,6 +68,7 @@ class KademliaNetwork:
         latency: LatencyModel | None = None,
         loss_rate: float = 0.0,
         sim: Simulator | None = None,
+        loss_rng: random.Random | None = None,
     ):
         if m < 3:
             raise ValueError("identifier space needs at least 3 bits")
@@ -75,7 +77,9 @@ class KademliaNetwork:
         self.alpha = alpha
         self.rng = rng if rng is not None else random.Random()
         self.sim = sim if sim is not None else Simulator()
-        self.transport = RpcTransport(latency=latency, rng=self.rng, loss_rate=loss_rate)
+        self.transport = RpcTransport(
+            latency=latency, rng=self.rng, loss_rate=loss_rate, loss_rng=loss_rng
+        )
         self.nodes: dict[int, KademliaNode] = {}
         #: Monotone counter bumped by every membership or maintenance
         #: event; epoch-keyed oracle caches (:meth:`sorted_ids`,
@@ -234,6 +238,64 @@ class KademliaNetwork:
             node.refresh(self.rng)
         self.bump_epoch()
 
+    def purge_dead_contacts(self) -> int:
+        """Drop every dead contact from every routing table (uncharged).
+
+        The Kademlia arm of mass-failure recovery: Chord heals by
+        successor-list failover plus ring merging, while Kademlia's
+        tables only forget the dead lazily, one timeout at a time.
+        This oracle-assisted anti-entropy pass (see
+        :meth:`KademliaNode.purge_dead`) models the obituary dissemination
+        a production deployment gets from gossip, compressing the long
+        eviction tail so refresh rounds can rebuild coverage from live
+        contacts.  Returns the total number of entries dropped.
+        """
+        alive = frozenset(self.nodes)
+        dropped = 0
+        for node in self.nodes.values():
+            dropped += node.purge_dead(alive)
+        self.bump_epoch()
+        return dropped
+
+    def rebootstrap(self) -> None:
+        """Every node re-runs the join protocol through a random entry.
+
+        The partition-healing arm: an outage long enough for both sides
+        to evict each other's contacts leaves two overlays that share an
+        id space but no table entries, and :meth:`refresh_round` can
+        only rediscover peers through existing contacts -- a fully split
+        table never re-links.  Deployed networks close this gap with
+        well-known bootstrap peers that nodes re-contact once
+        connectivity returns; we model that here.  Entry selection is
+        the only oracle step (the bootstrap set spans the partition, as
+        in :meth:`join_node`); everything else is the real protocol and
+        every message is charged.  Two passes, as in the paper's join:
+        first every node re-learns an entry and looks itself up
+        (announcing itself along the path), then every node refreshes
+        each bucket range (:meth:`KademliaNode.refresh_all_buckets`) --
+        the second pass re-seeds tree branches that emptied wholesale
+        during the outage, which neighbourhood self-lookups alone can
+        never reach.  The sweep's lookups run ``thorough`` (full
+        top-``k`` termination frontier): the only surviving route into a
+        dark branch is often a mid-distance contact the steady-state
+        alpha frontier would skip right over.
+        """
+        order = list(self.nodes)
+        self.rng.shuffle(order)
+        for node_id in order:
+            node = self.nodes.get(node_id)
+            if node is None:
+                continue
+            entry = self._random_alive_id(excluding=node_id)
+            if entry is not None:
+                node.join(entry)
+        for node_id in order:
+            node = self.nodes.get(node_id)
+            if node is None:
+                continue
+            node.refresh_all_buckets(self.rng)
+        self.bump_epoch()
+
     # Chord-compatible names, so the scenario runner and churn tooling
     # drive either backend through one vocabulary.
     stabilize_round = refresh_round
@@ -320,9 +382,16 @@ class KademliaNetwork:
     # ring" is the XOR neighbourhood structure.
     ring_is_correct = routing_is_correct
 
-    def dht(self, entry_id: int | None = None) -> "KademliaDHT":
+    def dht(
+        self,
+        entry_id: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        retry_rng: random.Random | None = None,
+    ) -> "KademliaDHT":
         """An ``h``/``next`` adapter rooted at ``entry_id`` (default: any)."""
-        return KademliaDHT(self, entry_id=entry_id)
+        return KademliaDHT(
+            self, entry_id=entry_id, retry_policy=retry_policy, retry_rng=retry_rng
+        )
 
     @classmethod
     def build_dht(
@@ -377,6 +446,8 @@ class KademliaDHT(EntryVantageMixin):
         network: KademliaNetwork,
         entry_id: int | None = None,
         retries: int = 3,
+        retry_policy: RetryPolicy | None = None,
+        retry_rng: random.Random | None = None,
     ):
         if not network.nodes:
             raise ValueError("cannot adapt an empty network")
@@ -386,7 +457,16 @@ class KademliaDHT(EntryVantageMixin):
         if entry_id not in network.nodes:
             raise KeyError(f"entry node {entry_id} is not alive")
         self._entry_id = entry_id
-        self._retries = retries
+        #: Retry discipline; the default reproduces the historical
+        #: ``retries`` back-to-back attempts with no backoff (see the
+        #: matching contract on ChordDHT).
+        self._retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(attempts=max(1, retries), base_delay=0.0, factor=1.0)
+        )
+        self._retry_rng = retry_rng
+        self._retries = self._retry_policy.attempts
         self.cost = CostMeter()
         #: Successor probes beyond the first lookup (boundary hops of the
         #: aligned-block search) -- observability for benches and tests.
@@ -414,20 +494,30 @@ class KademliaDHT(EntryVantageMixin):
         forcing a stabilization round between lookup retries (and far
         cheaper than one: periodic refresh owns systemic repair).
         """
+        policy = self._retry_policy
+        transport = self._network.transport
         last_error: Exception | None = None
-        for attempt in range(self._retries):
+        for failure in range(1, policy.attempts + 1):
             entry = self._entry_node()
-            if attempt:
+            if failure > 1:
                 entry.probe_stale()
             try:
                 result = entry.find_successor(target)
             except KademliaLookupError_ as exc:
                 last_error = exc
+                if policy.should_retry(failure):
+                    # Charge the backoff wait before the stale sweep so
+                    # the retry sees post-wait table state; the failed
+                    # attempt's messages stay on the meter regardless.
+                    transport.metrics.counter("rpc.retries").increment()
+                    delay = policy.delay(failure, self._retry_rng)
+                    if delay > 0:
+                        transport.charge_delay(delay)
                 continue
             self.extra_probes += result.probes - 1
             return result.node_id
         raise KademliaLookupError_(
-            f"successor of {target} failed after {self._retries} attempts: "
+            f"successor of {target} failed after {policy.attempts} attempts: "
             f"{last_error}"
         )
 

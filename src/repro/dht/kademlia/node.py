@@ -152,7 +152,13 @@ class KademliaNode:
             raise ValueError("lookup concurrency alpha must be >= 1")
         self.node_id = node_id
         self.m = m
-        self._transport = transport
+        # Node-scoped endpoint: RPCs carry this node as the source, so
+        # partitions and grey failures can attribute each delivery
+        # (mirrors ChordNode; raw transports are wrapped, endpoints pass).
+        make_endpoint = getattr(transport, "endpoint", None)
+        self._transport = (
+            make_endpoint(node_id) if make_endpoint is not None else transport
+        )
         self.k = k
         self.alpha = alpha
         #: Sparse routing table: bucket index -> contact ids, least
@@ -286,6 +292,29 @@ class KademliaNode:
             bucket.append(stalest)
         return evicted
 
+    def purge_dead(self, alive) -> int:
+        """Scrub every table entry not in ``alive`` (oracle anti-entropy).
+
+        After a correlated mass-kill, waiting for per-bucket lazy
+        eviction to discover each casualty one timeout at a time is the
+        slow path; the recovery machinery instead hands nodes the oracle
+        membership once and lets them drop the dead wholesale, free of
+        RPCs -- the bookkeeping a gossiped obituary feed would produce.
+        Replacement caches are scrubbed *first* so :meth:`forget`'s
+        promotions never resurrect a casualty.  Returns how many table
+        contacts were dropped.
+        """
+        for i in list(self.replacements):
+            cache = [c for c in self.replacements[i] if c in alive]
+            if cache:
+                self.replacements[i] = cache
+            else:
+                del self.replacements[i]
+        dead = [c for c in self._contact_set if c not in alive]
+        for contact_id in dead:
+            self.forget(contact_id)
+        return len(dead)
+
     # -- RPC-exposed methods (invoked via the transport) -------------------
 
     def ping(self) -> bool:
@@ -336,6 +365,7 @@ class KademliaNode:
         target_id: int,
         excluded: frozenset = frozenset(),
         max_rpcs: int | None = None,
+        thorough: bool = False,
     ) -> LookupOutcome:
         """Converge on the ``k`` XOR-closest known nodes to the target.
 
@@ -352,6 +382,15 @@ class KademliaNode:
         Failures never raise here -- the ``complete`` flag carries the
         verdict and :meth:`find_successor` escalates a truncated census
         to the retryable :class:`KademliaLookupError_`.
+
+        ``thorough`` widens the termination frontier from the
+        ``alpha`` best candidates to the full top-``k`` pool (the
+        original paper's rule): the lookup only stops once every one of
+        the ``k`` closest known nodes has responded.  Steady-state
+        traffic keeps the cheap alpha frontier; recovery sweeps use the
+        thorough rule because after a branch of the tree went dark the
+        only route back into it can sit behind a candidate the greedy
+        frontier would never query.
         """
         budget = max_rpcs if max_rpcs is not None else lookup_budget(self.m, self.k)
         sl = _Shortlist(target=target_id)
@@ -361,7 +400,7 @@ class KademliaNode:
         rpcs = 0
         failures = 0
         while rpcs < budget:
-            pending = self._pending(sl)
+            pending = self._pending(sl, thorough)
             if not pending:
                 break
             for contact in pending[: self.alpha]:
@@ -385,14 +424,15 @@ class KademliaNode:
             queried=frozenset(sl.queried - sl.failed),
             rpcs=rpcs,
             failures=failures,
-            complete=(failures == 0 and not self._pending(sl)),
+            complete=(failures == 0 and not self._pending(sl, thorough)),
         )
 
-    def _pending(self, sl: "_Shortlist") -> list[int]:
+    def _pending(self, sl: "_Shortlist", thorough: bool = False) -> list[int]:
         """Unqueried members of the confirmation frontier, closest first."""
         pool = sl.best(self.k)
-        frontier = pool[: self.alpha] if len(pool) >= self.k else pool
-        return [i for i in frontier if i not in sl.queried]
+        if not thorough and len(pool) >= self.k:
+            pool = pool[: self.alpha]
+        return [i for i in pool if i not in sl.queried]
 
     # -- successor resolution (the paper's ``h`` primitive) ----------------
 
@@ -490,6 +530,30 @@ class KademliaNode:
             self.iterative_find_node(self.node_id)
         except KademliaLookupError_:
             pass
+
+    def refresh_all_buckets(self, rng) -> None:
+        """Look up one random id in every bucket's range (paper sec. 2.3).
+
+        The original join procedure ends by refreshing every bucket
+        further away than the closest neighbour; this is that sweep.
+        Routine maintenance (:meth:`refresh`) covers far buckets only in
+        proportion to how often traffic crosses them, which is the right
+        steady-state economy but can never repair a *branch* of the tree
+        that emptied wholesale -- after a long partition, every contact
+        a node held in some prefix range may be gone, and no lookup can
+        route through a range nobody references.  One charged lookup per
+        bucket range re-seeds each branch from whatever the current
+        tables do reach.  The sweep uses thorough lookups (full top-``k``
+        termination frontier): the lone surviving route into a dark
+        branch is often a mid-distance contact the greedy alpha frontier
+        would skip right over.
+        """
+        for i in range(self.m):
+            target = self.node_id ^ rng.randrange(1 << i, 1 << (i + 1))
+            try:
+                self.iterative_find_node(target, thorough=True)
+            except KademliaLookupError_:
+                pass
 
     def refresh(self, rng) -> None:
         """One maintenance round: neighbourhood repair plus a far probe.

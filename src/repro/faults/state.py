@@ -1,0 +1,219 @@
+"""The mutable fault surface an :class:`~repro.sim.network.RpcTransport`
+consults on every delivery.
+
+A :class:`FaultState` holds the currently *active* structured faults --
+network partitions (full or one-way), per-node grey failures (latency
+inflation plus elevated loss; the node is alive but degraded), and a
+global loss burst -- and answers three per-delivery questions:
+
+- :meth:`blocked`: is the directed ``source -> target`` leg severed by a
+  partition?  (Asymmetric: a one-way partition can block one direction
+  of a pair while the reverse still delivers.)
+- :meth:`extra_drop`: what *additional* loss probability applies on top
+  of the transport's baseline ``loss_rate``?
+- :meth:`latency_factor`: by what factor are this delivery's latency
+  samples inflated?  (Grey nodes are slow on every leg touching them.)
+
+The class is pure bookkeeping: no RNG, no clock, no transport imports.
+The transport owns the dice (its dedicated loss stream) and the charges;
+the injectors in :mod:`repro.faults.plan` own the timeline.  A delivery
+whose ``source`` is ``None`` models an external client outside the
+overlay: partitions never apply to it (it is in no reachability group),
+while grey failures and loss bursts still do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultState", "GreyProfile", "PARTITION_MODES"]
+
+#: ``full`` severs every cross-group leg in both directions; ``oneway``
+#: severs only legs from a *higher*-indexed group to a lower-indexed one
+#: (so group order encodes who can still initiate: group 0 reaches
+#: everyone, nobody reaches back across the cut).
+PARTITION_MODES = ("full", "oneway")
+
+
+@dataclass(frozen=True, slots=True)
+class GreyProfile:
+    """One grey-failing node: alive, but slow and lossy.
+
+    ``latency_factor`` multiplies every latency sample on legs touching
+    the node; ``extra_loss`` is the additional drop probability those
+    legs suffer (combined independently with every other loss source).
+    """
+
+    latency_factor: float = 1.0
+    extra_loss: float = 0.0
+
+    def __post_init__(self):
+        if self.latency_factor < 1.0:
+            raise ValueError("grey latency_factor must be >= 1")
+        if not 0.0 <= self.extra_loss < 1.0:
+            raise ValueError("grey extra_loss must be in [0, 1)")
+
+
+class FaultState:
+    """Currently-active structured network faults (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._group_of: dict[int, int] = {}
+        self._blocked_groups: frozenset[tuple[int, int]] = frozenset()
+        self._partition_mode: str | None = None
+        self._grey: dict[int, GreyProfile] = {}
+        self._burst_loss: float = 0.0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether *any* fault is live (partition, grey node, or burst).
+
+        Consumers that need exact charge replay (the Chord lockstep
+        engine) refuse to engage while this is True: fault hooks would
+        make off-transport replay diverge from live execution.
+        """
+        return bool(self._blocked_groups or self._grey or self._burst_loss)
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._blocked_groups)
+
+    @property
+    def partition_mode(self) -> str | None:
+        return self._partition_mode
+
+    @property
+    def grey_nodes(self) -> dict[int, GreyProfile]:
+        """The grey-failing nodes and their profiles (a copy)."""
+        return dict(self._grey)
+
+    @property
+    def burst_loss(self) -> float:
+        return self._burst_loss
+
+    def clear(self) -> None:
+        """Lift every active fault at once."""
+        self.heal_partition()
+        self.clear_grey()
+        self._burst_loss = 0.0
+
+    # -- partitions --------------------------------------------------------
+
+    def partition(self, groups, mode: str = "full") -> None:
+        """Split the given node groups from each other.
+
+        ``groups`` is an iterable of iterables of node ids; a node in no
+        group is unaffected (it reaches, and is reached by, everyone).
+        Replaces any previous partition.  See :data:`PARTITION_MODES`
+        for the ``full``/``oneway`` semantics.
+        """
+        if mode not in PARTITION_MODES:
+            raise ValueError(f"unknown partition mode {mode!r}; choose from {PARTITION_MODES}")
+        group_of: dict[int, int] = {}
+        for gi, members in enumerate(groups):
+            for node_id in members:
+                if node_id in group_of and group_of[node_id] != gi:
+                    raise ValueError(f"node {node_id} appears in two partition groups")
+                group_of[node_id] = gi
+        count = (max(group_of.values()) + 1) if group_of else 0
+        if count < 2:
+            raise ValueError("a partition needs at least two non-empty groups")
+        blocked = set()
+        for a in range(count):
+            for b in range(count):
+                if a == b:
+                    continue
+                if mode == "full" or a > b:
+                    blocked.add((a, b))
+        self._group_of = group_of
+        self._blocked_groups = frozenset(blocked)
+        self._partition_mode = mode
+
+    def heal_partition(self) -> None:
+        """Restore full cross-group reachability."""
+        self._group_of = {}
+        self._blocked_groups = frozenset()
+        self._partition_mode = None
+
+    def blocked(self, source: int | None, target: int | None) -> bool:
+        """Is the directed ``source -> target`` leg severed?
+
+        ``None`` on either end means "outside the overlay" (an external
+        client, or a reply with no attributable destination): such legs
+        are never partitioned.
+        """
+        if not self._blocked_groups or source is None or target is None:
+            return False
+        gs = self._group_of.get(source)
+        gt = self._group_of.get(target)
+        if gs is None or gt is None:
+            return False
+        return (gs, gt) in self._blocked_groups
+
+    # -- grey failures -----------------------------------------------------
+
+    def set_grey(
+        self,
+        node_id: int,
+        latency_factor: float = 1.0,
+        extra_loss: float = 0.0,
+    ) -> None:
+        """Mark one node grey-failing (alive but degraded)."""
+        self._grey[node_id] = GreyProfile(
+            latency_factor=latency_factor, extra_loss=extra_loss
+        )
+
+    def clear_grey(self, node_id: int | None = None) -> None:
+        """Restore one node (or, with ``None``, every node) to health."""
+        if node_id is None:
+            self._grey = {}
+        else:
+            self._grey.pop(node_id, None)
+
+    # -- loss bursts -------------------------------------------------------
+
+    def set_burst_loss(self, extra_loss: float) -> None:
+        """Add ``extra_loss`` drop probability to every delivery (0 lifts it)."""
+        if not 0.0 <= extra_loss < 1.0:
+            raise ValueError("burst extra_loss must be in [0, 1)")
+        self._burst_loss = extra_loss
+
+    # -- the per-delivery queries the transport issues ---------------------
+
+    def extra_drop(self, source: int | None, target: int | None) -> float:
+        """Additional drop probability for this leg (independent sources).
+
+        Burst loss and each endpoint's grey loss are combined as
+        independent drop events: ``1 - prod(1 - p_i)``.
+        """
+        survive = 1.0 - self._burst_loss
+        if self._grey:
+            for endpoint in (source, target):
+                profile = self._grey.get(endpoint) if endpoint is not None else None
+                if profile is not None:
+                    survive *= 1.0 - profile.extra_loss
+        return 1.0 - survive
+
+    def latency_factor(self, source: int | None, target: int | None) -> float:
+        """Multiplier applied to this leg's latency samples (>= 1)."""
+        factor = 1.0
+        if self._grey:
+            for endpoint in (source, target):
+                profile = self._grey.get(endpoint) if endpoint is not None else None
+                if profile is not None:
+                    factor *= profile.latency_factor
+        return factor
+
+    def describe(self) -> dict:
+        """A JSON-able snapshot of the active faults (for reports/tests)."""
+        return {
+            "active": self.active,
+            "partition_mode": self._partition_mode,
+            "partition_groups": (
+                max(self._group_of.values()) + 1 if self._group_of else 0
+            ),
+            "grey_nodes": len(self._grey),
+            "burst_loss": self._burst_loss,
+        }

@@ -21,22 +21,41 @@ Typical use::
 or from the shell: ``python -m repro scenario run --preset smoke``.
 The churn benchmark (``benchmarks/bench_churn.py``) sweeps the named
 regimes into ``BENCH_churn.json``.
+
+Structured outages -- correlated mass-kill and partition healing --
+live in the sibling fault lab (:mod:`repro.scenarios.faults`): the
+``mass-failure`` and ``partition-heal`` presets measure time-to-
+recovery, outage-window error rate and cost inflation on either
+backend (``benchmarks/bench_faults.py`` sweeps them into
+``BENCH_faults.json``).
 """
 
+from .faults import (
+    FAULT_PRESETS,
+    FaultScenarioResult,
+    FaultScenarioSpec,
+    fault_preset,
+    run_fault_scenario,
+)
 from .report import find_baseline, results_record, results_table
 from .runner import ScenarioResult, ShardReport, run_scenario, run_specs
 from .spec import BACKENDS, PRESETS, ScenarioSpec, preset, sweep
 
 __all__ = [
     "BACKENDS",
+    "FAULT_PRESETS",
+    "FaultScenarioResult",
+    "FaultScenarioSpec",
     "PRESETS",
     "ScenarioResult",
     "ScenarioSpec",
     "ShardReport",
+    "fault_preset",
     "find_baseline",
     "preset",
     "results_record",
     "results_table",
+    "run_fault_scenario",
     "run_scenario",
     "run_specs",
     "sweep",

@@ -1,0 +1,443 @@
+"""Fault scenarios: mass failure and partition healing, measured.
+
+Where :mod:`repro.scenarios.runner` studies *gradual* membership churn
+under serving load, this lab studies *structured outages*: a correlated
+mass-kill that crashes a large fraction of the overlay in one instant,
+or a network partition that splits reachability while every node stays
+up.  The questions are the recovery ones:
+
+- **time to recovery** -- how many maintenance rounds until lookups are
+  all-correct again (the first stabilization round after which every
+  probe of a fixed random set resolves to the oracle owner);
+- **outage-window error rate** -- what fraction of lookups issued while
+  the fault is live fail or return the wrong owner;
+- **cost inflation** -- messages per lookup during the outage and after
+  recovery, relative to the pre-fault baseline (retries, timeout
+  probes and repair traffic all flow through the same meters).
+
+A :class:`FaultScenarioSpec` pins one experiment; the fault itself is a
+declarative :class:`~repro.faults.plan.FaultPlan` scheduled on the sim
+clock, and lookups run through the substrate's DHT adapter under a
+first-class :class:`~repro.faults.retry.RetryPolicy`.  Everything
+derives from ``spec.seed`` through named RNG substreams, so two runs of
+the same spec are bit-for-bit identical -- the equivalence test in
+``tests/scenarios/test_fault_scenarios.py`` pins that.
+
+Recovery is verified against the oracle membership: the owner of point
+``x`` is the clockwise-nearest live id to ``target(x)``, which both
+substrates promise to resolve.  Chord heals through successor-list
+failover plus the network-level ring merge; Kademlia purges dead
+contacts (oracle-assisted anti-entropy, modelling gossiped obituaries)
+and rebuilds bucket coverage through refresh rounds.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..dht.api import PeerUnreachableError
+from ..dht.chord.network import ChordNetwork
+from ..dht.idspace import point_to_target_id
+from ..dht.kademlia.network import KademliaNetwork
+from ..faults.plan import REGIONS, FaultPlan, MassKill, Partition
+from ..faults.retry import RetryPolicy
+from ..faults.state import PARTITION_MODES, FaultState
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+from .spec import BACKENDS
+
+__all__ = [
+    "FAULT_PRESETS",
+    "FaultScenarioSpec",
+    "FaultScenarioResult",
+    "PhaseReport",
+    "fault_preset",
+    "run_fault_scenario",
+]
+
+#: The kinds of structured outage this lab drives end to end.
+FAULTS = ("mass-kill", "partition")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultScenarioSpec:
+    """One structured-outage experiment, fully pinned and JSON-able."""
+
+    name: str
+    backend: str = "chord"  # which message-level overlay to wound
+    fault: str = "mass-kill"
+    # -- substrate shape --
+    n: int = 10_000
+    m: int = 20  # identifier bits
+    kad_k: int = 20
+    kad_alpha: int = 3
+    successor_list_size: int = 16  # Chord failover depth (mass-kill armour)
+    # -- the fault --
+    inject_at: float = 10.0  # sim time the fault fires
+    kill_fraction: float = 0.4  # mass-kill: fraction crashed in one instant
+    region: str = "arc"  # victim placement: contiguous id arc or random
+    partition_groups: int = 2
+    partition_mode: str = "full"  # or "oneway" (requests cross, replies lost)
+    partition_duration: float = 40.0  # sim time until the partition heals
+    outage_rounds: int = 2  # maintenance rounds run while the fault is live
+    # -- the retry discipline lookups run under --
+    retry_attempts: int = 3
+    retry_base_delay: float = 0.5
+    retry_factor: float = 2.0
+    retry_jitter: float = 0.1
+    # -- measurement --
+    probes: int = 64  # lookups per phase
+    recovery_round_budget: int = 120  # maintenance rounds before giving up
+    recovery_chunk: int = 4  # rounds between recovery probe sweeps
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.fault not in FAULTS:
+            raise ValueError(f"unknown fault {self.fault!r}; choose from {FAULTS}")
+        if self.region not in REGIONS:
+            raise ValueError(f"unknown region {self.region!r}; choose from {REGIONS}")
+        if self.partition_mode not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition mode {self.partition_mode!r}; "
+                f"choose from {PARTITION_MODES}"
+            )
+        if self.n < 4:
+            raise ValueError("fault scenarios need at least 4 nodes")
+        if self.n > (1 << self.m):
+            raise ValueError(f"identifier space 2^{self.m} too small for n={self.n}")
+        if not 0.0 < self.kill_fraction < 1.0:
+            raise ValueError("kill_fraction must be in (0, 1)")
+        if self.partition_groups < 2:
+            raise ValueError("a partition needs at least 2 groups")
+        if self.probes < 1:
+            raise ValueError("probes must be positive")
+        if self.recovery_round_budget < 1 or self.recovery_chunk < 1:
+            raise ValueError("recovery budget and chunk must be positive")
+        if self.inject_at < 0 or self.partition_duration <= 0:
+            raise ValueError("inject_at must be >= 0 and partition_duration > 0")
+
+    def with_(self, **overrides) -> "FaultScenarioSpec":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **overrides)
+
+    def retry_policy(self) -> RetryPolicy:
+        """The lookup retry discipline this spec pins."""
+        return RetryPolicy(
+            attempts=self.retry_attempts,
+            base_delay=self.retry_base_delay,
+            factor=self.retry_factor,
+            jitter=self.retry_jitter,
+        )
+
+    def to_record(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+#: The canonical outage regimes.  ``mass-failure`` is the acceptance
+#: experiment -- kill 40% of a 10,000-node overlay in one instant and
+#: demand full recovery; CI smokes it at a small ``n`` override.
+#: ``partition-heal`` splits a live overlay in half long enough for
+#: maintenance to wound the cross-group pointers, then heals the
+#: partition and measures the merge back to one correct ring.
+FAULT_PRESETS: dict[str, FaultScenarioSpec] = {
+    "mass-failure": FaultScenarioSpec(
+        name="mass-failure",
+        fault="mass-kill",
+        n=10_000,
+        m=20,
+        kill_fraction=0.4,
+        region="arc",
+    ),
+    "partition-heal": FaultScenarioSpec(
+        name="partition-heal",
+        fault="partition",
+        n=1_024,
+        m=16,
+        partition_groups=2,
+        partition_mode="full",
+        partition_duration=40.0,
+        outage_rounds=3,
+    ),
+}
+
+
+def fault_preset(name: str, **overrides) -> FaultScenarioSpec:
+    """A named fault preset, optionally customised."""
+    if name not in FAULT_PRESETS:
+        raise KeyError(f"unknown fault preset {name!r}; choose from {sorted(FAULT_PRESETS)}")
+    spec = FAULT_PRESETS[name]
+    return spec.with_(**overrides) if overrides else spec
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseReport:
+    """One probe sweep: correctness and metered cost."""
+
+    phase: str
+    probes: int
+    correct: int
+    wrong: int  # resolved, but not to the oracle owner
+    failed: int  # raised after exhausting the retry budget
+    messages: int
+    latency: float
+
+    @property
+    def error_rate(self) -> float:
+        return (self.wrong + self.failed) / self.probes if self.probes else 0.0
+
+    @property
+    def messages_per_probe(self) -> float:
+        return self.messages / self.probes if self.probes else 0.0
+
+    def to_record(self) -> dict:
+        rec = dataclasses.asdict(self)
+        rec["error_rate"] = self.error_rate
+        rec["messages_per_probe"] = self.messages_per_probe
+        return rec
+
+
+@dataclass(frozen=True)
+class FaultScenarioResult:
+    """Everything one fault scenario produced, JSON-ready."""
+
+    spec: FaultScenarioSpec
+    baseline: PhaseReport
+    outage: PhaseReport
+    post: PhaseReport
+    recovery_rounds: int | None  # rounds until all-correct; None = budget blown
+    recovery_messages: int  # repair traffic (maintenance + recovery probes)
+    population_start: int
+    population_after_fault: int
+    fault_log: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def recovered(self) -> bool:
+        """Did the overlay return to all-lookups-correct within budget?"""
+        return self.recovery_rounds is not None and self.post.error_rate == 0.0
+
+    @property
+    def outage_error_rate(self) -> float:
+        return self.outage.error_rate
+
+    @property
+    def msgs_inflation_outage(self) -> float | None:
+        """Messages per lookup during the outage vs the baseline."""
+        base = self.baseline.messages_per_probe
+        return self.outage.messages_per_probe / base if base else None
+
+    @property
+    def msgs_inflation_post(self) -> float | None:
+        base = self.baseline.messages_per_probe
+        return self.post.messages_per_probe / base if base else None
+
+    def to_record(self) -> dict:
+        return {
+            "spec": self.spec.to_record(),
+            "recovered": self.recovered,
+            "recovery_rounds": self.recovery_rounds,
+            "recovery_messages": self.recovery_messages,
+            "outage_error_rate": self.outage_error_rate,
+            "msgs_inflation_outage": self.msgs_inflation_outage,
+            "msgs_inflation_post": self.msgs_inflation_post,
+            "population_start": self.population_start,
+            "population_after_fault": self.population_after_fault,
+            "phases": {
+                "baseline": self.baseline.to_record(),
+                "outage": self.outage.to_record(),
+                "post": self.post.to_record(),
+            },
+            "fault_log": list(self.fault_log),
+            "counters": dict(self.counters),
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+# -- the runner -------------------------------------------------------------
+
+
+def _build_network(spec: FaultScenarioSpec, sim: Simulator, rngs: RngRegistry):
+    ring_rng = random.Random(rngs.fresh("ring").getrandbits(64))
+    loss_rng = rngs.stream("transport.loss")
+    if spec.backend == "kademlia":
+        return KademliaNetwork.build(
+            spec.n,
+            m=spec.m,
+            k=spec.kad_k,
+            alpha=spec.kad_alpha,
+            rng=ring_rng,
+            sim=sim,
+            loss_rng=loss_rng,
+        )
+    return ChordNetwork.build(
+        spec.n,
+        m=spec.m,
+        rng=ring_rng,
+        sim=sim,
+        successor_list_size=spec.successor_list_size,
+        loss_rng=loss_rng,
+    )
+
+
+def _build_plan(spec: FaultScenarioSpec) -> FaultPlan:
+    if spec.fault == "mass-kill":
+        event = MassKill(
+            at=spec.inject_at, fraction=spec.kill_fraction, region=spec.region
+        )
+    else:
+        event = Partition(
+            at=spec.inject_at,
+            duration=spec.partition_duration,
+            groups=spec.partition_groups,
+            mode=spec.partition_mode,
+            region=spec.region,
+        )
+    return FaultPlan(events=(event,))
+
+
+def _oracle_owner(sorted_ids: list[int], target: int) -> int:
+    """The clockwise-nearest live id at or after ``target`` (wrapping)."""
+    i = bisect.bisect_left(sorted_ids, target)
+    return sorted_ids[i % len(sorted_ids)]
+
+
+def _probe_sweep(phase: str, dht, network, points, m: int) -> PhaseReport:
+    """Resolve every probe point and grade it against the live oracle.
+
+    The oracle view is re-read per probe: a sweep interleaved with
+    maintenance (the recovery loop) must grade each lookup against the
+    membership *at that instant*, and the epoch-memoized ``sorted_ids``
+    makes the steady-state read O(1).
+    """
+    transport = network.transport
+    before_msgs = transport.messages_sent
+    before_time = transport.elapsed
+    correct = wrong = failed = 0
+    for x in points:
+        target = point_to_target_id(x, m)
+        expected = _oracle_owner(network.sorted_ids(), target)
+        try:
+            got = dht.h(x).peer_id
+        except PeerUnreachableError:
+            failed += 1
+            continue
+        if got == expected:
+            correct += 1
+        else:
+            wrong += 1
+    return PhaseReport(
+        phase=phase,
+        probes=len(points),
+        correct=correct,
+        wrong=wrong,
+        failed=failed,
+        messages=transport.messages_sent - before_msgs,
+        latency=transport.elapsed - before_time,
+    )
+
+
+def run_fault_scenario(spec: FaultScenarioSpec) -> FaultScenarioResult:
+    """Drive one structured outage end to end and report on it.
+
+    Five acts: (1) baseline probes on the healthy overlay; (2) the fault
+    plan fires on the sim clock; (3) outage probes -- plus a few
+    maintenance rounds, modelling repair that runs *while* the fault is
+    live -- measure the damage; (4) the fault clears (a partition heals;
+    a mass-kill is permanent) and maintenance rounds run in chunks until
+    a full probe sweep is all-correct, which defines time-to-recovery;
+    (5) a fresh probe sweep on the recovered overlay pins the
+    post-recovery contract: 100% oracle-correct lookups.
+    """
+    start_wall = time.perf_counter()
+    rngs = RngRegistry(spec.seed)
+    sim = Simulator()
+    network = _build_network(spec, sim, rngs)
+    faults = FaultState()
+    network.transport.install_faults(faults)
+    dht = network.dht(
+        retry_policy=spec.retry_policy(), retry_rng=rngs.stream("lookup.retry")
+    )
+
+    population_start = len(network.nodes)
+    plan = _build_plan(spec)
+    fault_log = plan.schedule(sim, network, rngs.stream("fault.plan"))
+
+    def draw_points(stream: str) -> list[float]:
+        rng = rngs.stream(stream)
+        return [rng.random() for _ in range(spec.probes)]
+
+    # Act 1: the healthy overlay.
+    baseline = _probe_sweep(
+        "baseline", dht, network, draw_points("probes.baseline"), spec.m
+    )
+
+    # Act 2: the fault fires on the sim clock.
+    sim.run(until=spec.inject_at)
+    population_after_fault = len(network.nodes)
+    if not dht.entry_is_alive:
+        dht.refresh_entry()
+
+    # Act 3: life during the outage.  Probes run against the raw damage
+    # first; then a few maintenance rounds run while the fault is still
+    # live -- real deployments do not pause repair during an outage, and
+    # for partitions this is what wounds the cross-group pointers.
+    outage = _probe_sweep("outage", dht, network, draw_points("probes.outage"), spec.m)
+    for _ in range(spec.outage_rounds):
+        network.stabilize_round()
+
+    # Act 4: the fault clears; the overlay heals.  Kademlia needs a leg
+    # up in both directions: after a mass-kill the oracle-assisted
+    # obituary purge lets refresh rebuild coverage from live contacts
+    # instead of discovering thousands of casualties one timeout at a
+    # time, and after a partition long enough for both sides to evict
+    # each other the tables share no cross-group entries at all, so
+    # every node re-joins through a bootstrap peer (charged traffic;
+    # see :meth:`KademliaNetwork.rebootstrap`).  Chord's analogue of
+    # both is the ring-merge pass inside its stabilization rounds.
+    if spec.fault == "partition":
+        sim.run(until=spec.inject_at + spec.partition_duration)
+    if spec.backend == "kademlia":
+        if spec.fault == "mass-kill":
+            network.purge_dead_contacts()
+        elif spec.fault == "partition":
+            network.rebootstrap()
+
+    recovery_points = draw_points("probes.recovery")
+    before_recovery_msgs = network.transport.messages_sent
+    recovery_rounds: int | None = None
+    rounds_used = 0
+    while rounds_used < spec.recovery_round_budget:
+        chunk = min(spec.recovery_chunk, spec.recovery_round_budget - rounds_used)
+        network.run_stabilization(chunk)
+        rounds_used += chunk
+        if not dht.entry_is_alive:
+            dht.refresh_entry()
+        sweep = _probe_sweep("recovery", dht, network, recovery_points, spec.m)
+        if sweep.error_rate == 0.0:
+            recovery_rounds = rounds_used
+            break
+    recovery_messages = network.transport.messages_sent - before_recovery_msgs
+
+    # Act 5: the recovered overlay, probed fresh.
+    post = _probe_sweep("post", dht, network, draw_points("probes.post"), spec.m)
+
+    return FaultScenarioResult(
+        spec=spec,
+        baseline=baseline,
+        outage=outage,
+        post=post,
+        recovery_rounds=recovery_rounds,
+        recovery_messages=recovery_messages,
+        population_start=population_start,
+        population_after_fault=population_after_fault,
+        fault_log=list(fault_log),
+        counters=network.transport.metrics.counters(),
+        wall_seconds=time.perf_counter() - start_wall,
+    )

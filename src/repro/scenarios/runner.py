@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from ..analysis.stats import chi_square_uniform, total_variation_from_uniform
 from ..dht.chord.network import ChordNetwork
 from ..dht.kademlia.network import KademliaNetwork
+from ..faults.retry import RetryPolicy
 from ..service.core import SamplingService
 from ..service.loadgen import LoadGenerator
 from ..sim.churn import ChurnProcess
@@ -203,6 +204,16 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     substrates = [net.dht() for net in networks]
     start_populations = [set(net.nodes) for net in networks]
 
+    # The shard retry discipline as a first-class policy.  With the
+    # default flat shape (factor 1, no jitter) this is bit-identical to
+    # the legacy max_retries/retry_backoff knobs; specs can escalate or
+    # jitter the cooldowns without touching the worker state machine.
+    retry_policy = RetryPolicy(
+        attempts=spec.max_retries + 1,
+        base_delay=spec.retry_backoff,
+        factor=spec.retry_factor,
+        jitter=spec.retry_jitter,
+    )
     service = SamplingService(
         substrates,
         sim=sim,
@@ -214,6 +225,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         max_queue=spec.max_queue,
         max_retries=spec.max_retries,
         retry_backoff=spec.retry_backoff,
+        retry_policy=retry_policy,
     )
 
     maintenance = []

@@ -71,6 +71,11 @@ class ScenarioSpec:
     max_queue: int = 256
     max_retries: int = 3
     retry_backoff: float = 2.0
+    # Shard retry escalation (see repro.faults.retry.RetryPolicy): the
+    # defaults -- flat backoff, no jitter -- reproduce the historical
+    # worker behaviour bit for bit, so presets are unchanged.
+    retry_factor: float = 1.0
+    retry_jitter: float = 0.0
     # -- run control --
     seed: int = 0
     max_sim_time: float = 50_000.0  # hard stop against pathological stalls
@@ -95,6 +100,10 @@ class ScenarioSpec:
             raise ValueError("crash_fraction must be in [0, 1]")
         if self.stabilize_interval < 0:
             raise ValueError("stabilize_interval must be non-negative")
+        if self.retry_factor < 1.0:
+            raise ValueError("retry_factor must be >= 1")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
         if self.rate <= 0:
             raise ValueError("rate must be positive")
         if self.max_sim_time <= 0:

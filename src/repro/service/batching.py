@@ -26,12 +26,14 @@ stale size estimate kill the execution.  The worker then
 
 1. marks itself *unhealthy* (the router steers new traffic to healthy
    shards while this one recovers),
-2. requeues the batch at the head of the queue and backs off for
-   ``retry_backoff`` time units -- giving stabilization a chance to
-   repair the overlay,
+2. requeues the batch at the head of the queue and backs off for the
+   cooldown the shard's :class:`~repro.faults.retry.RetryPolicy`
+   prescribes -- giving stabilization a chance to repair the overlay
+   (the legacy ``max_retries``/``retry_backoff`` knobs map onto a
+   fixed-delay policy, so existing runs are bit-identical),
 3. asks the strategy to :meth:`~repro.service.dispatch.BatchDispatch.refresh`
    its parameters (re-running Estimate-n against the now-repaired
-   population) and retries, up to ``max_retries`` times,
+   population) and retries while the policy's attempt budget lasts,
 4. and finally fails the batch *explicitly*: every request gets a
    ``FAILED`` response, counted by the metrics, never a lost request or
    a leaked exception.
@@ -46,9 +48,11 @@ deterministic on the simulation clock.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import Callable
 
+from ..faults.retry import RetryPolicy
 from ..sim.events import Event
 from ..sim.kernel import Simulator
 from .dispatch import DispatchError, ServiceTimeModel
@@ -74,6 +78,8 @@ class ShardWorker:
         max_wait: float = 2.0,
         max_retries: int = 2,
         retry_backoff: float = 1.0,
+        retry_policy: RetryPolicy | None = None,
+        retry_rng: random.Random | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -93,6 +99,21 @@ class ShardWorker:
         self.max_wait = max_wait
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: The cooldown/attempt discipline.  The legacy knobs map onto a
+        #: fixed-delay policy (``max_retries`` retries after the first
+        #: failure, constant ``retry_backoff`` cooldown), so callers that
+        #: pass no policy get bit-identical behaviour; a policy with
+        #: exponential backoff or jitter changes only the cooldown
+        #: lengths, never the state machine.  Jittered policies need
+        #: ``retry_rng`` (see RetryPolicy's determinism contract).
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                attempts=max_retries + 1, base_delay=retry_backoff, factor=1.0
+            )
+        )
+        self._retry_rng = retry_rng
         self._queue: deque[SampleRequest] = deque()
         self._timer: Event | None = None
         self._in_flight = 0
@@ -219,21 +240,25 @@ class ShardWorker:
         self._consecutive_failures += 1
         if self._metrics is not None:
             self._metrics.record_dispatch_failure(self.shard_id)
-        if self._consecutive_failures > self.max_retries:
+        if not self.retry_policy.should_retry(self._consecutive_failures):
             self._consecutive_failures = 0  # fresh allowance for the next batch
             self._fail_batch(batch)
             # Half-open re-admission: the router sheds an unhealthy
             # shard, so an idle one would never see the traffic that
             # could prove it recovered.  After one more backoff it may
             # take traffic again; a still-broken substrate just flips
-            # it straight back to unhealthy.
+            # it straight back to unhealthy.  The probe delay stays on
+            # the flat legacy knob: it is circuit-breaker pacing, not a
+            # retry of anything, so the policy's escalation curve (which
+            # indexes by consecutive failures) does not apply to it.
             self._sim.schedule(self.retry_backoff, self._readmit_probe)
             self._maybe_flush()
             return
         self.retries += 1
         self._queue.extendleft(reversed(batch))  # head of the line, same order
         self._cooling = True
-        self._sim.schedule(self.retry_backoff, self._retry_flush)
+        cooldown = self.retry_policy.delay(self._consecutive_failures, self._retry_rng)
+        self._sim.schedule(cooldown, self._retry_flush)
 
     def _retry_flush(self) -> None:
         self._cooling = False

@@ -67,6 +67,7 @@ class SamplingService:
         max_queue: int = 256,
         max_retries: int = 2,
         retry_backoff: float = 1.0,
+        retry_policy=None,
         time_model: ServiceTimeModel | None = None,
         reservoir_size: int | None = DEFAULT_RESERVOIR,
         keep_responses: bool = True,
@@ -92,6 +93,9 @@ class SamplingService:
         # of max_batch (see ServiceTimeModel's amortization contract).
         worker_batch = max_batch if dispatch == "batch" else 1
         sink = self.responses.append if keep_responses else None
+        # One named stream feeds every shard's retry jitter, so runs
+        # stay replayable; a policy without jitter never draws from it.
+        retry_rng = rngs.stream("service.retry") if retry_policy is not None else None
         for shard_id, dht in enumerate(substrates):
             trial_rng = rngs.stream(f"shard{shard_id}.trials")
             if dispatch == "batch":
@@ -110,6 +114,8 @@ class SamplingService:
                     max_wait=max_wait,
                     max_retries=max_retries,
                     retry_backoff=retry_backoff,
+                    retry_policy=retry_policy,
+                    retry_rng=retry_rng,
                 )
             )
         self.router = ShardRouter(self.shards, policy=policy)

@@ -20,15 +20,18 @@ from dataclasses import dataclass
 from typing import Any, Protocol
 
 from .metrics import MetricsRegistry
+from .rng import derive_seed
 
 __all__ = [
     "LatencyModel",
     "ConstantLatency",
     "UniformLatency",
     "ExponentialLatency",
+    "NullFaults",
     "RpcError",
     "RpcTimeout",
     "RpcTransport",
+    "TransportEndpoint",
 ]
 
 
@@ -64,6 +67,10 @@ class ConstantLatency:
 class UniformLatency:
     """One-way delay uniform on ``[low, high]``."""
 
+    #: ``sample`` consumes the RNG: offline replay cannot be
+    #: charge-identical, so lockstep engines must refuse this model.
+    deterministic = False
+
     low: float
     high: float
 
@@ -74,6 +81,9 @@ class UniformLatency:
 @dataclass(frozen=True)
 class ExponentialLatency:
     """One-way delay exponential with the given mean (heavy-ish tail)."""
+
+    #: ``sample`` consumes the RNG (see UniformLatency.deterministic).
+    deterministic = False
 
     mean: float = 1.0
 
@@ -89,6 +99,74 @@ class RpcTimeout(RpcError):
     """The target did not answer (dead, departed, or dropped packet)."""
 
 
+class NullFaults:
+    """The default fault surface: no structured misbehaviour.
+
+    The transport consults its :attr:`RpcTransport.faults` object on
+    every delivery; this null object answers "nothing is wrong" with no
+    per-call overhead beyond the attribute reads.  The real implementor
+    of the protocol -- partitions, grey failures, loss bursts -- is
+    :class:`repro.faults.state.FaultState`, installed via
+    :meth:`RpcTransport.install_faults`.  (The sim layer deliberately
+    does not import :mod:`repro.faults`: the dependency points the
+    other way.)
+    """
+
+    active = False
+
+    def blocked(self, source: int | None, target: int | None) -> bool:
+        return False
+
+    def extra_drop(self, source: int | None, target: int | None) -> float:
+        return 0.0
+
+    def latency_factor(self, source: int | None, target: int | None) -> float:
+        return 1.0
+
+
+class TransportEndpoint:
+    """A node-bound view of the transport: calls carry the node as source.
+
+    Overlay nodes hold one of these instead of the raw transport so
+    partitions and grey failures can attribute every delivery's
+    *source*.  The transport's own ``rpc``/``oneway`` stay source-less
+    -- they model an external client outside the overlay, which no
+    partition group contains.  The endpoint mirrors exactly the
+    transport surface node code uses (``rpc``, ``oneway``, ``metrics``,
+    ``is_registered``, ``timeout``, ``charge_delay``).
+    """
+
+    __slots__ = ("_transport", "node_id")
+
+    def __init__(self, transport: "RpcTransport", node_id: int):
+        self._transport = transport
+        self.node_id = node_id
+
+    def rpc(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
+        return self._transport.rpc_from(
+            self.node_id, target_id, method, *args, **kwargs
+        )
+
+    def oneway(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
+        return self._transport.oneway_from(
+            self.node_id, target_id, method, *args, **kwargs
+        )
+
+    def is_registered(self, node_id: int) -> bool:
+        return self._transport.is_registered(node_id)
+
+    def charge_delay(self, delay: float) -> None:
+        self._transport.charge_delay(delay)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._transport.metrics
+
+    @property
+    def timeout(self) -> float:
+        return self._transport.timeout
+
+
 class RpcTransport:
     """Synchronous simulated RPC fabric between registered nodes.
 
@@ -98,6 +176,21 @@ class RpcTransport:
     targets cost ``timeout`` latency and raise :class:`RpcTimeout`.
     ``loss_rate`` drops individual calls at random with the same timeout
     cost, modelling an unreliable network.
+
+    Drop decisions draw from a **dedicated** loss stream (``loss_rng``),
+    never from the latency/workload ``rng``: enabling loss must not
+    shift any other component's draws, so seeded runs stay comparable
+    across fault configurations.  The default loss stream is fixed-seed
+    (reproducible run-to-run, like metric reservoirs); pass ``loss_rng``
+    to tie it to an experiment's seed registry.
+
+    Structured misbehaviour -- partitions, grey failures, loss bursts --
+    is consulted per delivery through :attr:`faults`
+    (:class:`NullFaults` until :meth:`install_faults` installs a real
+    :class:`repro.faults.state.FaultState`).  Asymmetric partitions need
+    a *source* for each delivery, which node-bound
+    :class:`TransportEndpoint` views supply; the bare ``rpc``/``oneway``
+    methods carry no source and model an external client.
     """
 
     def __init__(
@@ -107,6 +200,8 @@ class RpcTransport:
         timeout: float = 8.0,
         loss_rate: float = 0.0,
         metrics: MetricsRegistry | None = None,
+        loss_rng: random.Random | None = None,
+        faults: Any | None = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
@@ -114,10 +209,32 @@ class RpcTransport:
         self._rng = rng if rng is not None else random.Random()
         self._timeout = timeout
         self._loss_rate = loss_rate
+        self._loss_rng = (
+            loss_rng
+            if loss_rng is not None
+            else random.Random(derive_seed(0, "transport.loss"))
+        )
+        #: The structured-fault surface consulted on every delivery.
+        self.faults = faults if faults is not None else NullFaults()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._nodes: dict[int, Any] = {}
         #: Total simulated latency accrued by RPCs (additive, per Theorem 7).
         self.elapsed: float = 0.0
+
+    def install_faults(self, faults: Any) -> Any:
+        """Install (and return) a fault surface, replacing the current one."""
+        self.faults = faults
+        return faults
+
+    def endpoint(self, node_id: int) -> TransportEndpoint:
+        """A node-bound view whose calls carry ``node_id`` as the source."""
+        return TransportEndpoint(self, node_id)
+
+    def charge_delay(self, delay: float) -> None:
+        """Charge waiting time (retry backoff) into the latency account."""
+        if delay < 0:
+            raise ValueError("cannot charge negative delay")
+        self.elapsed += delay
 
     # -- membership -----------------------------------------------------
 
@@ -160,20 +277,79 @@ class RpcTransport:
 
     # -- the RPC fabric ---------------------------------------------------
 
-    def rpc(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
-        """Call ``method`` on the target node, charging messages and latency."""
-        self.metrics.counter("rpc.calls").increment()
+    def _admit(
+        self, source_id: int | None, target_id: int, method: str, kind: str
+    ) -> tuple[Any, float]:
+        """The shared dead/partition/loss gate for one delivery.
+
+        Returns ``(target, latency_factor)`` when the request leg
+        delivers; otherwise charges the failure (one lost-request
+        message, the timeout latency, a timeout tick) and raises
+        :class:`RpcTimeout`.  The drop die is rolled on the dedicated
+        loss stream, and only when some loss source is actually in play.
+        """
         target = self._nodes.get(target_id)
-        dropped = self._loss_rate > 0.0 and self._rng.random() < self._loss_rate
-        if target is None or dropped:
-            self.metrics.counter("rpc.timeouts").increment()
-            self.metrics.counter("messages").increment()  # the lost request
-            self.elapsed += self._timeout
-            reason = "lost" if dropped and target is not None else "dead or unknown"
-            raise RpcTimeout(f"rpc {method} to node {target_id}: target {reason}")
+        faults = self.faults
+        if target is not None and not faults.blocked(source_id, target_id):
+            p = self._loss_rate
+            if faults.active:
+                extra = faults.extra_drop(source_id, target_id)
+                if extra > 0.0:
+                    p = 1.0 - (1.0 - p) * (1.0 - extra)
+            if not (p > 0.0 and self._loss_rng.random() < p):
+                factor = (
+                    faults.latency_factor(source_id, target_id)
+                    if faults.active
+                    else 1.0
+                )
+                return target, factor
+            reason = "lost"
+        elif target is None:
+            reason = "dead or unknown"
+        else:
+            reason = "partitioned"
+        self.metrics.counter("rpc.timeouts").increment()
+        self.metrics.counter("messages").increment()  # the lost request
+        self.elapsed += self._timeout
+        raise RpcTimeout(f"{kind} {method} to node {target_id}: target {reason}")
+
+    def rpc(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Call ``method`` on the target node, charging messages and latency.
+
+        Source-less: the caller is an external client outside the
+        overlay (partitions never apply).  Overlay nodes call through
+        their :class:`TransportEndpoint` (:meth:`rpc_from`) instead.
+        """
+        return self.rpc_from(None, target_id, method, *args, **kwargs)
+
+    def rpc_from(
+        self,
+        source_id: int | None,
+        target_id: int,
+        method: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> Any:
+        """One request/reply exchange attributed to ``source_id``."""
+        self.metrics.counter("rpc.calls").increment()
+        target, factor = self._admit(source_id, target_id, method, "rpc")
         self.metrics.counter("messages").increment(2)  # request + reply
-        self.elapsed += self._latency.sample(self._rng) + self._latency.sample(self._rng)
-        return getattr(target, method)(*args, **kwargs)
+        self.elapsed += factor * (
+            self._latency.sample(self._rng) + self._latency.sample(self._rng)
+        )
+        result = getattr(target, method)(*args, **kwargs)
+        if self.faults.blocked(target_id, source_id):
+            # One-way partition, reply leg severed: the request crossed
+            # and the handler ran (side effects stand), but the answer
+            # never returns -- the caller eats a timeout.  This is the
+            # asymmetry that distinguishes a partial partition from a
+            # crash, and exactly why one-way cuts are nasty.
+            self.metrics.counter("rpc.timeouts").increment()
+            self.elapsed += self._timeout
+            raise RpcTimeout(
+                f"rpc {method} to node {target_id}: reply partitioned"
+            )
+        return result
 
     def oneway(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
         """Forward a message without a reply leg (recursive routing).
@@ -183,19 +359,24 @@ class RpcTransport:
         Python call chain, modelling the final direct reply being sent
         once at the end of a forwarding chain (the caller charges that
         reply separately).  Lost/dead targets cost the timeout, like
-        :meth:`rpc`.
+        :meth:`rpc`.  Source-less, like :meth:`rpc`; overlay nodes use
+        :meth:`oneway_from` via their endpoint.
         """
+        return self.oneway_from(None, target_id, method, *args, **kwargs)
+
+    def oneway_from(
+        self,
+        source_id: int | None,
+        target_id: int,
+        method: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> Any:
+        """One fire-and-forget message attributed to ``source_id``."""
         self.metrics.counter("rpc.calls").increment()
-        target = self._nodes.get(target_id)
-        dropped = self._loss_rate > 0.0 and self._rng.random() < self._loss_rate
-        if target is None or dropped:
-            self.metrics.counter("rpc.timeouts").increment()
-            self.metrics.counter("messages").increment()
-            self.elapsed += self._timeout
-            reason = "lost" if dropped and target is not None else "dead or unknown"
-            raise RpcTimeout(f"oneway {method} to node {target_id}: target {reason}")
+        target, factor = self._admit(source_id, target_id, method, "oneway")
         self.metrics.counter("messages").increment(1)
-        self.elapsed += self._latency.sample(self._rng)
+        self.elapsed += factor * self._latency.sample(self._rng)
         return getattr(target, method)(*args, **kwargs)
 
     @property

@@ -215,6 +215,20 @@ class TestEligibility:
         )
         assert not net.dht().lockstep_eligible()
 
+    def test_active_faults_disable_lockstep(self):
+        # A snapshot replay cannot see partitioned edges or grey charge
+        # inflation; eligibility must track the fault surface live.
+        from repro.faults.state import FaultState
+
+        net = ChordNetwork.build(16, m=16, rng=random.Random(35))
+        faults = net.transport.install_faults(FaultState())
+        dht = net.dht()
+        assert dht.lockstep_eligible()
+        faults.set_burst_loss(0.2)
+        assert not dht.lockstep_eligible()
+        faults.clear()
+        assert dht.lockstep_eligible()
+
     def test_default_transport_is_eligible(self):
         net = ChordNetwork.build(16, m=16, rng=random.Random(33))
         dht = net.dht()

@@ -1,0 +1,158 @@
+"""Tests for declarative fault plans and their injectors."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.chord.network import ChordNetwork
+from repro.faults.plan import (
+    FaultPlan,
+    GreyFailure,
+    LossBurst,
+    MassKill,
+    Partition,
+    select_region,
+)
+from repro.faults.state import FaultState
+from repro.sim.kernel import Simulator
+
+
+def small_network(n=16, seed=1, sim=None):
+    net = ChordNetwork.build(n, m=10, rng=random.Random(seed), sim=sim)
+    net.transport.install_faults(FaultState())
+    return net
+
+
+class TestSelectRegion:
+    def test_arc_is_contiguous_in_ring_order(self):
+        ids = sorted(random.Random(3).sample(range(1000), 40))
+        victims = select_region(ids, 10, "arc", random.Random(7))
+        start = ids.index(victims[0])
+        expected = [ids[(start + j) % len(ids)] for j in range(10)]
+        assert victims == expected
+
+    def test_random_draws_from_membership(self):
+        ids = list(range(0, 100, 5))
+        victims = select_region(ids, 8, "random", random.Random(7))
+        assert len(victims) == 8
+        assert set(victims) <= set(ids)
+
+    def test_count_is_clamped(self):
+        assert select_region([1, 2, 3], 10, "random", random.Random(0)) in (
+            [1, 2, 3],
+        )
+        assert select_region([1, 2, 3], 0, "arc", random.Random(0)) == []
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ValueError, match="region"):
+            select_region([1, 2], 1, "diagonal", random.Random(0))
+
+
+class TestInjectors:
+    def test_mass_kill_crashes_the_requested_fraction(self):
+        net = small_network(20)
+        victims = MassKill(fraction=0.4, region="arc").apply(net, random.Random(5))
+        assert len(victims) == 8  # ceil(0.4 * 20)
+        assert all(v not in net.nodes for v in victims)
+        assert len(net.nodes) == 12
+
+    def test_mass_kill_always_leaves_a_survivor(self):
+        net = small_network(4)
+        MassKill(fraction=0.99).apply(net, random.Random(5))
+        assert len(net.nodes) >= 1
+
+    def test_partition_apply_and_revert(self):
+        net = small_network(16)
+        event = Partition(groups=2, mode="full", region="arc")
+        groups = event.apply(net, random.Random(5))
+        assert sorted(len(g) for g in groups) == [8, 8]
+        a, b = groups[0][0], groups[1][0]
+        assert net.transport.faults.blocked(a, b)
+        event.revert(net, groups)
+        assert not net.transport.faults.active
+
+    def test_grey_failure_apply_and_revert(self):
+        net = small_network(16)
+        event = GreyFailure(fraction=0.25, latency_factor=4.0, extra_loss=0.2)
+        victims = event.apply(net, random.Random(5))
+        assert len(victims) == 4
+        profile = net.transport.faults.grey_nodes[victims[0]]
+        assert (profile.latency_factor, profile.extra_loss) == (4.0, 0.2)
+        event.revert(net, victims)
+        assert not net.transport.faults.active
+
+    def test_loss_burst_apply_and_revert(self):
+        net = small_network(8)
+        event = LossBurst(extra_loss=0.5)
+        event.apply(net, random.Random(5))
+        assert net.transport.faults.burst_loss == 0.5
+        event.revert(net)
+        assert not net.transport.faults.active
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            lambda: MassKill(fraction=0.0),
+            lambda: MassKill(region="blob"),
+            lambda: Partition(groups=1),
+            lambda: Partition(duration=0.0),
+            lambda: GreyFailure(fraction=1.5),
+            lambda: LossBurst(extra_loss=0.0),
+        ],
+    )
+    def test_injector_validation(self, event):
+        with pytest.raises(ValueError):
+            event()
+
+
+class TestFaultPlan:
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError, match="not a fault event"):
+            FaultPlan(events=("boom",))
+
+    def test_schedule_applies_and_reverts_on_the_sim_clock(self):
+        sim = Simulator()
+        net = small_network(16, sim=sim)
+        plan = FaultPlan(
+            events=(Partition(at=5.0, duration=10.0, groups=2, region="arc"),)
+        )
+        log = plan.schedule(sim, net, random.Random(9))
+
+        sim.run(until=4.0)
+        assert not net.transport.faults.active
+        sim.run(until=5.0)
+        assert net.transport.faults.partitioned
+        sim.run(until=15.0)
+        assert not net.transport.faults.active
+        assert [entry["phase"] for entry in log] == ["apply", "revert"]
+        assert [entry["time"] for entry in log] == [5.0, 15.0]
+        assert log[0]["event"]["kind"] == "partition"
+
+    def test_mass_kill_fires_once_and_has_no_revert(self):
+        sim = Simulator()
+        net = small_network(16, sim=sim)
+        plan = FaultPlan(events=(MassKill(at=2.0, fraction=0.5),))
+        log = plan.schedule(sim, net, random.Random(9))
+        sim.run(until=100.0)
+        assert len(net.nodes) == 8
+        assert [entry["phase"] for entry in log] == ["apply"]
+
+    def test_plans_are_deterministic_under_a_fixed_seed(self):
+        def run():
+            sim = Simulator()
+            net = small_network(16, sim=sim)
+            plan = FaultPlan(events=(MassKill(at=1.0, fraction=0.4),))
+            plan.schedule(sim, net, random.Random(123))
+            sim.run(until=2.0)
+            return sorted(net.nodes)
+
+        assert run() == run()
+
+    def test_to_record_is_jsonable(self):
+        plan = FaultPlan(
+            events=(MassKill(at=1.0), Partition(at=2.0), LossBurst(at=3.0))
+        )
+        kinds = [rec["kind"] for rec in plan.to_record()]
+        assert kinds == ["mass-kill", "partition", "loss-burst"]

@@ -1,0 +1,127 @@
+"""Tests for the mutable fault surface (partitions, grey, bursts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.state import FaultState, GreyProfile
+
+
+class TestPartitions:
+    def test_full_partition_blocks_both_directions(self):
+        faults = FaultState()
+        faults.partition([[1, 2], [3, 4]], mode="full")
+        assert faults.blocked(1, 3) and faults.blocked(3, 1)
+        assert faults.blocked(2, 4) and faults.blocked(4, 2)
+        assert not faults.blocked(1, 2)
+        assert not faults.blocked(3, 4)
+
+    def test_oneway_blocks_only_higher_to_lower(self):
+        faults = FaultState()
+        faults.partition([[1], [2]], mode="oneway")
+        assert not faults.blocked(1, 2)  # group 0 still reaches group 1
+        assert faults.blocked(2, 1)  # the way back is severed
+
+    def test_ungrouped_nodes_are_unaffected(self):
+        faults = FaultState()
+        faults.partition([[1], [2]], mode="full")
+        assert not faults.blocked(1, 99)
+        assert not faults.blocked(99, 1)
+
+    def test_external_clients_are_never_partitioned(self):
+        faults = FaultState()
+        faults.partition([[1], [2]], mode="full")
+        assert not faults.blocked(None, 1)
+        assert not faults.blocked(2, None)
+
+    def test_heal_restores_reachability(self):
+        faults = FaultState()
+        faults.partition([[1], [2]])
+        faults.heal_partition()
+        assert not faults.blocked(1, 2)
+        assert not faults.active
+
+    def test_partition_validation(self):
+        faults = FaultState()
+        with pytest.raises(ValueError, match="mode"):
+            faults.partition([[1], [2]], mode="sideways")
+        with pytest.raises(ValueError, match="two"):
+            faults.partition([[1, 2]])
+        with pytest.raises(ValueError, match="two partition groups"):
+            faults.partition([[1], [1, 2]])
+
+
+class TestGreyAndBurst:
+    def test_grey_profile_validation(self):
+        with pytest.raises(ValueError):
+            GreyProfile(latency_factor=0.5)
+        with pytest.raises(ValueError):
+            GreyProfile(extra_loss=1.0)
+
+    def test_grey_touches_both_legs(self):
+        faults = FaultState()
+        faults.set_grey(5, latency_factor=10.0, extra_loss=0.25)
+        assert faults.latency_factor(5, 1) == 10.0
+        assert faults.latency_factor(1, 5) == 10.0
+        assert faults.latency_factor(1, 2) == 1.0
+        assert faults.extra_drop(5, 1) == pytest.approx(0.25)
+        assert faults.extra_drop(1, 2) == 0.0
+
+    def test_two_grey_endpoints_compose_independently(self):
+        faults = FaultState()
+        faults.set_grey(1, latency_factor=2.0, extra_loss=0.5)
+        faults.set_grey(2, latency_factor=3.0, extra_loss=0.5)
+        assert faults.latency_factor(1, 2) == 6.0
+        assert faults.extra_drop(1, 2) == pytest.approx(0.75)
+
+    def test_burst_composes_with_grey(self):
+        faults = FaultState()
+        faults.set_burst_loss(0.5)
+        faults.set_grey(1, extra_loss=0.5)
+        assert faults.extra_drop(1, 2) == pytest.approx(0.75)
+        assert faults.extra_drop(3, 4) == pytest.approx(0.5)
+
+    def test_clear_grey_restores_one_or_all(self):
+        faults = FaultState()
+        faults.set_grey(1, latency_factor=2.0)
+        faults.set_grey(2, latency_factor=2.0)
+        faults.clear_grey(1)
+        assert faults.latency_factor(1, 9) == 1.0
+        assert faults.latency_factor(2, 9) == 2.0
+        faults.clear_grey()
+        assert not faults.active
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            FaultState().set_burst_loss(1.0)
+
+
+class TestLifecycle:
+    def test_active_tracks_every_fault_kind(self):
+        faults = FaultState()
+        assert not faults.active
+        faults.set_burst_loss(0.1)
+        assert faults.active
+        faults.clear()
+        assert not faults.active
+        faults.set_grey(1, latency_factor=2.0)
+        assert faults.active
+        faults.clear()
+        faults.partition([[1], [2]])
+        assert faults.active
+        faults.clear()
+        assert not faults.active
+
+    def test_describe_snapshot(self):
+        faults = FaultState()
+        faults.partition([[1], [2], [3]], mode="oneway")
+        faults.set_grey(1, latency_factor=2.0)
+        faults.set_burst_loss(0.2)
+        snap = faults.describe()
+        assert snap == {
+            "active": True,
+            "partition_mode": "oneway",
+            "partition_groups": 3,
+            "grey_nodes": 1,
+            "burst_loss": 0.2,
+        }

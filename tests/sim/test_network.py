@@ -180,3 +180,165 @@ class TestRngRegistry:
         assert derive_seed(1, "a") == derive_seed(1, "a")
         assert derive_seed(1, "a") != derive_seed(1, "b")
         assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class AlwaysDrop(random.Random):
+    """A loss stream whose every draw falls below any positive rate."""
+
+    def random(self):
+        return 0.0
+
+
+class NeverDrop(random.Random):
+    def random(self):
+        return 0.999999
+
+
+class TestFaultInjection:
+    """The transport consulting an installed FaultState per delivery."""
+
+    def _transport(self, **kwargs):
+        from repro.faults.state import FaultState
+
+        transport = RpcTransport(**kwargs)
+        faults = transport.install_faults(FaultState())
+        transport.register(1, Echo())
+        transport.register(2, Echo())
+        return transport, faults
+
+    def test_install_faults_replaces_null_object(self):
+        transport, faults = self._transport()
+        assert transport.faults is faults
+        assert not transport.faults.active
+
+    def test_full_partition_blocks_attributed_calls(self):
+        transport, faults = self._transport()
+        faults.partition([[1], [2]], mode="full")
+        with pytest.raises(RpcTimeout, match="partitioned"):
+            transport.endpoint(1).rpc(2, "ping")
+        assert transport.node(2).calls == 0  # the request never crossed
+
+    def test_external_client_crosses_a_partition(self):
+        transport, faults = self._transport()
+        faults.partition([[1], [2]], mode="full")
+        # The bare transport carries no source: an external client is in
+        # no reachability group, so the partition does not apply.
+        assert transport.rpc(2, "ping") == "pong"
+
+    def test_oneway_partition_runs_handler_but_loses_reply(self):
+        transport, faults = self._transport()
+        faults.partition([[1], [2]], mode="oneway")
+        # Group 0 -> group 1: request crosses, reply leg is severed.
+        with pytest.raises(RpcTimeout, match="reply partitioned"):
+            transport.endpoint(1).rpc(2, "ping")
+        assert transport.node(2).calls == 1  # side effects stand
+        # Group 1 -> group 0 is blocked outright.
+        with pytest.raises(RpcTimeout, match="partitioned"):
+            transport.endpoint(2).rpc(1, "ping")
+        assert transport.node(1).calls == 0
+
+    def test_oneway_oneway_message_crosses_downhill_only(self):
+        transport, faults = self._transport()
+        faults.partition([[1], [2]], mode="oneway")
+        transport.endpoint(1).oneway(2, "ping")  # no reply leg to lose
+        assert transport.node(2).calls == 1
+
+    def test_grey_node_inflates_latency_on_both_legs(self):
+        transport, faults = self._transport(latency=ConstantLatency(1.0))
+        faults.set_grey(2, latency_factor=5.0)
+        transport.endpoint(1).rpc(2, "ping")
+        assert transport.elapsed == pytest.approx(10.0)  # 5 * (1 + 1)
+        transport.endpoint(2).rpc(1, "ping")  # grey source, clean target
+        assert transport.elapsed == pytest.approx(20.0)
+
+    def test_grey_extra_loss_drops_on_the_loss_stream(self):
+        transport, faults = self._transport(loss_rng=AlwaysDrop())
+        transport.register(3, Echo())
+        faults.set_grey(2, extra_loss=0.5)
+        with pytest.raises(RpcTimeout, match="lost"):
+            transport.endpoint(1).rpc(2, "ping")
+        with pytest.raises(RpcTimeout, match="lost"):
+            transport.endpoint(2).rpc(1, "ping")  # grey source drops too
+        # Legs not touching the grey node see no extra loss at all
+        # (extra_drop is 0, baseline loss is 0: the die is never rolled).
+        assert transport.endpoint(1).rpc(3, "ping") == "pong"
+
+    def test_burst_loss_hits_every_delivery(self):
+        transport, faults = self._transport(loss_rng=AlwaysDrop())
+        faults.set_burst_loss(0.5)
+        with pytest.raises(RpcTimeout, match="lost"):
+            transport.rpc(1, "ping")
+        faults.set_burst_loss(0.0)
+        assert transport.rpc(1, "ping") == "pong"
+
+    def test_burst_survives_when_die_is_high(self):
+        transport, faults = self._transport(loss_rng=NeverDrop())
+        faults.set_burst_loss(0.5)
+        assert transport.rpc(1, "ping") == "pong"
+
+    def test_drop_die_rolls_on_dedicated_stream_only(self):
+        # Two transports with identical loss streams but different
+        # latency RNGs must drop exactly the same calls: the drop die
+        # never touches the latency stream and vice versa.
+        def drop_pattern(latency_seed):
+            transport = RpcTransport(
+                latency=UniformLatency(0.5, 1.5),
+                rng=random.Random(latency_seed),
+                loss_rate=0.4,
+                loss_rng=random.Random(777),
+            )
+            transport.register(1, Echo())
+            pattern = []
+            for _ in range(40):
+                try:
+                    transport.rpc(1, "ping")
+                    pattern.append(True)
+                except RpcTimeout:
+                    pattern.append(False)
+            return pattern
+
+        assert drop_pattern(1) == drop_pattern(2)
+
+    def test_loss_free_transport_never_rolls_the_die(self):
+        # With no loss source in play the loss stream must stay unread,
+        # so enabling faults later cannot have shifted earlier draws.
+        loss_rng = random.Random(5)
+        before = loss_rng.getstate()
+        transport, faults = self._transport(loss_rng=loss_rng)
+        transport.endpoint(1).rpc(2, "ping")
+        faults.partition([[1], [2]])  # a partition is not a loss source
+        with pytest.raises(RpcTimeout):
+            transport.endpoint(1).rpc(2, "ping")
+        assert loss_rng.getstate() == before
+
+    def test_endpoint_mirrors_transport_surface(self):
+        transport, _ = self._transport(timeout=3.0)
+        endpoint = transport.endpoint(1)
+        assert endpoint.node_id == 1
+        assert endpoint.timeout == 3.0
+        assert endpoint.metrics is transport.metrics
+        assert endpoint.is_registered(2)
+        endpoint.charge_delay(2.5)
+        assert transport.elapsed == 2.5
+
+
+class TestLatencyDeterminismFlags:
+    def test_flags_declare_rng_consumption(self):
+        assert ConstantLatency().deterministic is True
+        assert UniformLatency(0.5, 1.5).deterministic is False
+        assert ExponentialLatency(1.0).deterministic is False
+
+    def test_constant_sample_ignores_rng(self):
+        rng = random.Random(3)
+        before = rng.getstate()
+        ConstantLatency(2.0).sample(rng)
+        assert rng.getstate() == before
+
+    @pytest.mark.parametrize(
+        "model", [UniformLatency(0.5, 1.5), ExponentialLatency(1.0)]
+    )
+    def test_stochastic_samples_consume_rng(self, model):
+        rng = random.Random(3)
+        before = rng.getstate()
+        model.sample(rng)
+        assert rng.getstate() != before

@@ -149,6 +149,34 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenario"])
 
+    def test_scenario_list_names_fault_presets(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "mass-failure" in out
+        assert "partition-heal" in out
+
+    def test_scenario_run_mass_failure(self, capsys, tmp_path):
+        out_path = tmp_path / "faults.json"
+        assert main(["scenario", "run", "--preset", "mass-failure",
+                     "--n", "200", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert out_path.exists()
+
+    def test_scenario_fault_preset_rejects_churn_flags(self, capsys):
+        assert main(["scenario", "run", "--preset", "mass-failure",
+                     "--n", "200", "--rate", "2.0"]) == 2
+
+    def test_faults_list_names_injectors(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mass-kill", "partition", "grey", "loss-burst"):
+            assert name in out
+
+    def test_faults_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
     def test_bench_chord_batch_runs_and_writes(self, capsys, tmp_path):
         out_path = tmp_path / "BENCH_chord_batch.json"
         assert main(["bench", "chord-batch", "--quick",
