@@ -1,0 +1,331 @@
+"""Observability benchmark: the zero-overhead-off guarantee, measured.
+
+Tracing must be free when it is off.  This benchmark proves both halves
+of that claim in-run, against a *bare twin* of the transport hot path --
+the pre-instrumentation bodies of ``RpcTransport._admit`` /
+``rpc_from`` / ``oneway_from`` (no tracer guard, no per-method counter),
+monkeypatched in for the baseline runs so the comparison never goes
+stale against deleted code:
+
+- **bit-identity**: a seeded scenario run with tracing disabled produces
+  a record deep-equal to the bare twin's (and to every *traced* run:
+  instrumentation consumes no RNG and charges nothing);
+- **runtime**: tracing-off stays within the bound of the bare twin
+  (<=2% in full mode; the quick CI configuration uses a looser bound
+  because sub-second runs are scheduler noise).  The enforced ratio is
+  measured on single-threaded process CPU time -- the workload is pure
+  CPU, so on an idle machine CPU time *is* wall time, but CPU time
+  stays measurable on shared/noisy runners where wall-clock is a
+  lottery.  Wall-clock ratios are recorded alongside.  Timed regions
+  run interleaved best-of-N with GC fenced (collect before, disabled
+  during) and nothing bulky retained between reps.
+
+It then measures what each head-sampling policy actually costs
+(``all``, ``1-in-8``, ``slowest:64`` vs off) and gates the critical-path
+analyzer: on every traced backend the per-request decomposition must
+reconstruct >= 99% of each request's measured latency.
+
+Results go to ``BENCH_obs.json`` at the repo root (schema in
+docs/BENCHMARKS.md).  Run standalone
+(``PYTHONPATH=src python benchmarks/bench_obs.py``, add ``--quick``
+for the CI smoke configuration) or under pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import math
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.bench.harness import Table, write_bench_json
+from repro.obs import Tracer, analyze
+from repro.scenarios import critical_path_table, hop_table, preset, run_scenario
+from repro.sim.network import RpcTimeout, RpcTransport
+
+SEED = 0
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+BACKENDS = ("chord", "kademlia")
+SAMPLING_MODES = ("all", "1-in-8", "slowest:64")
+MODES = ("bare", "off", *SAMPLING_MODES)
+
+#: Tracing-off CPU-time bound vs the bare twin (full / quick mode).
+OFF_BOUND_FULL = 1.02
+OFF_BOUND_QUICK = 1.25
+
+#: Per-request latency coverage the critical-path analyzer must reach.
+RECONSTRUCTION_FLOOR = 0.99
+
+
+# -- the bare twin ------------------------------------------------------
+#
+# Verbatim pre-instrumentation bodies of the three transport methods the
+# tracer touched.  ``self.elapsed += x`` and the instrumented
+# ``start = self.elapsed; self.elapsed = start + x`` are the same float
+# operation, so the twin is bit-identical by construction; what it lacks
+# is the per-delivery tracer guard and per-method counter update -- the
+# entire disabled-mode overhead.
+
+
+def _bare_admit(self, source_id, target_id, method, kind):
+    target = self._nodes.get(target_id)
+    faults = self.faults
+    if target is not None and not faults.blocked(source_id, target_id):
+        p = self._loss_rate
+        if faults.active:
+            extra = faults.extra_drop(source_id, target_id)
+            if extra > 0.0:
+                p = 1.0 - (1.0 - p) * (1.0 - extra)
+        if not (p > 0.0 and self._loss_rng.random() < p):
+            factor = (
+                faults.latency_factor(source_id, target_id) if faults.active else 1.0
+            )
+            return target, factor
+        reason = "lost"
+    elif target is None:
+        reason = "dead or unknown"
+    else:
+        reason = "partitioned"
+    self.metrics.counter("rpc.timeouts").increment()
+    self.metrics.counter("messages").increment()
+    self.elapsed += self._timeout
+    raise RpcTimeout(f"{kind} {method} to node {target_id}: target {reason}")
+
+
+def _bare_rpc_from(self, source_id, target_id, method, *args, **kwargs):
+    self.metrics.counter("rpc.calls").increment()
+    target, factor = self._admit(source_id, target_id, method, "rpc")
+    self.metrics.counter("messages").increment(2)
+    self.elapsed += factor * (
+        self._latency.sample(self._rng) + self._latency.sample(self._rng)
+    )
+    result = getattr(target, method)(*args, **kwargs)
+    if self.faults.blocked(target_id, source_id):
+        self.metrics.counter("rpc.timeouts").increment()
+        self.elapsed += self._timeout
+        raise RpcTimeout(f"rpc {method} to node {target_id}: reply partitioned")
+    return result
+
+
+def _bare_oneway_from(self, source_id, target_id, method, *args, **kwargs):
+    self.metrics.counter("rpc.calls").increment()
+    target, factor = self._admit(source_id, target_id, method, "oneway")
+    self.metrics.counter("messages").increment(1)
+    self.elapsed += factor * self._latency.sample(self._rng)
+    return getattr(target, method)(*args, **kwargs)
+
+
+@contextmanager
+def bare_transport():
+    """Swap the transport hot path for its pre-instrumentation twin."""
+    saved = (RpcTransport._admit, RpcTransport.rpc_from, RpcTransport.oneway_from)
+    RpcTransport._admit = _bare_admit
+    RpcTransport.rpc_from = _bare_rpc_from
+    RpcTransport.oneway_from = _bare_oneway_from
+    try:
+        yield
+    finally:
+        RpcTransport._admit, RpcTransport.rpc_from, RpcTransport.oneway_from = saved
+
+
+# -- running one configuration ------------------------------------------
+
+
+def bench_spec(backend: str, quick: bool):
+    scale = dict(n=24, requests=60) if quick else dict(n=48, requests=240)
+    return preset("smoke", backend=backend, seed=SEED, **scale)
+
+
+def run_mode(spec, mode: str):
+    """One scenario run in the given mode; returns (result, tracer|None)."""
+    if mode == "bare":
+        with bare_transport():
+            return run_scenario(spec), None
+    if mode == "off":
+        return run_scenario(spec), None
+    tracer = Tracer(mode)
+    return run_scenario(spec, tracer=tracer), tracer
+
+
+def fingerprint(result) -> dict:
+    """The run's full record minus wall-clock (the only honest diff)."""
+    record = result.to_record()
+    record.pop("wall_seconds", None)
+    return record
+
+
+def measure_backend(backend: str, quick: bool, repeats: int) -> dict:
+    """Interleaved best-of-``repeats`` timing plus identity/coverage gates."""
+    spec = bench_spec(backend, quick)
+    best_cpu = {mode: math.inf for mode in MODES}
+    best_wall = {mode: math.inf for mode in MODES}
+    prints: dict = {}
+    for rep in range(repeats):
+        for mode in MODES:
+            # GC fencing: collect outside the timed region, hold
+            # collections off inside it, and keep fingerprints (small
+            # dicts) as the only thing retained between reps, so no
+            # mode's timing pays for another mode's garbage.
+            gc.collect()
+            gc.disable()
+            try:
+                wall0 = time.perf_counter()
+                cpu0 = time.process_time()
+                result, _tracer = run_mode(spec, mode)
+                cpu = time.process_time() - cpu0
+                wall = time.perf_counter() - wall0
+            finally:
+                gc.enable()
+            best_cpu[mode] = min(best_cpu[mode], cpu)
+            best_wall[mode] = min(best_wall[mode], wall)
+            if rep == 0:
+                prints[mode] = fingerprint(result)
+
+    identical = all(prints[mode] == prints["bare"] for mode in MODES)
+    # The critical-path analysis run is untimed: its tracer holds one
+    # span per hop and would distort any timing loop it lived inside.
+    _result, tracer_all = run_mode(spec, "all")
+    report = analyze(tracer_all)
+    summary = tracer_all.summary()
+    return {
+        "backend": backend,
+        "spec": {"n": spec.n, "requests": spec.requests, "seed": spec.seed},
+        "seconds": dict(best_wall),
+        "cpu_seconds": dict(best_cpu),
+        "overhead_off": best_cpu["off"] / best_cpu["bare"],
+        "overhead_off_wall": best_wall["off"] / best_wall["bare"],
+        "overhead_vs_off": {
+            mode: best_cpu[mode] / best_cpu["off"] for mode in SAMPLING_MODES
+        },
+        "identical": identical,
+        "critical_path": {
+            "min_reconstructed": report.min_reconstructed,
+            "requests_traced": summary["requests_traced"],
+            "spans": summary["spans"],
+            "segment_fractions": report.segment_fractions,
+        },
+        "hop_profiles": {
+            name: profile.to_record()
+            for name, profile in sorted(report.hop_profiles.items())
+        },
+        "_report": report,  # stripped before emit (tables only)
+    }
+
+
+# -- reporting ----------------------------------------------------------
+
+
+def results_table(runs, off_bound: float) -> Table:
+    table = Table(
+        title="tracing overhead: bare twin vs off vs sampling policies",
+        headers=["backend", "bare s", "off s", "off/bare", "off/bare wall",
+                 "all/off", "1-in-8/off", "slowest/off", "identical",
+                 "min reconstr"],
+    )
+    for run in runs:
+        table.add_row(
+            run["backend"],
+            run["cpu_seconds"]["bare"],
+            run["cpu_seconds"]["off"],
+            run["overhead_off"],
+            run["overhead_off_wall"],
+            run["overhead_vs_off"]["all"],
+            run["overhead_vs_off"]["1-in-8"],
+            run["overhead_vs_off"]["slowest:64"],
+            run["identical"],
+            run["critical_path"]["min_reconstructed"],
+        )
+    table.note(f"off/bare must stay <= {off_bound:g} (the zero-overhead-off bound; "
+               "process CPU time, best-of-N interleaved)")
+    table.note("identical: every mode's run record deep-equal to the bare twin's")
+    table.note(f"min reconstr: worst per-request critical-path coverage "
+               f"(floor {RECONSTRUCTION_FLOOR:g})")
+    return table
+
+
+def check_results(runs, off_bound: float) -> list[str]:
+    problems = []
+    for run in runs:
+        backend = run["backend"]
+        if not run["identical"]:
+            problems.append(f"{backend}: traced/untraced records diverged from the bare twin")
+        if run["overhead_off"] > off_bound:
+            problems.append(
+                f"{backend}: tracing-off overhead {run['overhead_off']:.4f} "
+                f"exceeds the {off_bound:g} bound"
+            )
+        floor = run["critical_path"]["min_reconstructed"]
+        if floor < RECONSTRUCTION_FLOOR:
+            problems.append(
+                f"{backend}: critical path reconstructs only {floor:.4f} "
+                f"of the worst request (floor {RECONSTRUCTION_FLOOR:g})"
+            )
+    return problems
+
+
+def emit(runs, off_bound: float, out: Path, quick: bool) -> Path:
+    record = {
+        "seed": SEED,
+        "quick": quick,
+        "off_bound": off_bound,
+        "reconstruction_floor": RECONSTRUCTION_FLOOR,
+        "backends": {
+            run["backend"]: {k: v for k, v in run.items() if not k.startswith("_")}
+            for run in runs
+        },
+        "generated_unix": time.time(),
+    }
+    return write_bench_json(out, record)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="interleaved timing repeats per mode")
+    args = parser.parse_args(argv)
+
+    off_bound = OFF_BOUND_QUICK if args.quick else OFF_BOUND_FULL
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 7)
+
+    runs = [measure_backend(backend, args.quick, repeats) for backend in BACKENDS]
+    results_table(runs, off_bound).show()
+    for run in runs:
+        critical_path_table(
+            run["_report"], title=f"critical path ({run['backend']})"
+        ).show()
+        hop_table(run["_report"], title=f"lookup hops ({run['backend']})").show()
+
+    path = emit(runs, off_bound, args.out, quick=args.quick)
+    print(f"wrote {path}")
+
+    problems = check_results(runs, off_bound)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def test_obs_bench_quick(show, tmp_path):
+    """CI-scale gate: bit-identity across every mode, bounded off-mode
+    overhead, and full critical-path coverage on both backends."""
+    runs = [measure_backend(backend, quick=True, repeats=2) for backend in BACKENDS]
+    show(results_table(runs, OFF_BOUND_QUICK))
+    emit(runs, OFF_BOUND_QUICK, tmp_path / "BENCH_obs.json", quick=True)
+    for run in runs:
+        assert run["identical"], run["backend"]
+        assert run["critical_path"]["min_reconstructed"] >= RECONSTRUCTION_FLOOR
+        # hop traces exist and attribute every lookup to a backend
+        assert run["hop_profiles"], run["backend"]
+        # Timing is asserted loosely here (shared CI runners): the
+        # committed full-mode artifact enforces the real 2% bound via
+        # check_regression --strict in the nightly.
+        assert run["overhead_off"] < 2.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,7 @@ QUICK_COMMANDS = {
     "BENCH_churn.json": ["benchmarks/bench_churn.py", "--quick"],
     "BENCH_backends.json": ["benchmarks/bench_backends.py", "--quick"],
     "BENCH_faults.json": ["benchmarks/bench_faults.py", "--quick"],
+    "BENCH_obs.json": ["benchmarks/bench_obs.py", "--quick"],
 }
 
 #: Metric direction markers.
@@ -129,6 +130,31 @@ def _metrics_faults(record: dict) -> dict:
     return out
 
 
+def _metrics_obs(record: dict) -> dict:
+    # Keyed by backend and sampling mode only (shared across quick and
+    # full).  The invariant flags are the teeth: bit-identity of the
+    # traced/untraced/bare records, the tracing-off wall-clock bound
+    # (asserted in-run against the record's own off_bound, so quick's
+    # looser bound never masks a full-mode violation), and critical-path
+    # coverage.  The raw ratios ride along as loosely-guarded perf
+    # metrics.
+    out = {}
+    floor = record.get("reconstruction_floor", 0.99)
+    bound = record.get("off_bound")
+    for backend, run in sorted(record.get("backends", {}).items()):
+        out[f"{backend}/identical"] = (bool(run.get("identical")), EXACT)
+        overhead_off = run.get("overhead_off")
+        if overhead_off is not None and bound is not None:
+            out[f"{backend}/off_within_bound"] = (overhead_off <= bound, EXACT)
+            out[f"{backend}/overhead_off"] = (overhead_off, LOWER)
+        reconstructed = (run.get("critical_path") or {}).get("min_reconstructed")
+        if reconstructed is not None:
+            out[f"{backend}/critical_path_ok"] = (reconstructed >= floor, EXACT)
+        for mode, ratio in sorted((run.get("overhead_vs_off") or {}).items()):
+            out[f"{backend}/{mode}/overhead_vs_off"] = (ratio, LOWER)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_throughput.json": _metrics_throughput,
     "BENCH_chord_batch.json": _metrics_chord_batch,
@@ -136,6 +162,7 @@ EXTRACTORS = {
     "BENCH_churn.json": _metrics_churn,
     "BENCH_backends.json": _metrics_backends,
     "BENCH_faults.json": _metrics_faults,
+    "BENCH_obs.json": _metrics_obs,
 }
 
 

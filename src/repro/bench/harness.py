@@ -9,17 +9,25 @@ from __future__ import annotations
 
 import json
 import math
+import sys
 import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+try:  # POSIX-only; benches degrade to rss=None elsewhere
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
 __all__ = [
     "Table",
     "fmt",
     "geometric_mean",
+    "peak_rss_kb",
     "sweep",
     "time_call",
+    "time_call_rss",
     "write_bench_json",
 ]
 
@@ -122,14 +130,45 @@ def time_call(fn: Callable[[], object], repeat: int = 3) -> float:
     return best
 
 
+def peak_rss_kb() -> int | None:
+    """The process's peak resident set size so far, in KiB.
+
+    ``getrusage(RUSAGE_SELF).ru_maxrss`` is KiB on Linux and bytes on
+    macOS; normalized here to KiB.  None where :mod:`resource` is
+    unavailable (non-POSIX), so benches degrade instead of failing.
+    """
+    if _resource is None:
+        return None
+    maxrss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return maxrss // 1024
+    return maxrss
+
+
+def time_call_rss(fn: Callable[[], object], repeat: int = 3) -> tuple[float, int | None]:
+    """:func:`time_call` plus the peak RSS observed after the runs (KiB).
+
+    Peak RSS is a process-lifetime high-water mark, so this reports the
+    memory the benchmark *reached*, not an isolated per-call delta --
+    the honest quantity for detecting a structure that suddenly holds
+    the whole workload resident.
+    """
+    best = time_call(fn, repeat=repeat)
+    return best, peak_rss_kb()
+
+
 def write_bench_json(path, record: dict) -> Path:
     """Persist a benchmark record as pretty-printed JSON.
 
     Creates parent directories as needed and returns the resolved path,
     so ``BENCH_*.json`` artifacts accumulate a perf trajectory across
-    PRs.
+    PRs.  Every record is stamped with the process's peak RSS
+    (``peak_rss_kb``, None off-POSIX) unless the benchmark already
+    recorded its own.
     """
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
+    record = dict(record)
+    record.setdefault("peak_rss_kb", peak_rss_kb())
     out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return out

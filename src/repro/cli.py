@@ -15,6 +15,8 @@ Subcommands::
     python -m repro scenario run --preset mass-failure --n 300   # outage lab
     python -m repro scenario run --preset partition-heal --backend kademlia
     python -m repro scenario list                   # churn + fault regimes
+    python -m repro trace --preset smoke            # traced run + exports
+    python -m repro trace --backend kademlia --sample slowest:32
     python -m repro faults list                     # injectors and presets
     python -m repro bench chord-batch --quick       # lockstep lookup bench
     python -m repro bench backends --quick          # Chord-vs-Kademlia costs
@@ -42,16 +44,20 @@ from .dht.chord.network import ChordNetwork
 from .dht.ideal import IdealDHT
 from .dht.kademlia.network import KademliaNetwork
 from .faults import INJECTORS
+from .obs import Tracer, analyze, parse_policy, prometheus_text, write_chrome_trace, write_jsonl
 from .scenarios import (
     BACKENDS,
     FAULT_PRESETS,
     PRESETS,
+    critical_path_table,
     fault_preset,
+    hop_table,
     preset,
     results_record,
     results_table,
     run_fault_scenario,
     run_scenario,
+    slowest_table,
 )
 from .service import DISPATCH_MODES, POLICIES, SUBSTRATES, build_load, build_service
 
@@ -163,6 +169,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override maintenance cadence (0 disables)")
     p_run.add_argument("--out", type=Path, default=None,
                        help="also write the JSON record to this path")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a churn scenario with end-to-end tracing and export the spans",
+    )
+    p_trace.add_argument("--preset", choices=sorted(PRESETS), default="smoke",
+                         help="the churn regime to trace")
+    p_trace.add_argument("--backend", choices=BACKENDS, default=None,
+                         help="override the shard overlay (chord or kademlia)")
+    p_trace.add_argument("--n", type=int, default=None, help="override the overlay size")
+    p_trace.add_argument("--requests", type=int, default=None,
+                         help="override offered requests")
+    p_trace.add_argument("--rate", type=float, default=None, help="override arrival rate")
+    p_trace.add_argument("--sample", default="all",
+                         help="head-sampling policy: all, 1-in-<k> or slowest:<n>")
+    p_trace.add_argument("--out-dir", type=Path, default=Path("traces"),
+                         help="directory for trace.jsonl / trace.chrome.json / metrics.prom")
+    p_trace.add_argument("--slowest", type=int, default=10,
+                         help="slowest-request rows to print")
 
     p_flt = sub.add_parser(
         "faults",
@@ -466,6 +491,52 @@ def _cmd_scenario(args) -> int:
     return 0 if (result.ring_recovered and not result.truncated) else 1
 
 
+def _cmd_trace(args) -> int:
+    """Traced scenario run: spans to disk, critical path to the console."""
+    try:
+        policy = parse_policy(args.sample)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    overrides = {
+        key: value
+        for key, value in (
+            ("backend", args.backend),
+            ("n", args.n),
+            ("requests", args.requests),
+            ("rate", args.rate),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    try:
+        spec = preset(args.preset, **overrides)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tracer = Tracer(policy)
+    result = run_scenario(spec, tracer=tracer)
+    results_table([result], title=f"traced scenario {spec.name}").show()
+    report = analyze(tracer)
+    critical_path_table(report).show()
+    if report.hop_profiles:
+        hop_table(report).show()
+    if args.slowest > 0:
+        slowest_table(report, args.slowest).show()
+    s = tracer.summary()
+    print(f"tracing: policy {s['policy']}  requests traced "
+          f"{s['requests_traced']}/{s['requests_seen']}  "
+          f"batches {s['batches']}  spans {s['spans']}")
+    jsonl = write_jsonl(tracer, args.out_dir / "trace.jsonl")
+    chrome = write_chrome_trace(tracer, args.out_dir / "trace.chrome.json")
+    prom = args.out_dir / "metrics.prom"
+    prom.write_text(prometheus_text(tracer.registries))
+    print(f"wrote {jsonl}, {chrome}, {prom}")
+    if result.truncated:
+        print("warning: max_sim_time tripped before the load drained", file=sys.stderr)
+    return 0 if (result.ring_recovered and not result.truncated) else 1
+
+
 def _cmd_faults(args) -> int:
     if args.faults_command == "list":
         print("injectors (compose them in a FaultPlan; see repro.faults):")
@@ -518,6 +589,7 @@ _COMMANDS = {
     "chord": _cmd_chord,
     "serve": _cmd_serve,
     "scenario": _cmd_scenario,
+    "trace": _cmd_trace,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
 }

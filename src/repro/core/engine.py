@@ -117,9 +117,15 @@ class BatchSampler:
         c1: float = DEFAULT_C1,
         rng: random.Random | None = None,
         max_trials: int = 10_000,
+        tracer=None,
     ):
         self._dht = dht
         self._rng = rng if rng is not None else random.Random()
+        #: Optional span sink (:class:`repro.obs.tracer.Tracer`); the
+        #: engine reports per-round trial/success/cost attribution while
+        #: the tracer has an active batch context, and touches nothing
+        #: (no snapshots, no allocation) when it does not.
+        self._tracer = tracer
         self._gamma1 = gamma1
         self._lambda_slack = lambda_slack
         self._c1 = c1
@@ -316,6 +322,12 @@ class BatchSampler:
         rounds = 0
         p_est = min(max(self.params.n_hat * self.params.lam, 1e-4), 1.0)
         rand = self._rng.random
+        # Round spans are recorded only while a sampled batch is being
+        # dispatched; the check is hoisted because the whole call runs
+        # inside one dispatch (one batch context), so activity cannot
+        # change mid-loop.
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.active
         while len(out) < k:
             if used >= budget:
                 raise SamplingError(
@@ -331,7 +343,15 @@ class BatchSampler:
             points = [1.0 - rand() for _ in range(round_size)]
             used += round_size
             rounds += 1
+            round_before = self._dht.cost.snapshot() if tracing else None
             successes = self._round_successes(points)
+            if tracing:
+                tracer.on_round(
+                    rounds - 1,
+                    round_size,
+                    len(successes),
+                    self._dht.cost.snapshot() - round_before,
+                )
             p_est = min(max((len(successes) + 1) / (round_size + 2), 1e-4), 1.0)
             out.extend(successes[:need])
         return BatchSampleResult(

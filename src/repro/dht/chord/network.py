@@ -498,6 +498,11 @@ class ChordDHT(EntryVantageMixin):
     def _ref(self, node_id: int) -> PeerRef:
         return PeerRef(peer_id=node_id, point=id_to_point(node_id, self._network.m))
 
+    @property
+    def transport(self):
+        """The underlying transport (tracer installation, introspection)."""
+        return self._network.transport
+
     # entry_id / entry_is_alive / refresh_entry / _entry_node come from
     # EntryVantageMixin -- the failover discipline shared with KademliaDHT.
 
@@ -529,10 +534,17 @@ class ChordDHT(EntryVantageMixin):
                     if delay > 0:
                         transport.charge_delay(delay)
                 self._network.stabilize_round()
-        self.cost.charge_h(
-            transport.messages_sent - before_msgs,
-            transport.elapsed - before_time,
-        )
+        msgs = transport.messages_sent - before_msgs
+        latency = transport.elapsed - before_time
+        self.cost.charge_h(msgs, latency)
+        if transport.tracer.active:
+            transport.tracer.on_lookup(
+                "chord",
+                result.hops if result is not None else 0,
+                msgs,
+                latency,
+                result is not None,
+            )
         if result is None:
             raise LookupError_(
                 f"h({x!r}) failed after {policy.attempts} attempts: {last_error}"
@@ -681,11 +693,23 @@ class ChordDHT(EntryVantageMixin):
             metrics.counter("rpc.timeouts").increment(timeouts)
         if messages:
             metrics.counter("messages").increment(messages)
+            # Lockstep traffic is all lookup routing; attribute it to
+            # the mode's routing method so the per-method split keeps
+            # summing to the aggregate counter under offline replay.
+            transport.count_method_messages(
+                "lookup_step" if self._lookup_mode == "iterative"
+                else "forward_lookup",
+                messages,
+            )
         transport.elapsed += latency
         self.cost.charge_bulk(
             h_calls=len(traces), messages=messages, latency=latency
         )
         self.batch_stats.lockstep += len(traces)
+        if transport.tracer.active:
+            on_lookup = transport.tracer.on_lookup
+            for trace in traces:
+                on_lookup("chord", trace.hops, trace.messages, trace.latency, True)
 
     def successor_of_index(self, i: int) -> PeerRef:
         """The live peer at clockwise ring position ``i % n`` (uncharged).

@@ -479,6 +479,11 @@ class KademliaDHT(EntryVantageMixin):
     def _ref(self, node_id: int) -> PeerRef:
         return PeerRef(peer_id=node_id, point=id_to_point(node_id, self._network.m))
 
+    @property
+    def transport(self):
+        """The underlying transport (tracer installation, introspection)."""
+        return self._network.transport
+
     # entry_id / entry_is_alive / refresh_entry / _entry_node come from
     # EntryVantageMixin -- the failover discipline shared with ChordDHT.
 
@@ -525,15 +530,27 @@ class KademliaDHT(EntryVantageMixin):
         """``h(x)`` via XOR successor resolution (cost: measured)."""
         target = point_to_target_id(x, self._network.m)
         transport = self._network.transport
+        tracing = transport.tracer.active
         before_msgs = transport.messages_sent
         before_time = transport.elapsed
+        before_calls = (
+            transport.metrics.counter("rpc.calls").value if tracing else 0
+        )
+        owner = None
         try:
             owner = self._resolve(target)
         finally:
-            self.cost.charge_h(
-                transport.messages_sent - before_msgs,
-                transport.elapsed - before_time,
-            )
+            msgs = transport.messages_sent - before_msgs
+            latency = transport.elapsed - before_time
+            self.cost.charge_h(msgs, latency)
+            if tracing:
+                transport.tracer.on_lookup(
+                    "kademlia",
+                    transport.metrics.counter("rpc.calls").value - before_calls,
+                    msgs,
+                    latency,
+                    owner is not None,
+                )
         return self._ref(owner)
 
     def next(self, peer: PeerRef) -> PeerRef:

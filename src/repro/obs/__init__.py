@@ -1,0 +1,61 @@
+"""Observability: sim-clock tracing, exporters, critical-path analysis.
+
+The paper's cost story is aggregate (messages and latency per sample);
+this package makes it *per request and per hop*.  A
+:class:`~repro.obs.tracer.Tracer` threads through the serving stack --
+admission, micro-batch queueing, retry backoff, the batch engine's
+rejection rounds, and every transport delivery -- recording
+:class:`~repro.obs.spans.Span` trees on the simulation and latency
+clocks.  Exporters (:mod:`repro.obs.export`) write JSONL, Chrome
+trace-event JSON and Prometheus text; the critical-path analyzer
+(:mod:`repro.obs.critical_path`) decomposes request latency into
+queue/backoff/overhead/routing segments and per-backend hop profiles.
+
+The default everywhere is :data:`~repro.obs.tracer.NULL_TRACER`: a
+no-op whose disabled cost is one attribute read per instrumentation
+site, with seeded runs bit-identical traced-off vs pre-instrumentation
+(``benchmarks/bench_obs.py`` proves both).  See docs/OBSERVABILITY.md.
+"""
+
+from .critical_path import CriticalPathReport, HopProfile, RequestBreakdown, analyze
+from .export import (
+    chrome_trace,
+    prometheus_text,
+    span_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .spans import CLOCK_LATENCY, CLOCK_SIM, Span
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SampleAll,
+    SampleOneInK,
+    SamplingPolicy,
+    SlowestReservoir,
+    Tracer,
+    parse_policy,
+)
+
+__all__ = [
+    "Span",
+    "CLOCK_SIM",
+    "CLOCK_LATENCY",
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+    "SamplingPolicy",
+    "SampleAll",
+    "SampleOneInK",
+    "SlowestReservoir",
+    "parse_policy",
+    "span_records",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "analyze",
+    "CriticalPathReport",
+    "RequestBreakdown",
+    "HopProfile",
+]

@@ -1,0 +1,265 @@
+"""Critical-path analysis: where did each traced request's latency go?
+
+For every finished request trace, the analyzer decomposes the measured
+total latency (the root span's duration: arrival to terminal response)
+into additive segments:
+
+- **queue** -- time waiting for dispatch, *minus* retry cooldowns;
+- **backoff** -- retry cooldowns sat through while queued
+  (:class:`~repro.faults.retry.RetryPolicy` waits, surfaced by the
+  shard worker);
+- **overhead** -- the batch's fixed dispatch overhead share
+  (``dispatches * dispatch_overhead`` of the
+  :class:`~repro.service.dispatch.ServiceTimeModel`);
+- **routing** -- the batch's substrate-latency share
+  (``cost.latency * time_per_latency``), i.e. the DHT hops.
+
+Because the service-time model is exactly ``overhead + routing`` and
+queue/service spans partition the root by construction, the
+reconstruction is exact up to float rounding -- the acceptance bar
+(>=99% of each request's total reconstructed from its span tree) holds
+with margin on both message-level backends, and
+:attr:`RequestBreakdown.reconstructed_fraction` makes it checkable per
+request.
+
+Hop attribution: per-lookup spans (``kind="lookup"``) recorded by the
+substrate adapters carry routing-RPC counts and latency per individual
+``h``/successor resolution, whether executed live on the transport or
+replayed by the Chord lockstep engine.  :func:`analyze` aggregates them
+into per-backend hop-count x latency distributions -- the per-lookup
+view Chord's and Kademlia's own evaluations report, now measured
+per-request instead of assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RequestBreakdown", "HopProfile", "CriticalPathReport", "analyze"]
+
+#: The additive latency segments, in presentation order.
+SEGMENTS = ("queue", "backoff", "overhead", "routing")
+
+
+@dataclass(frozen=True, slots=True)
+class RequestBreakdown:
+    """One request's latency, decomposed (all on the sim clock)."""
+
+    request_id: int
+    status: str
+    shard_id: int | None
+    total: float
+    queue: float
+    backoff: float
+    overhead: float
+    routing: float
+    batch_size: int | None
+
+    @property
+    def covered(self) -> float:
+        return self.queue + self.backoff + self.overhead + self.routing
+
+    @property
+    def reconstructed_fraction(self) -> float:
+        """Covered share of the measured total (1.0 = fully explained)."""
+        if self.total <= 0.0:
+            return 1.0
+        return self.covered / self.total
+
+    def to_record(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "shard_id": self.shard_id,
+            "total": self.total,
+            "queue": self.queue,
+            "backoff": self.backoff,
+            "overhead": self.overhead,
+            "routing": self.routing,
+            "reconstructed_fraction": self.reconstructed_fraction,
+            "batch_size": self.batch_size,
+        }
+
+
+@dataclass
+class HopProfile:
+    """Hop-count x latency distribution of one backend's lookups."""
+
+    backend: str
+    lookups: int = 0
+    total_hops: int = 0
+    total_latency: float = 0.0
+    failed: int = 0
+    #: hops -> [lookup count, summed latency]
+    by_hops: dict = field(default_factory=dict)
+
+    def observe(self, hops: int, latency: float, ok: bool) -> None:
+        self.lookups += 1
+        self.total_hops += hops
+        self.total_latency += latency
+        if not ok:
+            self.failed += 1
+        bucket = self.by_hops.setdefault(hops, [0, 0.0])
+        bucket[0] += 1
+        bucket[1] += latency
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.lookups if self.lookups else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.lookups if self.lookups else 0.0
+
+    def to_record(self) -> dict:
+        return {
+            "backend": self.backend,
+            "lookups": self.lookups,
+            "failed": self.failed,
+            "mean_hops": self.mean_hops,
+            "mean_latency": self.mean_latency,
+            "by_hops": {
+                str(h): {"count": c, "latency": lat, "mean_latency": lat / c}
+                for h, (c, lat) in sorted(self.by_hops.items())
+            },
+        }
+
+
+@dataclass
+class CriticalPathReport:
+    """Per-request breakdowns plus run-level aggregates."""
+
+    requests: list[RequestBreakdown]
+    hop_profiles: dict  # backend -> HopProfile
+
+    @property
+    def segment_totals(self) -> dict:
+        totals = {name: 0.0 for name in SEGMENTS}
+        for r in self.requests:
+            totals["queue"] += r.queue
+            totals["backoff"] += r.backoff
+            totals["overhead"] += r.overhead
+            totals["routing"] += r.routing
+        return totals
+
+    @property
+    def segment_fractions(self) -> dict:
+        totals = self.segment_totals
+        grand = sum(totals.values())
+        if grand <= 0.0:
+            return {name: 0.0 for name in SEGMENTS}
+        return {name: value / grand for name, value in totals.items()}
+
+    @property
+    def min_reconstructed(self) -> float:
+        """The worst per-request coverage (the acceptance headline)."""
+        if not self.requests:
+            return 1.0
+        return min(r.reconstructed_fraction for r in self.requests)
+
+    @property
+    def mean_total(self) -> float:
+        served = [r for r in self.requests if r.total > 0.0]
+        if not served:
+            return 0.0
+        return sum(r.total for r in served) / len(served)
+
+    def slowest(self, count: int = 10) -> list[RequestBreakdown]:
+        return sorted(self.requests, key=lambda r: -r.total)[:count]
+
+    def to_record(self) -> dict:
+        return {
+            "requests": len(self.requests),
+            "mean_total": self.mean_total,
+            "min_reconstructed": self.min_reconstructed,
+            "segment_totals": self.segment_totals,
+            "segment_fractions": self.segment_fractions,
+            "hop_profiles": {
+                backend: profile.to_record()
+                for backend, profile in sorted(self.hop_profiles.items())
+            },
+            "slowest": [r.to_record() for r in self.slowest(5)],
+        }
+
+
+def _spans_by_kind(trace) -> dict:
+    out: dict = {}
+    for span in trace.spans:
+        out.setdefault(span.kind, []).append(span)
+    return out
+
+
+def analyze(tracer) -> CriticalPathReport:
+    """Decompose every finished request trace the tracer retained."""
+    hop_profiles: dict = {}
+    # Hop profiles come from batch traces (the engine dispatches where
+    # lookups actually run); collect once, independent of retention of
+    # the member request traces.
+    for trace in tracer.batches.values():
+        for span in trace.spans:
+            if span.kind != "lookup":
+                continue
+            backend = span.attrs.get("backend", "?")
+            profile = hop_profiles.get(backend)
+            if profile is None:
+                profile = hop_profiles[backend] = HopProfile(backend)
+            profile.observe(
+                int(span.attrs.get("hops") or 0),
+                float(span.attrs.get("latency") or 0.0),
+                bool(span.attrs.get("ok", True)),
+            )
+
+    requests = []
+    for trace in tracer.finished:
+        root = trace.root
+        by_kind = _spans_by_kind(trace)
+        status = root.attrs.get("status", "?")
+        total = root.duration
+        queue_span = sum(s.duration for s in by_kind.get("queue", ()))
+        backoff = sum(s.duration for s in by_kind.get("backoff", ()))
+        # Cooldowns elapse while the request is queued: they are part of
+        # the queue span's wall time, broken out as their own segment.
+        queue = max(0.0, queue_span - backoff)
+        overhead = routing = 0.0
+        batch_size = None
+        shard_id = root.attrs.get("shard_id")
+        for span in by_kind.get("service", ()):
+            batch_size = span.attrs.get("batch_size")
+            batch = tracer.batch_trace(span.attrs.get("batch"))
+            if batch is None:
+                # Batch trace missing (should not happen for served
+                # requests); attribute the whole service span to routing
+                # so coverage stays honest rather than silently zero.
+                routing += span.duration
+                continue
+            service_time = span.duration
+            batch_overhead = sum(
+                s.duration for s in batch.spans if s.kind == "overhead"
+            )
+            batch_routing = sum(
+                s.duration for s in batch.spans if s.kind == "routing"
+            )
+            decomposed = batch_overhead + batch_routing
+            if decomposed > 0.0:
+                # Scale the batch decomposition onto this request's
+                # service span (they are equal by construction; the
+                # scale guards float drift).
+                scale = service_time / decomposed
+                overhead += batch_overhead * scale
+                routing += batch_routing * scale
+            else:
+                routing += service_time
+        requests.append(
+            RequestBreakdown(
+                request_id=trace.request_id,
+                status=status,
+                shard_id=shard_id,
+                total=total,
+                queue=queue,
+                backoff=backoff,
+                overhead=overhead,
+                routing=routing,
+                batch_size=batch_size,
+            )
+        )
+    return CriticalPathReport(requests=requests, hop_profiles=hop_profiles)

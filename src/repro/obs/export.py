@@ -1,0 +1,163 @@
+"""Exporters: JSONL spans, Chrome trace events, Prometheus text metrics.
+
+Three ways out of the process, all plain text and dependency-free:
+
+- :func:`write_jsonl` -- one JSON object per span (the
+  :meth:`~repro.obs.spans.Span.to_record` schema), the grep-able
+  archival format;
+- :func:`write_chrome_trace` / :func:`chrome_trace` -- the Chrome
+  trace-event JSON format, loadable in ``chrome://tracing`` or Perfetto
+  for a visual timeline.  Sim-clock and latency-clock spans land in two
+  separate "processes" so the viewer never overlays incomparable time
+  axes; each trace becomes a thread;
+- :func:`prometheus_text` -- text exposition (``# TYPE`` comments,
+  ``name{label="..."} value`` samples) of any collection of
+  :class:`~repro.sim.metrics.MetricsRegistry` instances: counters as
+  ``counter``, histograms as ``summary`` with quantile labels.
+
+Spans carry abstract simulation time; the Chrome exporter scales by
+:data:`CHROME_TICK_US` (one sim unit = 1000 "microseconds") purely so
+durations are comfortably readable in the viewer's zoom range.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "span_records",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+]
+
+#: Viewer microseconds per simulation time unit (display scaling only).
+CHROME_TICK_US = 1000.0
+
+#: Chrome trace-event "process ids" for the two span clocks.
+_PID_BY_CLOCK = {"sim": 1, "latency": 2}
+
+
+def span_records(tracer) -> list[dict]:
+    """Every retained span as a flat JSON-ready record, in trace order."""
+    return [span.to_record() for span in tracer.spans()]
+
+
+def write_jsonl(tracer, path) -> Path:
+    """One span per line; returns the written path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as fh:
+        for record in span_records(tracer):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return out
+
+
+def chrome_trace(tracer) -> dict:
+    """The tracer's spans as a Chrome trace-event JSON object."""
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "sim clock"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 2,
+            "tid": 0,
+            "args": {"name": "latency clock"},
+        },
+    ]
+    for span in tracer.spans():
+        args = {k: v for k, v in span.attrs.items() if v is not None}
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * CHROME_TICK_US,
+                "dur": span.duration * CHROME_TICK_US,
+                "pid": _PID_BY_CLOCK.get(span.clock, 1),
+                "tid": span.trace_id,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(chrome_trace(tracer), indent=1) + "\n")
+    return out
+
+
+# -- Prometheus text exposition -----------------------------------------
+
+#: Quantiles exposed per histogram (matches Histogram.summary's tail).
+_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+
+def _sanitize(name: str) -> str:
+    """A valid Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _labels(pairs: dict) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(pairs.items()))
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registries, namespace: str = "repro") -> str:
+    """Text exposition of one registry or a ``{label: registry}`` dict.
+
+    With a dict, each registry's samples carry an ``origin`` label so a
+    service registry and several shard-transport registries coexist in
+    one scrape without name collisions.
+    """
+    if not isinstance(registries, dict):
+        registries = {"": registries}
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit(name: str, kind: str, labels: dict, value) -> None:
+        metric = f"{namespace}_{_sanitize(name)}" if namespace else _sanitize(name)
+        if metric not in typed:
+            lines.append(f"# TYPE {metric} {kind}")
+            typed.add(metric)
+        lines.append(f"{metric}{_labels(labels)} {_fmt_value(value)}")
+
+    for origin, registry in sorted(registries.items()):
+        base = {"origin": origin} if origin else {}
+        for name, value in sorted(registry.counters().items()):
+            emit(name, "counter", base, value)
+        for name, hist in sorted(registry.histograms().items()):
+            summary = hist.summary()
+            for q in _QUANTILES:
+                emit(
+                    name,
+                    "summary",
+                    {**base, "quantile": f"{q:g}"},
+                    hist.quantile(q),
+                )
+            emit(f"{name}_sum", "counter", base, summary["mean"] * summary["count"])
+            emit(f"{name}_count", "counter", base, summary["count"])
+    return "\n".join(lines) + "\n"

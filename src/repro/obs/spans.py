@@ -1,0 +1,67 @@
+"""The span model: timed, attributed segments of one traced request.
+
+A :class:`Span` is a half-open interval ``[start, end)`` on one of two
+clocks, belonging to one *trace* (a request's end-to-end story, or one
+batch dispatch shared by the requests it coalesced):
+
+- the **sim** clock (:attr:`CLOCK_SIM`) is the discrete-event
+  simulator's time -- arrivals, queue waits, batch windows, service
+  completions all live here;
+- the **latency** clock (:attr:`CLOCK_LATENCY`) is the transport's
+  additive latency account (``RpcTransport.elapsed``, the quantity
+  Theorem 7 prices) -- per-hop RPC deliveries and per-lookup routing
+  segments live here, because within one synchronous batch dispatch the
+  sim clock does not advance while routing charges accrue.
+
+The two clocks meet through :class:`~repro.service.dispatch.ServiceTimeModel`:
+a batch's routing charge times ``time_per_latency`` is exactly the
+routing share of its sim-clock service span, which is what lets the
+critical-path analyzer (:mod:`repro.obs.critical_path`) reconstruct a
+request's total latency from its span tree without residuals.
+
+Spans carry no randomness and consume no RNG: recording them must never
+perturb a seeded run (the tracer determinism tests pin this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CLOCK_SIM", "CLOCK_LATENCY", "Span"]
+
+CLOCK_SIM = "sim"
+CLOCK_LATENCY = "latency"
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed segment of a trace (see module docstring for clocks)."""
+
+    span_id: int
+    trace_id: int
+    parent_id: int | None
+    name: str
+    kind: str
+    start: float
+    end: float
+    clock: str = CLOCK_SIM
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_record(self) -> dict:
+        """JSON-ready flat record (the JSONL exporter's row)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "clock": self.clock,
+            "attrs": dict(self.attrs),
+        }

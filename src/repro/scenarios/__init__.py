@@ -37,7 +37,14 @@ from .faults import (
     fault_preset,
     run_fault_scenario,
 )
-from .report import find_baseline, results_record, results_table
+from .report import (
+    critical_path_table,
+    find_baseline,
+    hop_table,
+    results_record,
+    results_table,
+    slowest_table,
+)
 from .runner import ScenarioResult, ShardReport, run_scenario, run_specs
 from .spec import BACKENDS, PRESETS, ScenarioSpec, preset, sweep
 
@@ -50,11 +57,14 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "ShardReport",
+    "critical_path_table",
     "fault_preset",
     "find_baseline",
+    "hop_table",
     "preset",
     "results_record",
     "results_table",
+    "slowest_table",
     "run_fault_scenario",
     "run_scenario",
     "run_specs",

@@ -13,9 +13,17 @@ multiples of the static regime's).
 from __future__ import annotations
 
 from ..bench.harness import Table
+from ..obs.critical_path import SEGMENTS, CriticalPathReport
 from .runner import ScenarioResult
 
-__all__ = ["results_table", "results_record", "find_baseline"]
+__all__ = [
+    "results_table",
+    "results_record",
+    "find_baseline",
+    "critical_path_table",
+    "hop_table",
+    "slowest_table",
+]
 
 
 def find_baseline(results) -> ScenarioResult | None:
@@ -113,3 +121,54 @@ def results_record(
     if quick is not None:
         out["quick"] = quick
     return out
+
+
+# -- trace views (repro trace / bench_obs) -------------------------------
+
+
+def critical_path_table(
+    report: CriticalPathReport, title: str = "critical path: where latency went"
+) -> Table:
+    """Run-level segment decomposition of traced request latency."""
+    table = Table(title, ["segment", "sim-time", "fraction"])
+    totals = report.segment_totals
+    fractions = report.segment_fractions
+    for name in SEGMENTS:
+        table.add_row(name, totals[name], fractions[name])
+    table.add_row("total", sum(totals.values()), 1.0 if any(totals.values()) else 0.0)
+    table.note(
+        f"{len(report.requests)} traced requests; "
+        f"min reconstructed fraction {report.min_reconstructed:.4f}"
+    )
+    table.note("queue excludes retry cooldowns (broken out as backoff)")
+    return table
+
+
+def hop_table(
+    report: CriticalPathReport, title: str = "lookup hops x latency"
+) -> Table:
+    """Per-backend hop-count distribution with mean latency per bucket."""
+    table = Table(title, ["backend", "hops", "lookups", "mean latency"])
+    for backend in sorted(report.hop_profiles):
+        profile = report.hop_profiles[backend]
+        for hops, (count, latency) in sorted(profile.by_hops.items()):
+            table.add_row(backend, hops, count, latency / count)
+        table.add_row(backend, "all", profile.lookups, profile.mean_latency)
+    table.note("hops = routing RPCs per h/successor resolution; latency on the transport clock")
+    return table
+
+
+def slowest_table(
+    report: CriticalPathReport, count: int = 10, title: str = "slowest traced requests"
+) -> Table:
+    """The tail: per-request breakdowns, slowest first."""
+    table = Table(
+        title,
+        ["request", "status", "shard", "total", "queue", "backoff", "overhead", "routing"],
+    )
+    for r in report.slowest(count):
+        table.add_row(
+            r.request_id, r.status, r.shard_id, r.total,
+            r.queue, r.backoff, r.overhead, r.routing,
+        )
+    return table

@@ -189,13 +189,19 @@ def _build_ring(spec: ScenarioSpec, shard_id: int, sim, rngs):
     return ChordNetwork.build(spec.n, m=spec.chord_m, rng=ring_rng, sim=sim)
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+def run_scenario(spec: ScenarioSpec, tracer=None) -> ScenarioResult:
     """Drive one scenario to completion and report on it.
 
     Raises nothing churn-related by construction: membership failures
     are absorbed by the substrate's liveness retries, the engine's
     stale-trial redraws and the shard workers' retry/FAILED path -- a
     leaked exception here is a bug, and the scenario tests assert on it.
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) turns on end-to-end
+    span collection: the service threads it through admission, batching,
+    the engine and each shard's transport, and the runner attaches every
+    metrics registry for exposition.  Leave it None for the untraced
+    (bit-identical, zero-overhead) default.
     """
     rngs = RngRegistry(spec.seed)
     sim = Simulator()
@@ -226,6 +232,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         max_retries=spec.max_retries,
         retry_backoff=spec.retry_backoff,
         retry_policy=retry_policy,
+        tracer=tracer,
     )
 
     maintenance = []
@@ -286,6 +293,15 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     wall = time.perf_counter() - start_wall
 
     summary = service.summary()
+    if tracer is not None and tracer.enabled:
+        # Attach registries *after* the run: the transport materializes
+        # its per-method counters on read, so attaching here hands the
+        # exporter finished numbers.
+        tracer.attach_registry("service", service.metrics.registry)
+        for shard_id, net in enumerate(networks):
+            tracer.attach_registry(
+                f"shard{shard_id}.transport", net.transport.method_message_counters()
+            )
 
     # Recovery phase: with churn halted, bounded stabilization must
     # restore every ring to correctness (the paper's dynamic-network

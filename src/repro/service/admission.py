@@ -32,3 +32,12 @@ class AdmissionController:
     def headroom(self, shard: ShardWorker) -> int:
         """How many more requests ``shard`` can take before rejecting."""
         return max(0, self.max_queue_depth - shard.load)
+
+    def explain(self, shard: ShardWorker) -> dict:
+        """The load signals behind an admit/reject decision, for spans."""
+        return {
+            "queue_depth": shard.queue_depth,
+            "load": shard.load,
+            "max_queue_depth": self.max_queue_depth,
+            "headroom": self.headroom(shard),
+        }

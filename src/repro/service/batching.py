@@ -53,6 +53,7 @@ from collections import deque
 from typing import Callable
 
 from ..faults.retry import RetryPolicy
+from ..obs.tracer import NULL_TRACER
 from ..sim.events import Event
 from ..sim.kernel import Simulator
 from .dispatch import DispatchError, ServiceTimeModel
@@ -80,6 +81,7 @@ class ShardWorker:
         retry_backoff: float = 1.0,
         retry_policy: RetryPolicy | None = None,
         retry_rng: random.Random | None = None,
+        tracer=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -95,6 +97,9 @@ class ShardWorker:
         self._time_model = time_model if time_model is not None else ServiceTimeModel()
         self._metrics = metrics
         self._sink = sink
+        #: Span sink for the batch lifecycle; the shared no-op default
+        #: keeps every tracing site a single ``enabled`` attribute read.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.max_batch = max_batch
         self.max_wait = max_wait
         self.max_retries = max_retries
@@ -194,17 +199,33 @@ class ShardWorker:
         batch = [self._queue.popleft() for _ in range(min(self.max_batch, len(self._queue)))]
         self._in_flight = len(batch)
         dispatched_at = self._sim.now
+        tracer = self._tracer
+        # The batch context must open *before* execute so the engine's
+        # round spans and the transport's per-hop rpc/lookup spans land
+        # in this dispatch's trace.
+        ctx = tracer.begin_batch(batch, self.shard_id, dispatched_at) if tracer.enabled else None
         try:
             execution = self._dispatch.execute(len(batch))
-        except DispatchError:
+        except DispatchError as exc:
+            if ctx is not None:
+                tracer.fail_batch(ctx, dispatched_at, str(exc))
             self._on_dispatch_failure(batch)
             return
         service_time = self._time_model.service_time(execution)
+        if ctx is not None:
+            tracer.end_batch(
+                ctx,
+                dispatched_at,
+                execution,
+                service_time,
+                overhead=execution.dispatches * self._time_model.dispatch_overhead,
+                routing=execution.cost.latency * self._time_model.time_per_latency,
+            )
         self._sim.schedule(
-            service_time, lambda: self._complete(batch, execution.peers, dispatched_at)
+            service_time, lambda: self._complete(batch, execution.peers, dispatched_at, ctx)
         )
 
-    def _complete(self, batch, peers, dispatched_at: float) -> None:
+    def _complete(self, batch, peers, dispatched_at: float, ctx=None) -> None:
         now = self._sim.now
         responses = [
             SampleResponse(
@@ -228,6 +249,8 @@ class ShardWorker:
         if self._sink is not None:
             for response in responses:
                 self._sink(response)
+        if self._tracer.enabled:
+            self._tracer.finish_requests(responses, ctx)
         self._maybe_flush()
 
     # -- the churn failure path -------------------------------------------
@@ -258,6 +281,13 @@ class ShardWorker:
         self._queue.extendleft(reversed(batch))  # head of the line, same order
         self._cooling = True
         cooldown = self.retry_policy.delay(self._consecutive_failures, self._retry_rng)
+        if self._tracer.enabled:
+            self._tracer.record_backoff(
+                [r.request_id for r in batch],
+                self._sim.now,
+                cooldown,
+                self._consecutive_failures,
+            )
         self._sim.schedule(cooldown, self._retry_flush)
 
     def _retry_flush(self) -> None:
@@ -306,3 +336,5 @@ class ShardWorker:
         if self._sink is not None:
             for response in responses:
                 self._sink(response)
+        if self._tracer.enabled:
+            self._tracer.finish_requests(responses)

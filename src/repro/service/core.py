@@ -27,6 +27,7 @@ from ..core.sampler import RandomPeerSampler
 from ..dht.chord.network import ChordNetwork
 from ..dht.ideal import IdealDHT
 from ..dht.kademlia.network import KademliaNetwork
+from ..obs.tracer import NULL_TRACER
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
 from .admission import AdmissionController
@@ -71,6 +72,7 @@ class SamplingService:
         time_model: ServiceTimeModel | None = None,
         reservoir_size: int | None = DEFAULT_RESERVOIR,
         keep_responses: bool = True,
+        tracer=None,
     ):
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"unknown dispatch {dispatch!r}; choose from {DISPATCH_MODES}")
@@ -79,6 +81,10 @@ class SamplingService:
         self.sim = sim if sim is not None else Simulator()
         rngs = rngs if rngs is not None else RngRegistry(seed)
         self.dispatch_mode = dispatch
+        #: End-to-end span sink (:class:`repro.obs.tracer.Tracer`); the
+        #: shared no-op default means an untraced service never pays
+        #: more than one ``enabled`` attribute read per request.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = ServiceMetrics(len(substrates), reservoir_size=reservoir_size)
         #: Every terminal response (completions and rejections) in the
         #: order the service produced them -- the run's audit stream.
@@ -96,12 +102,21 @@ class SamplingService:
         # One named stream feeds every shard's retry jitter, so runs
         # stay replayable; a policy without jitter never draws from it.
         retry_rng = rngs.stream("service.retry") if retry_policy is not None else None
+        engine_tracer = self.tracer if self.tracer.enabled else None
         for shard_id, dht in enumerate(substrates):
             trial_rng = rngs.stream(f"shard{shard_id}.trials")
             if dispatch == "batch":
-                strategy = BatchDispatch(BatchSampler(dht, rng=trial_rng))
+                strategy = BatchDispatch(
+                    BatchSampler(dht, rng=trial_rng, tracer=engine_tracer)
+                )
             else:
                 strategy = ScalarDispatch(RandomPeerSampler(dht, rng=trial_rng))
+            if engine_tracer is not None:
+                # Live substrates expose their message fabric; the ideal
+                # oracle has none, so per-hop spans simply don't occur.
+                transport = getattr(dht, "transport", None)
+                if transport is not None:
+                    transport.install_tracer(engine_tracer)
             self.shards.append(
                 ShardWorker(
                     shard_id,
@@ -116,6 +131,7 @@ class SamplingService:
                     retry_backoff=retry_backoff,
                     retry_policy=retry_policy,
                     retry_rng=retry_rng,
+                    tracer=self.tracer,
                 )
             )
         self.router = ShardRouter(self.shards, policy=policy)
@@ -138,8 +154,20 @@ class SamplingService:
             key=key if key is not None else -1,
         )
         self._next_id += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin_request(request.request_id, self.sim.now)
         shard = self.router.route(request)
-        if not self.admission.admit(shard):
+        admitted = self.admission.admit(shard)
+        if tracer.enabled:
+            tracer.record_admission(
+                request.request_id,
+                shard.shard_id,
+                admitted,
+                self.sim.now,
+                **self.admission.explain(shard),
+            )
+        if not admitted:
             self.metrics.record_rejected(shard.shard_id)
             if self._keep_responses:
                 self.responses.append(

@@ -92,6 +92,17 @@ class Histogram:
             raise ValueError("percentile must be within [0, 100]")
         return self._nearest_rank(sorted(self._values), q)
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) -- ``quantile(0.999)`` is p999.
+
+        The general accessor SLO checks want (any tail, not just the
+        fixed p50/p95/p99 of :meth:`summary`); same nearest-rank method
+        and reservoir caveats as :meth:`percentile`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        return self._nearest_rank(sorted(self._values), q * 100.0)
+
     @staticmethod
     def _nearest_rank(ordered: list[float], q: float) -> float:
         if not ordered:
@@ -100,9 +111,9 @@ class Histogram:
         return ordered[rank - 1]
 
     def summary(self) -> dict:
-        """Count/mean/min/max plus the p50/p95/p99 tail, as one dict.
+        """Count/mean/min/max plus the p50/p95/p99/p999 tail, as one dict.
 
-        Sorts the stored values once and indexes all three percentiles
+        Sorts the stored values once and indexes all four percentiles
         from that one ordering.
         """
         ordered = sorted(self._values)
@@ -114,6 +125,7 @@ class Histogram:
             "p50": self._nearest_rank(ordered, 50.0),
             "p95": self._nearest_rank(ordered, 95.0),
             "p99": self._nearest_rank(ordered, 99.0),
+            "p999": self._nearest_rank(ordered, 99.9),
         }
 
     @property

@@ -28,6 +28,7 @@ __all__ = [
     "UniformLatency",
     "ExponentialLatency",
     "NullFaults",
+    "NullTraceSink",
     "RpcError",
     "RpcTimeout",
     "RpcTransport",
@@ -124,6 +125,27 @@ class NullFaults:
         return 1.0
 
 
+class NullTraceSink:
+    """The default trace sink: nothing listens, nothing is recorded.
+
+    The transport reports each delivery to its :attr:`RpcTransport.tracer`
+    only when the sink says it is ``active``; this null object keeps the
+    disabled cost to one attribute read per delivery.  The real sink is
+    :class:`repro.obs.tracer.Tracer`, installed via
+    :meth:`RpcTransport.install_tracer` -- the same inversion as
+    :class:`NullFaults`/:meth:`RpcTransport.install_faults`, and for the
+    same reason: the sim layer does not import the layers above it.
+    """
+
+    active = False
+
+    def on_rpc(self, source, target, method, kind, start, end, outcome) -> None:
+        return None
+
+    def on_lookup(self, backend, hops, messages, latency, ok) -> None:
+        return None
+
+
 class TransportEndpoint:
     """A node-bound view of the transport: calls carry the node as source.
 
@@ -216,7 +238,29 @@ class RpcTransport:
         )
         #: The structured-fault surface consulted on every delivery.
         self.faults = faults if faults is not None else NullFaults()
+        #: The trace sink notified of deliveries while it is active
+        #: (:class:`NullTraceSink` until :meth:`install_tracer`).
+        self.tracer = NullTraceSink()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Bound ``Counter.increment`` handles for the per-delivery
+        #: counters.  Caching them skips two registry lookups and an
+        #: attribute chain per call -- which more than pays for the
+        #: per-method split and the tracer guard below, so the
+        #: instrumented hot path runs *faster* than its
+        #: pre-instrumentation twin (benchmarks/bench_obs.py measures
+        #: the ratio).  ``counter()`` is get-or-create, so external
+        #: readers and writers still see the same Counter objects.
+        self._count_call = self.metrics.counter("rpc.calls").increment
+        self._count_msgs = self.metrics.counter("messages").increment
+        self._count_timeout = self.metrics.counter("rpc.timeouts").increment
+        #: Per-method message counts (the ``messages`` counter, split by
+        #: RPC method).  Deliberately an *exact* dict updated with a
+        #: try/except-KeyError subscript: CPython's adaptive interpreter
+        #: specializes subscripts only for exact dicts (a Counter
+        #: subclass deoptimizes every hit), and the except arm runs once
+        #: per method name.  Surfaced as ``messages.<method>`` counters
+        #: by :meth:`method_message_counters`.
+        self._method_messages: dict[str, int] = {}
         self._nodes: dict[int, Any] = {}
         #: Total simulated latency accrued by RPCs (additive, per Theorem 7).
         self.elapsed: float = 0.0
@@ -225,6 +269,18 @@ class RpcTransport:
         """Install (and return) a fault surface, replacing the current one."""
         self.faults = faults
         return faults
+
+    def install_tracer(self, tracer: Any) -> Any:
+        """Install (and return) a trace sink, replacing the current one.
+
+        The sink is consulted per delivery only while its ``active``
+        attribute is true (:class:`repro.obs.tracer.Tracer` raises it
+        exactly while a sampled batch is dispatching), so an installed
+        but idle tracer costs the same one attribute read as the null
+        sink.
+        """
+        self.tracer = tracer
+        return tracer
 
     def endpoint(self, node_id: int) -> TransportEndpoint:
         """A node-bound view whose calls carry ``node_id`` as the source."""
@@ -308,9 +364,22 @@ class RpcTransport:
             reason = "dead or unknown"
         else:
             reason = "partitioned"
-        self.metrics.counter("rpc.timeouts").increment()
-        self.metrics.counter("messages").increment()  # the lost request
-        self.elapsed += self._timeout
+        self._count_timeout()
+        self._count_msgs()  # the lost request
+        mm = self._method_messages
+        try:
+            mm[method] += 1
+        except KeyError:
+            mm[method] = 1
+        tracer = self.tracer
+        if tracer.active:
+            start = self.elapsed
+            self.elapsed = start + self._timeout
+            tracer.on_rpc(
+                source_id, target_id, method, kind, start, self.elapsed, reason
+            )
+        else:
+            self.elapsed += self._timeout
         raise RpcTimeout(f"{kind} {method} to node {target_id}: target {reason}")
 
     def rpc(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
@@ -331,12 +400,26 @@ class RpcTransport:
         **kwargs: Any,
     ) -> Any:
         """One request/reply exchange attributed to ``source_id``."""
-        self.metrics.counter("rpc.calls").increment()
+        self._count_call()
         target, factor = self._admit(source_id, target_id, method, "rpc")
-        self.metrics.counter("messages").increment(2)  # request + reply
-        self.elapsed += factor * (
+        self._count_msgs(2)  # request + reply
+        mm = self._method_messages
+        try:
+            mm[method] += 2
+        except KeyError:
+            mm[method] = 2
+        delta = factor * (
             self._latency.sample(self._rng) + self._latency.sample(self._rng)
         )
+        tracer = self.tracer
+        if tracer.active:
+            start = self.elapsed
+            self.elapsed = start + delta
+            tracer.on_rpc(
+                source_id, target_id, method, "rpc", start, self.elapsed, "ok"
+            )
+        else:
+            self.elapsed += delta
         result = getattr(target, method)(*args, **kwargs)
         if self.faults.blocked(target_id, source_id):
             # One-way partition, reply leg severed: the request crossed
@@ -344,8 +427,17 @@ class RpcTransport:
             # never returns -- the caller eats a timeout.  This is the
             # asymmetry that distinguishes a partial partition from a
             # crash, and exactly why one-way cuts are nasty.
-            self.metrics.counter("rpc.timeouts").increment()
-            self.elapsed += self._timeout
+            self._count_timeout()
+            tracer = self.tracer
+            if tracer.active:
+                start = self.elapsed
+                self.elapsed = start + self._timeout
+                tracer.on_rpc(
+                    source_id, target_id, method, "rpc",
+                    start, self.elapsed, "reply-partitioned",
+                )
+            else:
+                self.elapsed += self._timeout
             raise RpcTimeout(
                 f"rpc {method} to node {target_id}: reply partitioned"
             )
@@ -373,11 +465,52 @@ class RpcTransport:
         **kwargs: Any,
     ) -> Any:
         """One fire-and-forget message attributed to ``source_id``."""
-        self.metrics.counter("rpc.calls").increment()
+        self._count_call()
         target, factor = self._admit(source_id, target_id, method, "oneway")
-        self.metrics.counter("messages").increment(1)
-        self.elapsed += factor * self._latency.sample(self._rng)
+        self._count_msgs(1)
+        mm = self._method_messages
+        try:
+            mm[method] += 1
+        except KeyError:
+            mm[method] = 1
+        delta = factor * self._latency.sample(self._rng)
+        tracer = self.tracer
+        if tracer.active:
+            start = self.elapsed
+            self.elapsed = start + delta
+            tracer.on_rpc(
+                source_id, target_id, method, "oneway", start, self.elapsed, "ok"
+            )
+        else:
+            self.elapsed += delta
         return getattr(target, method)(*args, **kwargs)
+
+    # -- per-method message accounting ----------------------------------
+
+    def count_method_messages(self, method: str, count: int) -> None:
+        """Bulk-attribute messages to a method (offline lockstep commits).
+
+        The Chord lockstep engine charges the aggregate ``messages``
+        counter directly (it never issues transport calls); this keeps
+        the per-method split consistent with the aggregate so hop-level
+        traces and counters cross-check under any execution path.
+        """
+        mm = self._method_messages
+        mm[method] = mm.get(method, 0) + count
+
+    def messages_by_method(self) -> dict[str, int]:
+        """Message counts split by RPC method (sums to ``messages_sent``)."""
+        return dict(self._method_messages)
+
+    def method_message_counters(self) -> MetricsRegistry:
+        """Materialize the per-method split as ``messages.<method>``
+        counters in :attr:`metrics` (for exposition/scrapes), returning
+        the registry.  The hot path deliberately updates a bare dict;
+        this sync-on-read keeps per-delivery overhead at one dict update.
+        """
+        for method, count in self._method_messages.items():
+            self.metrics.counter(f"messages.{method}").value = count
+        return self.metrics
 
     @property
     def messages_sent(self) -> int:

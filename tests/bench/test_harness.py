@@ -10,8 +10,10 @@ from repro.bench.harness import (
     Table,
     fmt,
     geometric_mean,
+    peak_rss_kb,
     sweep,
     time_call,
+    time_call_rss,
     write_bench_json,
 )
 from repro.bench.workloads import make_ideal_dht, make_sampler, selection_counts
@@ -94,6 +96,19 @@ class TestTiming:
             time_call(lambda: None, repeat=0)
 
 
+class TestRss:
+    def test_peak_rss_positive_on_posix(self):
+        rss = peak_rss_kb()
+        assert rss is None or (isinstance(rss, int) and rss > 0)
+
+    def test_time_call_rss_pairs_timing_with_memory(self):
+        calls = []
+        elapsed, rss = time_call_rss(lambda: calls.append(1), repeat=2)
+        assert len(calls) == 2
+        assert elapsed >= 0.0
+        assert rss == peak_rss_kb()
+
+
 class TestBenchJson:
     def test_round_trip(self, tmp_path):
         import json
@@ -101,7 +116,17 @@ class TestBenchJson:
         record = {"benchmark": "test", "results": [{"n": 10, "sps": 123.5}]}
         path = write_bench_json(tmp_path / "sub" / "BENCH_test.json", record)
         assert path.exists()
-        assert json.loads(path.read_text()) == record
+        loaded = json.loads(path.read_text())
+        rss = loaded.pop("peak_rss_kb")  # stamped on every record
+        assert rss == peak_rss_kb() or rss is None
+        assert loaded == record
+        assert "peak_rss_kb" not in record  # the caller's dict is untouched
+
+    def test_explicit_rss_wins(self, tmp_path):
+        import json
+
+        path = write_bench_json(tmp_path / "b.json", {"peak_rss_kb": 123})
+        assert json.loads(path.read_text())["peak_rss_kb"] == 123
 
     def test_output_ends_with_newline(self, tmp_path):
         path = write_bench_json(tmp_path / "b.json", {"a": 1})

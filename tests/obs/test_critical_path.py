@@ -1,0 +1,185 @@
+"""Critical-path analysis: unit decomposition plus end-to-end coverage.
+
+The end-to-end tests are the acceptance bar: on both message-level
+backends, a traced smoke scenario must reconstruct >=99% of every
+request's measured latency from its span tree, and the hop profiles
+must account for every lookup the engine executed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.critical_path import SEGMENTS, HopProfile, analyze
+from repro.obs.tracer import Tracer
+from repro.scenarios import preset, run_scenario
+from repro.service.request import RequestStatus, SampleRequest, SampleResponse
+from repro.dht.api import PeerRef
+
+
+class _Cost:
+    h_calls = 2
+    next_calls = 0
+    messages = 10
+    latency = 8.0
+
+
+class _Execution:
+    trials = 4
+    dispatches = 1
+    cost = _Cost()
+    peers = ()
+
+
+def _served_tracer(queue=4.0, backoff=1.0, overhead=2.0, routing=6.0):
+    """A hand-built lifecycle: queue (incl. one cooldown) then service."""
+    tracer = Tracer("all")
+    tracer.begin_request(0, 0.0)
+    tracer.record_admission(0, 0, True, 0.0)
+    tracer.record_backoff([0], start=1.0, cooldown=backoff, attempt=1)
+    dispatched = queue
+    service = overhead + routing
+    ctx = tracer.begin_batch(
+        [SampleRequest(request_id=0, arrival_time=0.0)], 0, dispatched
+    )
+    tracer.end_batch(ctx, dispatched, _Execution(), service, overhead, routing)
+    tracer.finish_requests(
+        [
+            SampleResponse(
+                request_id=0,
+                status=RequestStatus.OK,
+                shard_id=0,
+                peer=PeerRef(peer_id=3, point=0.1),
+                queue_latency=queue,
+                service_latency=service,
+                completion_time=queue + service,
+                batch_size=1,
+            )
+        ],
+        ctx,
+    )
+    return tracer
+
+
+class TestDecomposition:
+    def test_exact_segments(self):
+        report = analyze(_served_tracer())
+        (r,) = report.requests
+        assert r.total == pytest.approx(12.0)
+        assert r.queue == pytest.approx(3.0)  # 4.0 wait minus 1.0 cooldown
+        assert r.backoff == pytest.approx(1.0)
+        assert r.overhead == pytest.approx(2.0)
+        assert r.routing == pytest.approx(6.0)
+        assert r.reconstructed_fraction == pytest.approx(1.0)
+        assert r.batch_size == 1
+
+    def test_rejected_request_is_fully_covered(self):
+        tracer = Tracer("all")
+        tracer.begin_request(0, 5.0)
+        tracer.record_admission(0, 0, False, 5.0)
+        report = analyze(tracer)
+        (r,) = report.requests
+        assert r.status == "rejected"
+        assert r.total == 0.0
+        assert r.reconstructed_fraction == 1.0
+
+    def test_report_aggregates(self):
+        report = analyze(_served_tracer())
+        totals = report.segment_totals
+        assert set(totals) == set(SEGMENTS)
+        fractions = report.segment_fractions
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert report.min_reconstructed == pytest.approx(1.0)
+        assert report.mean_total == pytest.approx(12.0)
+        record = report.to_record()
+        assert record["requests"] == 1
+        assert record["slowest"][0]["request_id"] == 0
+
+    def test_empty_report(self):
+        report = analyze(Tracer("all"))
+        assert report.min_reconstructed == 1.0
+        assert report.mean_total == 0.0
+        assert sum(report.segment_fractions.values()) == 0.0
+
+
+class TestHopProfile:
+    def test_observe_and_buckets(self):
+        profile = HopProfile("chord")
+        profile.observe(3, 6.0, True)
+        profile.observe(3, 8.0, True)
+        profile.observe(5, 15.0, False)
+        assert profile.lookups == 3
+        assert profile.failed == 1
+        assert profile.mean_hops == pytest.approx(11 / 3)
+        assert profile.mean_latency == pytest.approx(29 / 3)
+        record = profile.to_record()
+        assert record["by_hops"]["3"] == {
+            "count": 2, "latency": 14.0, "mean_latency": 7.0,
+        }
+
+    def test_bucket_counts_sum_to_lookups(self):
+        tracer = Tracer("all")
+        tracer.begin_request(0, 0.0)
+        ctx = tracer.begin_batch(
+            [SampleRequest(request_id=0, arrival_time=0.0)], 0, 0.0
+        )
+        for hops in (2, 2, 4):
+            tracer.on_lookup("kademlia", hops, hops * 2, float(hops), True)
+        tracer.end_batch(ctx, 0.0, _Execution(), 8.0, 2.0, 6.0)
+        report = analyze(tracer)
+        profile = report.hop_profiles["kademlia"]
+        assert sum(c for c, _ in profile.by_hops.values()) == profile.lookups == 3
+
+
+@pytest.mark.parametrize("backend", ["chord", "kademlia"], scope="class")
+class TestEndToEnd:
+    """The acceptance bar, per message-level backend."""
+
+    @pytest.fixture(scope="class")
+    def traced(self, backend):
+        tracer = Tracer("all")
+        result = run_scenario(
+            preset("smoke", backend=backend, n=24, requests=60, seed=5),
+            tracer=tracer,
+        )
+        return result, tracer, analyze(tracer)
+
+    def test_every_request_traced(self, traced, backend):
+        result, tracer, report = traced
+        assert len(report.requests) == result.completed + result.rejected
+
+    def test_reconstruction_floor(self, traced, backend):
+        _result, _tracer, report = traced
+        assert report.min_reconstructed >= 0.99
+
+    def test_segment_fractions_partition(self, traced, backend):
+        _result, _tracer, report = traced
+        fractions = report.segment_fractions
+        assert set(fractions) == set(SEGMENTS)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["routing"] > 0.0
+
+    def test_hop_profile_matches_backend(self, traced, backend):
+        _result, _tracer, report = traced
+        profile = report.hop_profiles[backend]
+        assert profile.lookups > 0
+        assert sum(c for c, _ in profile.by_hops.values()) == profile.lookups
+        assert profile.mean_hops > 0.0
+
+    def test_slowest_is_sorted(self, traced, backend):
+        _result, _tracer, report = traced
+        totals = [r.total for r in report.slowest(10)]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_registries_attached_after_run(self, traced, backend):
+        _result, tracer, _report = traced
+        assert "service" in tracer.registries
+        transports = [n for n in tracer.registries if n.endswith(".transport")]
+        assert transports
+        for name in transports:
+            counters = tracer.registries[name].counters()
+            per_method = {
+                k: v for k, v in counters.items() if k.startswith("messages.")
+            }
+            assert per_method
+            assert sum(per_method.values()) > 0

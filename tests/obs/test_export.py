@@ -1,0 +1,128 @@
+"""Tests for the span/metric exporters (JSONL, Chrome, Prometheus)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    CHROME_TICK_US,
+    chrome_trace,
+    prometheus_text,
+    span_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Tracer
+from repro.sim.metrics import MetricsRegistry
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer("all")
+    tracer.begin_request(0, 1.0)
+    tracer.record_admission(0, 0, True, 1.0, queue_depth=3)
+    ctx = tracer.begin_batch([], 0, 0.0)  # no sampled members -> None
+    assert ctx is None
+    return tracer
+
+
+class TestJsonl:
+    def test_span_records_match_spans(self):
+        tracer = _sample_tracer()
+        records = span_records(tracer)
+        assert len(records) == len(tracer.spans())
+        assert {r["kind"] for r in records} == {"request", "admission"}
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_jsonl(tracer, tmp_path / "sub" / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == span_records(tracer)
+        # sorted keys -> stable, diff-able output
+        assert lines[0] == json.dumps(parsed[0], sort_keys=True)
+
+    def test_record_schema(self):
+        (record, *_rest) = span_records(_sample_tracer())
+        assert set(record) == {
+            "span_id", "trace_id", "parent_id", "name", "kind",
+            "start", "end", "duration", "clock", "attrs",
+        }
+
+
+class TestChromeTrace:
+    def test_metadata_names_both_clocks(self):
+        doc = chrome_trace(_sample_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta} == {"sim clock", "latency clock"}
+        assert {e["pid"] for e in meta} == {1, 2}
+
+    def test_complete_events_scale_and_thread(self):
+        tracer = _sample_tracer()
+        doc = chrome_trace(tracer)
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == len(tracer.spans())
+        root = events[0]
+        assert root["ts"] == 1.0 * CHROME_TICK_US
+        assert root["tid"] == 0  # trace id becomes the thread
+        assert root["pid"] == 1  # sim clock
+
+    def test_none_attrs_are_dropped(self):
+        tracer = Tracer("all")
+        tracer.begin_request(0, 0.0)
+        trace = tracer.traces()[0]
+        trace.root.attrs["peer"] = None
+        (root_event,) = [
+            e for e in chrome_trace(tracer)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert "peer" not in root_event["args"]
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(_sample_tracer(), tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestPrometheus:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("requests.completed").increment(5)
+        hist = reg.histogram("latency.total")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        return reg
+
+    def test_single_registry_no_origin(self):
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_requests_completed counter" in text
+        assert "repro_requests_completed 5" in text
+        assert 'origin=' not in text
+        assert text.endswith("\n")
+
+    def test_histogram_summary_quantiles(self):
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_latency_total summary" in text
+        assert 'repro_latency_total{quantile="0.5"} 50.0' in text
+        assert 'repro_latency_total{quantile="0.999"} 100.0' in text
+        assert "repro_latency_total_count 100" in text
+        # _sum = mean * count = 50.5 * 100
+        assert "repro_latency_total_sum 5050.0" in text
+
+    def test_dict_adds_origin_labels(self):
+        text = prometheus_text({"service": self._registry()})
+        assert 'repro_requests_completed{origin="service"} 5' in text
+        assert 'origin="service",quantile="0.5"' in text
+
+    def test_type_line_emitted_once_across_origins(self):
+        text = prometheus_text({"a": self._registry(), "b": self._registry()})
+        assert text.count("# TYPE repro_requests_completed counter") == 1
+
+    def test_name_sanitization(self):
+        reg = MetricsRegistry()
+        reg.counter("messages.find-successor").increment()
+        text = prometheus_text(reg)
+        assert "repro_messages_find_successor 1" in text
+
+    def test_namespace_override(self):
+        reg = MetricsRegistry()
+        reg.counter("x").increment()
+        assert "myapp_x 1" in prometheus_text(reg, namespace="myapp")

@@ -1,0 +1,299 @@
+"""Tests for the span tracer: policies, lifecycles, the active guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.api import PeerRef
+from repro.obs.spans import CLOCK_LATENCY, CLOCK_SIM, Span
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SampleAll,
+    SampleOneInK,
+    SlowestReservoir,
+    Tracer,
+    parse_policy,
+)
+from repro.service.request import RequestStatus, SampleRequest, SampleResponse
+
+
+def _request(request_id: int, arrival: float = 0.0) -> SampleRequest:
+    return SampleRequest(request_id=request_id, arrival_time=arrival)
+
+
+def _response(
+    request_id: int,
+    *,
+    status=RequestStatus.OK,
+    shard_id: int = 0,
+    queue: float = 2.0,
+    service: float = 3.0,
+    completion: float = 5.0,
+    batch_size: int = 2,
+) -> SampleResponse:
+    peer = PeerRef(peer_id=7, point=0.5) if status is RequestStatus.OK else None
+    return SampleResponse(
+        request_id=request_id,
+        status=status,
+        shard_id=shard_id,
+        peer=peer,
+        queue_latency=queue,
+        service_latency=service if status is RequestStatus.OK else 0.0,
+        completion_time=completion,
+        batch_size=batch_size,
+    )
+
+
+class _StubCost:
+    h_calls = 4
+    next_calls = 0
+    messages = 20
+    latency = 12.0
+
+
+class _StubExecution:
+    trials = 6
+    dispatches = 2
+    cost = _StubCost()
+    peers = ()
+
+
+class TestPolicies:
+    def test_parse_all(self):
+        assert isinstance(parse_policy("all"), SampleAll)
+        assert isinstance(parse_policy(" ALL "), SampleAll)
+
+    def test_parse_one_in_k(self):
+        policy = parse_policy("1-in-8")
+        assert isinstance(policy, SampleOneInK)
+        assert policy.k == 8
+
+    def test_parse_slowest(self):
+        policy = parse_policy("slowest:64")
+        assert isinstance(policy, SlowestReservoir)
+        assert policy.capacity == 64
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            parse_policy("every-other")
+
+    def test_one_in_k_is_modular_over_admission_order(self):
+        policy = SampleOneInK(3)
+        # decisions depend on call order, not request ids
+        assert [policy.admit(i * 10) for i in range(7)] == [
+            True, False, False, True, False, False, True,
+        ]
+
+    def test_one_in_k_validates(self):
+        with pytest.raises(ValueError):
+            SampleOneInK(0)
+
+    def test_slowest_admits_everything(self):
+        policy = SlowestReservoir(2)
+        assert all(policy.admit(i) for i in range(5))
+
+    def test_slowest_validates(self):
+        with pytest.raises(ValueError):
+            SlowestReservoir(0)
+
+
+class TestNullTracer:
+    def test_guards_are_false(self):
+        assert NullTracer.enabled is False
+        assert NullTracer.active is False
+        assert NULL_TRACER.enabled is False
+
+    def test_all_hooks_are_noops(self):
+        t = NullTracer()
+        assert t.begin_request(0, 0.0) is None
+        assert t.record_admission(0, 0, True, 0.0) is None
+        assert t.begin_batch([], 0, 0.0) is None
+        t.end_batch(None, 0.0, None, 0.0, 0.0, 0.0)
+        t.fail_batch(None, 0.0)
+        t.record_backoff([], 0.0, 1.0, 1)
+        t.on_round(0, 1, 1)
+        t.on_rpc(None, 1, "m", "rpc", 0.0, 1.0, "ok")
+        t.on_lookup("chord", 1, 2, 3.0, True)
+        t.finish_requests([])
+        t.attach_registry("x", object())
+
+
+class TestRequestLifecycle:
+    def test_begin_creates_root_span(self):
+        tracer = Tracer("all")
+        trace_id = tracer.begin_request(0, 1.5)
+        assert trace_id == 0
+        assert tracer.trace_of(0) == trace_id
+        (trace,) = tracer.traces()
+        assert trace.root.name == "request"
+        assert trace.root.start == 1.5
+
+    def test_unsampled_request_returns_none(self):
+        tracer = Tracer("1-in-2")
+        assert tracer.begin_request(0, 0.0) is not None
+        assert tracer.begin_request(1, 0.0) is None
+        assert tracer.unsampled == 1
+        assert tracer.trace_of(1) is None
+
+    def test_rejection_closes_the_trace(self):
+        tracer = Tracer("all")
+        tracer.begin_request(0, 2.0)
+        tracer.record_admission(0, 1, False, 2.0, queue_depth=256)
+        assert tracer.trace_of(0) is None
+        (trace,) = tracer.finished
+        assert trace.root.attrs["status"] == "rejected"
+        admission = [s for s in trace.spans if s.kind == "admission"]
+        assert admission and admission[0].attrs["queue_depth"] == 256
+        assert admission[0].attrs["admitted"] is False
+
+    def test_finish_builds_queue_and_service_spans(self):
+        tracer = Tracer("all")
+        tracer.begin_request(0, 0.0)
+        tracer.record_admission(0, 0, True, 0.0)
+        ctx = tracer.begin_batch([_request(0)], shard_id=0, now=2.0)
+        tracer.end_batch(ctx, 2.0, _StubExecution(), 3.0, overhead=2.0, routing=1.0)
+        tracer.finish_requests([_response(0)], ctx)
+        (trace,) = tracer.finished
+        kinds = {s.kind for s in trace.spans}
+        assert {"request", "admission", "queue", "service"} <= kinds
+        service = next(s for s in trace.spans if s.kind == "service")
+        assert service.start == 2.0 and service.end == 5.0
+        assert service.attrs["batch"] == ctx.trace_id
+        assert service.attrs["peer"] == 7
+        assert trace.root.attrs["status"] == "ok"
+
+    def test_failed_request_has_no_service_span(self):
+        tracer = Tracer("all")
+        tracer.begin_request(0, 0.0)
+        tracer.record_admission(0, 0, True, 0.0)
+        tracer.finish_requests(
+            [_response(0, status=RequestStatus.FAILED, queue=5.0, completion=5.0)]
+        )
+        (trace,) = tracer.finished
+        assert trace.root.attrs["status"] == "failed"
+        assert not [s for s in trace.spans if s.kind == "service"]
+        assert [s for s in trace.spans if s.kind == "queue"]
+
+
+class TestBatchLifecycle:
+    def _tracer_with_members(self, ids=(0, 1)):
+        tracer = Tracer("all")
+        for request_id in ids:
+            tracer.begin_request(request_id, 0.0)
+        return tracer
+
+    def test_batch_without_sampled_members_is_skipped(self):
+        tracer = Tracer("1-in-2")
+        tracer.begin_request(0, 0.0)  # sampled
+        assert tracer.begin_request(1, 0.0) is None
+        ctx = tracer.begin_batch([_request(1)], shard_id=0, now=1.0)
+        assert ctx is None
+        assert tracer.active is False
+
+    def test_active_exactly_while_dispatching(self):
+        tracer = self._tracer_with_members()
+        assert tracer.active is False
+        ctx = tracer.begin_batch([_request(0), _request(1)], shard_id=0, now=1.0)
+        assert tracer.active is True
+        tracer.end_batch(ctx, 1.0, _StubExecution(), 3.0, overhead=2.0, routing=1.0)
+        assert tracer.active is False
+
+    def test_fail_batch_clears_active_and_records_error(self):
+        tracer = self._tracer_with_members()
+        ctx = tracer.begin_batch([_request(0)], shard_id=0, now=1.0)
+        tracer.fail_batch(ctx, 1.0, "routing hole")
+        assert tracer.active is False
+        assert tracer.batches[ctx.trace_id].root.attrs["error"] == "routing hole"
+
+    def test_end_batch_partitions_service_time(self):
+        tracer = self._tracer_with_members()
+        ctx = tracer.begin_batch([_request(0)], shard_id=3, now=10.0)
+        tracer.end_batch(ctx, 10.0, _StubExecution(), 5.0, overhead=2.0, routing=3.0)
+        trace = tracer.batches[ctx.trace_id]
+        assert trace.root.end == 15.0
+        overhead = next(s for s in trace.spans if s.kind == "overhead")
+        routing = next(s for s in trace.spans if s.kind == "routing")
+        assert (overhead.start, overhead.end) == (10.0, 12.0)
+        assert (routing.start, routing.end) == (12.0, 15.0)
+        assert trace.root.attrs["messages"] == 20
+
+    def test_hooks_append_only_while_active(self):
+        tracer = self._tracer_with_members()
+        tracer.on_rpc(1, 2, "find_successor", "rpc", 0.0, 1.0, "ok")
+        tracer.on_lookup("chord", 3, 8, 6.0, True)
+        tracer.on_round(0, 10, 4)
+        assert tracer.spans() == [t.root for t in tracer.traces()]
+        ctx = tracer.begin_batch([_request(0)], shard_id=0, now=1.0)
+        tracer.on_rpc(1, 2, "find_successor", "rpc", 0.0, 1.0, "lost")
+        tracer.on_lookup("chord", 3, 8, 6.0, True)
+        tracer.on_round(0, 10, 4, cost=None)
+        trace = tracer.batches[ctx.trace_id]
+        kinds = [s.kind for s in trace.spans]
+        assert kinds.count("rpc") == 1 and kinds.count("lookup") == 1
+        assert kinds.count("round") == 1
+        rpc = next(s for s in trace.spans if s.kind == "rpc")
+        assert rpc.clock == CLOCK_LATENCY
+        assert rpc.attrs["outcome"] == "lost"
+        lookup = next(s for s in trace.spans if s.kind == "lookup")
+        assert lookup.attrs["hops"] == 3
+
+    def test_record_backoff_spans_open_traces_only(self):
+        tracer = Tracer("1-in-2")
+        tracer.begin_request(0, 0.0)
+        tracer.begin_request(1, 0.0)  # unsampled
+        tracer.record_backoff([0, 1], start=4.0, cooldown=2.5, attempt=1)
+        trace = tracer.traces()[0]
+        backoffs = [s for s in trace.spans if s.kind == "backoff"]
+        assert len(backoffs) == 1
+        assert (backoffs[0].start, backoffs[0].end) == (4.0, 6.5)
+
+
+class TestSlowestRetention:
+    def test_evicts_fastest_deterministically(self):
+        tracer = Tracer("slowest:2")
+        durations = {0: 5.0, 1: 1.0, 2: 3.0}
+        for request_id, duration in durations.items():
+            tracer.begin_request(request_id, 0.0)
+            tracer.record_admission(request_id, 0, True, 0.0)
+            tracer.finish_requests(
+                [_response(request_id, queue=0.0, service=duration,
+                           completion=duration)]
+            )
+        kept = sorted(t.request_id for t in tracer.finished)
+        assert kept == [0, 2]  # request 1 (fastest) evicted
+
+
+class TestSummaryAndViews:
+    def test_summary_counts(self):
+        tracer = Tracer("1-in-2")
+        for request_id in range(4):
+            tracer.begin_request(request_id, 0.0)
+        tracer.record_admission(0, 0, True, 0.0)
+        tracer.finish_requests([_response(0)])
+        s = tracer.summary()
+        assert s["policy"] == "1-in-2"
+        assert s["requests_traced"] == 1
+        assert s["requests_unsampled"] == 2
+        assert s["requests_seen"] == 4  # 1 finished + 2 unsampled + 1 open
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer("all")
+        for request_id in range(3):
+            tracer.begin_request(request_id, 0.0)
+            tracer.record_admission(request_id, 0, True, 0.0)
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(ids) == len(set(ids))
+
+
+class TestSpan:
+    def test_duration_and_record(self):
+        span = Span(
+            span_id=1, trace_id=2, parent_id=None, name="x", kind="rpc",
+            start=1.0, end=3.5, clock=CLOCK_SIM, attrs={"a": 1},
+        )
+        assert span.duration == 2.5
+        record = span.to_record()
+        assert record["span_id"] == 1
+        assert record["duration"] == 2.5
+        assert record["attrs"] == {"a": 1}

@@ -66,7 +66,28 @@ class TestHistogramExact:
             "p50": 50.0,
             "p95": 95.0,
             "p99": 99.0,
+            "p999": 100.0,
         }
+
+    def test_quantile_general(self):
+        h = Histogram()
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert h.quantile(0.5) == h.percentile(50.0)
+        assert h.quantile(0.999) == h.percentile(99.9)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 1000.0
+
+    def test_quantile_range_check(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_quantile_empty(self):
+        assert Histogram().quantile(0.5) == 0.0
 
 
 class TestHistogramReservoir:

@@ -10,6 +10,7 @@ from repro.sim.metrics import Counter, Histogram, MetricsRegistry
 from repro.sim.network import (
     ConstantLatency,
     ExponentialLatency,
+    NullTraceSink,
     RpcTimeout,
     RpcTransport,
     UniformLatency,
@@ -320,6 +321,113 @@ class TestFaultInjection:
         assert endpoint.is_registered(2)
         endpoint.charge_delay(2.5)
         assert transport.elapsed == 2.5
+
+
+class TestMethodMessages:
+    """Per-method message accounting cross-checks the aggregate counter."""
+
+    def _transport(self, **kwargs):
+        kwargs.setdefault("rng", random.Random(0))
+        t = RpcTransport(**kwargs)
+        t.register(1, Echo())
+        return t
+
+    def test_rpc_charges_two_per_call(self):
+        t = self._transport()
+        t.rpc(1, "ping")
+        t.rpc(1, "ping")
+        t.rpc(1, "add", 1, b=2)
+        assert t.messages_by_method() == {"ping": 4, "add": 2}
+
+    def test_oneway_charges_one(self):
+        t = self._transport()
+        t.oneway(1, "ping")
+        assert t.messages_by_method() == {"ping": 1}
+
+    def test_timeout_charges_the_lost_request(self):
+        t = self._transport(timeout=5.0)
+        with pytest.raises(RpcTimeout):
+            t.rpc(99, "ping")
+        assert t.messages_by_method() == {"ping": 1}
+
+    def test_split_sums_to_aggregate(self):
+        t = self._transport(loss_rate=0.3, loss_rng=random.Random(3))
+        for _ in range(50):
+            for call in (lambda: t.rpc(1, "ping"), lambda: t.oneway(1, "add", 1)):
+                try:
+                    call()
+                except RpcTimeout:
+                    pass
+        assert sum(t.messages_by_method().values()) == t.messages_sent
+
+    def test_bulk_attribution_for_offline_engines(self):
+        t = self._transport()
+        t.rpc(1, "ping")
+        t.count_method_messages("find_successor", 120)
+        assert t.messages_by_method()["find_successor"] == 120
+
+    def test_counters_materialize_on_read(self):
+        t = self._transport()
+        t.rpc(1, "ping")
+        assert "messages.ping" not in t.metrics.counters()  # lazy hot path
+        registry = t.method_message_counters()
+        assert registry is t.metrics
+        assert registry.counters()["messages.ping"] == 2
+        t.rpc(1, "ping")
+        assert t.method_message_counters().counters()["messages.ping"] == 4
+
+
+class _RecordingSink:
+    """A duck-typed trace sink that is always recording."""
+
+    enabled = True
+    active = True
+
+    def __init__(self):
+        self.rpcs = []
+
+    def on_rpc(self, source, target, method, kind, start, end, outcome):
+        self.rpcs.append((source, target, method, kind, start, end, outcome))
+
+
+class TestTraceSink:
+    def test_null_sink_is_the_default(self):
+        t = RpcTransport(rng=random.Random(0))
+        assert isinstance(t.tracer, NullTraceSink)
+        assert t.tracer.active is False
+
+    def test_install_tracer_replaces_and_returns(self):
+        t = RpcTransport(rng=random.Random(0))
+        sink = _RecordingSink()
+        assert t.install_tracer(sink) is sink
+        assert t.tracer is sink
+
+    def test_ok_delivery_reported_with_latency_window(self):
+        t = RpcTransport(latency=ConstantLatency(1.0), rng=random.Random(0))
+        t.register(1, Echo())
+        sink = t.install_tracer(_RecordingSink())
+        t.rpc(1, "ping")
+        ((source, target, method, kind, start, end, outcome),) = sink.rpcs
+        assert (source, target, method, kind) == (None, 1, "ping", "rpc")
+        assert (start, end) == (0.0, 2.0)
+        assert outcome == "ok"
+
+    def test_timeout_reported_with_reason(self):
+        t = RpcTransport(rng=random.Random(0), timeout=7.0)
+        sink = t.install_tracer(_RecordingSink())
+        with pytest.raises(RpcTimeout):
+            t.rpc(42, "ping")
+        ((*_head, outcome),) = sink.rpcs
+        assert outcome == "dead or unknown"
+
+    def test_inactive_sink_sees_nothing(self):
+        t = RpcTransport(rng=random.Random(0))
+        t.register(1, Echo())
+        sink = _RecordingSink()
+        sink.active = False
+        t.install_tracer(sink)
+        t.rpc(1, "ping")
+        assert sink.rpcs == []
 
 
 class TestLatencyDeterminismFlags:
