@@ -50,6 +50,7 @@ QUICK_COMMANDS = {
     "BENCH_backends.json": ["benchmarks/bench_backends.py", "--quick"],
     "BENCH_faults.json": ["benchmarks/bench_faults.py", "--quick"],
     "BENCH_obs.json": ["benchmarks/bench_obs.py", "--quick"],
+    "BENCH_adversary.json": ["benchmarks/bench_adversary.py", "--quick"],
 }
 
 #: Metric direction markers.
@@ -155,6 +156,36 @@ def _metrics_obs(record: dict) -> dict:
     return out
 
 
+def _metrics_adversary(record: dict) -> dict:
+    # Keyed by backend and by (fraction, strategy) sweep cell -- the axes
+    # quick and full mode share (quick runs a subset, so only overlapping
+    # cells compare).  The invariants are the teeth: the fraction-0 run
+    # must stay bit-identical to the bare pre-adversary transport, the
+    # statistical harness must keep rejecting its planted-bug sampler and
+    # accepting the honest one, and adversarial runs must keep draining.
+    out = {}
+    self_test = record.get("harness_self_test", {})
+    if self_test:
+        out["self_test/honest_accepted"] = (
+            bool(self_test.get("honest_accepted")), EXACT)
+        out["self_test/biased_rejected"] = (
+            bool(self_test.get("biased_rejected")), EXACT)
+    for backend, run in sorted(record.get("backends", {}).items()):
+        zero = run.get("zero_overhead", {})
+        out[f"{backend}/zero_overhead_identical"] = (
+            bool(zero.get("identical")), EXACT)
+        for cell in run.get("sweep", []):
+            key = f"{backend}/f={cell['fraction']:g}/{cell['strategy']}"
+            out[f"{key}/drained"] = (
+                cell.get("failed", 1) <= cell.get("completed", 0), EXACT)
+            rate = cell.get("capture_rate")
+            if rate is not None and cell["fraction"] > 0:
+                # adversarial capture collapsing to zero means the lie
+                # surface came unwired, not that the repo got better
+                out[f"{key}/capture_rate"] = (rate, HIGHER)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_throughput.json": _metrics_throughput,
     "BENCH_chord_batch.json": _metrics_chord_batch,
@@ -163,6 +194,7 @@ EXTRACTORS = {
     "BENCH_backends.json": _metrics_backends,
     "BENCH_faults.json": _metrics_faults,
     "BENCH_obs.json": _metrics_obs,
+    "BENCH_adversary.json": _metrics_adversary,
 }
 
 

@@ -1,0 +1,25 @@
+"""Byzantine peer models and the statistical harness that verifies them.
+
+See docs/ADVERSARY.md for the threat model; ``state`` holds the
+per-delivery lie surface the transport consults, ``verify`` the
+Bonferroni-banded acceptance procedures the adversary tests share.
+"""
+
+from repro.adversary.state import LIE_STRATEGIES, AdversaryState
+from repro.adversary.verify import (
+    VerificationReport,
+    acceptance_band,
+    bonferroni,
+    verify_capture,
+    verify_uniformity,
+)
+
+__all__ = [
+    "AdversaryState",
+    "LIE_STRATEGIES",
+    "VerificationReport",
+    "acceptance_band",
+    "bonferroni",
+    "verify_capture",
+    "verify_uniformity",
+]

@@ -1,0 +1,193 @@
+"""Statistical verification harness: acceptance bands with real p-values.
+
+The adversarial claims this repo makes ("capture stays near the analytic
+binomial tail", "the honest population stays uniform at fraction 0") are
+statistical, so the tests that back them must be statistical too -- but
+deterministic under a fixed seed, and honest about multiple comparisons.
+This module provides the two verdict procedures the adversary suite and
+``bench_adversary`` share:
+
+- :func:`verify_uniformity` -- seeded multi-trial chi-square against the
+  uniform null over a peer population, with a Bonferroni-corrected
+  per-trial significance level.  A sampler is *rejected* only if any
+  trial's p-value falls below ``alpha / trials``, so the family-wise
+  false-rejection rate of the whole harness stays at ``alpha``.
+- :func:`acceptance_band` / :func:`verify_capture` -- exact binomial
+  quantile bands for an empirical capture frequency around an analytic
+  probability ``p``: with ``elections`` seeded committees the observed
+  capture count must land in ``[ppf(alpha/2), ppf(1-alpha/2)]``.
+
+Both are self-testable: a deliberately biased sampler (one peer drawn
+with double weight) must be rejected and the honest one accepted, under
+the same fixed seeds, before any real verdict is trusted
+(``tests/adversary/test_verify.py`` and the ``harness_self_test`` block
+in ``BENCH_adversary.json``).
+
+Derivations and the choice of ``alpha`` are documented in
+docs/ADVERSARY.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import chi_square_uniform, total_variation_from_uniform
+
+__all__ = [
+    "VerificationReport",
+    "acceptance_band",
+    "bonferroni",
+    "verify_capture",
+    "verify_uniformity",
+]
+
+
+def bonferroni(alpha: float, tests: int) -> float:
+    """Per-test significance level controlling family-wise error at ``alpha``."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    if tests < 1:
+        raise ValueError("tests must be positive")
+    return alpha / tests
+
+
+@dataclass(frozen=True, slots=True)
+class VerificationReport:
+    """Verdict of a multi-trial uniformity check."""
+
+    trials: int
+    draws_per_trial: int
+    alpha: float
+    corrected_alpha: float
+    p_values: tuple[float, ...]
+    tv_distances: tuple[float, ...]
+    rejections: int = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "rejections",
+            sum(1 for p in self.p_values if p < self.corrected_alpha),
+        )
+
+    @property
+    def accepted(self) -> bool:
+        """Uniformity not rejected at family-wise level ``alpha``."""
+        return self.rejections == 0
+
+    @property
+    def min_p_value(self) -> float:
+        return min(self.p_values)
+
+    @property
+    def max_tv(self) -> float:
+        return max(self.tv_distances)
+
+    def to_record(self) -> dict:
+        return {
+            "trials": self.trials,
+            "draws_per_trial": self.draws_per_trial,
+            "alpha": self.alpha,
+            "corrected_alpha": self.corrected_alpha,
+            "min_p_value": self.min_p_value,
+            "max_tv": self.max_tv,
+            "rejections": self.rejections,
+            "accepted": self.accepted,
+        }
+
+
+def verify_uniformity(
+    draw,
+    population,
+    *,
+    trials: int = 8,
+    draws: int = 2000,
+    alpha: float = 0.01,
+    seed: int = 0,
+) -> VerificationReport:
+    """Run ``trials`` independent seeded chi-square tests of ``draw``.
+
+    ``draw(rng)`` must return a member of ``population`` using only the
+    supplied :class:`random.Random`; each trial gets its own
+    deterministic sub-seed, so the verdict is reproducible bit for bit.
+    Rejection requires ANY trial to beat the Bonferroni-corrected
+    threshold ``alpha / trials`` -- the family-wise false-alarm rate of
+    the whole report is therefore at most ``alpha``.
+    """
+    members = sorted(population)
+    if len(members) < 2:
+        raise ValueError("population must hold at least two members")
+    if draws < 10 * len(members):
+        raise ValueError(
+            f"need >= {10 * len(members)} draws per trial for a stable "
+            f"chi-square over {len(members)} members, got {draws}"
+        )
+    corrected = bonferroni(alpha, trials)
+    index = {member: i for i, member in enumerate(members)}
+    p_values = []
+    tvs = []
+    for trial in range(trials):
+        rng = random.Random(f"{seed}.{trial}")
+        counts = [0] * len(members)
+        for _ in range(draws):
+            counts[index[draw(rng)]] += 1
+        p_values.append(chi_square_uniform(counts).p_value)
+        tvs.append(
+            total_variation_from_uniform(
+                {m: counts[i] / draws for i, m in enumerate(members)}
+            )
+        )
+    return VerificationReport(
+        trials=trials,
+        draws_per_trial=draws,
+        alpha=alpha,
+        corrected_alpha=corrected,
+        p_values=tuple(p_values),
+        tv_distances=tuple(tvs),
+    )
+
+
+def acceptance_band(
+    p: float, elections: int, *, alpha: float = 1e-6, tests: int = 1
+) -> tuple[float, float]:
+    """Exact binomial band for an observed capture *frequency*.
+
+    If each of ``elections`` independent committees is captured with
+    probability ``p``, the observed count is Binomial(elections, p); the
+    band is ``[ppf(a/2), ppf(1-a/2)] / elections`` with
+    ``a = alpha / tests`` (Bonferroni over ``tests`` simultaneous
+    bands).  An empirical frequency outside the band is evidence the
+    sampler does not match the analytic model at level ``alpha``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if elections < 1:
+        raise ValueError("elections must be positive")
+    a = bonferroni(alpha, tests) if tests > 1 else alpha
+    import scipy.stats as sps
+
+    lo = float(sps.binom.ppf(a / 2, elections, p)) / elections
+    hi = float(sps.binom.ppf(1 - a / 2, elections, p)) / elections
+    return (lo, hi)
+
+
+def verify_capture(
+    observed_rate: float,
+    analytic_p: float,
+    elections: int,
+    *,
+    alpha: float = 1e-6,
+    tests: int = 1,
+) -> dict:
+    """Check an empirical capture frequency against its analytic band."""
+    lo, hi = acceptance_band(analytic_p, elections, alpha=alpha, tests=tests)
+    return {
+        "observed": observed_rate,
+        "analytic": analytic_p,
+        "elections": elections,
+        "band_low": lo,
+        "band_high": hi,
+        "alpha": alpha,
+        "within_band": lo <= observed_rate <= hi,
+    }

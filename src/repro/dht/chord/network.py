@@ -565,11 +565,15 @@ class ChordDHT(EntryVantageMixin):
         blocked edges or inflated charges -- either way the equivalence
         guarantee (same peers, hops and charges as a scalar ``h`` loop)
         would be lost.  Ineligible adapters keep the per-call loop.
+        An active adversary disqualifies replay for the same reason:
+        lies are applied per delivery on the reply leg, and a snapshot
+        of honest routing state cannot reproduce them.
         """
         transport = self._network.transport
         return (
             transport.loss_rate == 0.0
             and not transport.faults.active
+            and not transport.adversary.active
             and bool(getattr(transport.latency_model, "deterministic", False))
         )
 

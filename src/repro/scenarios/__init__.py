@@ -28,6 +28,13 @@ live in the sibling fault lab (:mod:`repro.scenarios.faults`): the
 recovery, outage-window error rate and cost inflation on either
 backend (``benchmarks/bench_faults.py`` sweeps them into
 ``BENCH_faults.json``).
+
+Adversarial regimes (:mod:`repro.adversary`) compose with all of the
+above: the ``byzantine``/``eclipse`` presets mark a fraction of each
+ring as lying peers, ``flash-crowd`` slams Zipf-skewed bursty load, and
+the result's ``adversary`` block reports committee capture against the
+analytic binomial tail (``benchmarks/bench_adversary.py`` sweeps
+backend x fraction x lie strategy into ``BENCH_adversary.json``).
 """
 
 from .faults import (
@@ -38,6 +45,7 @@ from .faults import (
     run_fault_scenario,
 )
 from .report import (
+    adversary_table,
     critical_path_table,
     find_baseline,
     hop_table,
@@ -57,6 +65,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "ShardReport",
+    "adversary_table",
     "critical_path_table",
     "fault_preset",
     "find_baseline",

@@ -17,6 +17,7 @@ from ..obs.critical_path import SEGMENTS, CriticalPathReport
 from .runner import ScenarioResult
 
 __all__ = [
+    "adversary_table",
     "results_table",
     "results_record",
     "find_baseline",
@@ -83,6 +84,49 @@ def results_table(
     table.note("infl: messages/sample as a multiple of the churn-free baseline")
     table.note("retries: churn-killed dispatches (retried or failed); latency in sim units")
     table.note("ring ok: ring re-stabilized within the spec's recovery-round budget")
+    return table
+
+
+def adversary_table(results, title: str = "adversarial capture") -> Table:
+    """One row per adversarial run: lies told, draw capture, committee capture.
+
+    ``amp`` is sampling-bias amplification -- the factor by which the
+    Byzantine share of completed draws exceeds the Byzantine share of
+    the live population (1.0 = no advantage beyond head-count).
+    """
+    table = Table(
+        title,
+        [
+            "scenario", "backend", "byz", "lie", "lies told",
+            "captured", "amp", "committee emp", "committee unif",
+        ],
+    )
+    for r in results:
+        adv = r.adversary
+        if adv is None:
+            continue
+        committee = adv["committee"]
+        amps = [
+            s.bias_amplification for s in r.shards if s.bias_amplification is not None
+        ]
+        table.add_row(
+            r.spec.name,
+            r.spec.backend,
+            f"{adv['byzantine_total']} ({adv['fraction']:.0%})",
+            adv["strategy"],
+            sum(s["lies_told"] for s in adv["shards"]),
+            adv["capture_rate"] if adv["capture_rate"] is not None else float("nan"),
+            max(amps) if amps else float("nan"),
+            committee["empirical_capture"]
+            if committee["empirical_capture"] is not None
+            else float("nan"),
+            committee["analytic_capture"]
+            if committee["analytic_capture"] is not None
+            else float("nan"),
+        )
+    table.note("captured: fraction of completed draws landing on a Byzantine peer")
+    table.note("committee emp/unif: observed capture rate vs the binomial tail a "
+               "uniform sampler would give the same Byzantine head-count")
     return table
 
 

@@ -37,12 +37,19 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..adversary.state import AdversaryState
 from ..analysis.stats import chi_square_uniform, total_variation_from_uniform
+from ..apps.committee import (
+    CommitteeSpec,
+    committee_failure_probability,
+    empirical_committee_failure,
+)
 from ..dht.chord.network import ChordNetwork
 from ..dht.kademlia.network import KademliaNetwork
 from ..faults.retry import RetryPolicy
 from ..service.core import SamplingService
 from ..service.loadgen import LoadGenerator
+from ..service.shapes import ZipfKeys, make_shape
 from ..sim.churn import ChurnProcess
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
@@ -77,6 +84,13 @@ class ShardReport:
     delegated_lookups: int  # engine-flagged failures replayed live
     snapshot_builds: int  # ring snapshots (re)built under churn epochs
     ring_correct_after_recovery: bool
+    # -- adversarial accounting (defaults = honest run; see docs/ADVERSARY.md)
+    byzantine: int = 0  # peers marked Byzantine in this shard
+    captured_draws: int = 0  # completed draws that landed on a Byzantine peer
+    capture_rate: float | None = None  # captured_draws / draws
+    bias_amplification: float | None = None  # capture_rate / live Byz fraction
+    honest_chi2_p: float | None = None  # uniformity over *honest* survivors
+    honest_tv: float | None = None  # TV from uniform over honest survivors
 
     def to_record(self) -> dict:
         return dataclasses.asdict(self)
@@ -92,6 +106,7 @@ class ScenarioResult:
     sim_time: float = 0.0
     wall_seconds: float = 0.0
     truncated: bool = False  # max_sim_time tripped before the load drained
+    adversary: dict | None = None  # committee capture & lie accounting
 
     # -- aggregate views ---------------------------------------------------
 
@@ -162,6 +177,7 @@ class ScenarioResult:
                 "mean": lat["mean"],
             },
             "ring_recovered": self.ring_recovered,
+            "adversary": self.adversary,
             "shards": [s.to_record() for s in self.shards],
             "summary": self.summary,
         }
@@ -210,6 +226,29 @@ def run_scenario(spec: ScenarioSpec, tracer=None) -> ScenarioResult:
     substrates = [net.dht() for net in networks]
     start_populations = [set(net.nodes) for net in networks]
 
+    # Byzantine marking happens before any load: placement draws from a
+    # per-shard named stream so honest runs (adv_fraction == 0) skip
+    # this block entirely and consume not a single extra random bit --
+    # that is what keeps fraction-0 runs bit-identical to pre-adversary
+    # releases (enforced by benchmarks/bench_adversary.py's twin check).
+    adversaries: list[AdversaryState] = []
+    if spec.adversarial:
+        for shard_id, net in enumerate(networks):
+            adv_rng = random.Random(
+                rngs.fresh(f"shard{shard_id}.adversary").getrandbits(64)
+            )
+            # The service's entry vantage stays honest: the threat model
+            # is lying *participants*, not a compromised client.
+            candidates = sorted(set(net.nodes) - {substrates[shard_id].entry_id})
+            count = min(
+                len(candidates), max(1, round(spec.adv_fraction * len(net.nodes)))
+            )
+            state = AdversaryState(m=spec.chord_m)
+            for node_id in adv_rng.sample(candidates, count):
+                state.mark(node_id, spec.adv_strategy)
+            net.transport.install_adversary(state)
+            adversaries.append(state)
+
     # The shard retry discipline as a first-class policy.  With the
     # default flat shape (factor 1, no jitter) this is bit-identical to
     # the legacy max_retries/retry_backoff knobs; specs can escalate or
@@ -257,12 +296,27 @@ def run_scenario(spec: ScenarioSpec, tracer=None) -> ScenarioResult:
             for shard_id, net in enumerate(networks)
         ]
 
+    # Workload heterogeneity: a rate modulator and/or Zipf-skewed keys
+    # (both default off, leaving the constant unkeyed path untouched).
+    shape = make_shape(
+        spec.load_shape,
+        spec.rate,
+        amplitude=spec.shape_amplitude,
+        period=spec.shape_period,
+    )
+    keys = (
+        ZipfKeys(1024, spec.key_skew, rngs.stream("keys"))
+        if spec.key_skew > 0
+        else None
+    )
     generator = LoadGenerator(
         sim,
         service.submit,
         rate=spec.rate,
         total=spec.requests,
         rng=rngs.stream("arrivals"),
+        shape=shape,
+        keys=keys,
     )
 
     start_wall = time.perf_counter()
@@ -317,7 +371,12 @@ def run_scenario(spec: ScenarioSpec, tracer=None) -> ScenarioResult:
         ring_ok.append(net.ring_is_correct())
 
     shard_reports = _shard_reports(
-        service, substrates, networks, churns, start_populations, ring_ok
+        service, substrates, networks, churns, start_populations, ring_ok, adversaries
+    )
+    adversary_block = (
+        _adversary_report(spec, service, networks, adversaries)
+        if adversaries
+        else None
     )
     return ScenarioResult(
         spec=spec,
@@ -326,11 +385,13 @@ def run_scenario(spec: ScenarioSpec, tracer=None) -> ScenarioResult:
         sim_time=sim.now,
         wall_seconds=wall,
         truncated=truncated,
+        adversary=adversary_block,
     )
 
 
 def _shard_reports(
-    service, substrates, networks, churns, start_populations, ring_ok
+    service, substrates, networks, churns, start_populations, ring_ok,
+    adversaries=(),
 ) -> list[ShardReport]:
     by_shard_counts: list[Counter] = [Counter() for _ in networks]
     for response in service.completed:
@@ -343,6 +404,21 @@ def _shard_reports(
         end_population = set(net.nodes)
         survivors = sorted(start_populations[shard_id] & end_population)
         chi2_p, tv = _uniformity_over(survivors, counts)
+        byz_ids = adversaries[shard_id].byzantine_ids if adversaries else frozenset()
+        captured = sum(c for p, c in counts.items() if p in byz_ids) if byz_ids else 0
+        capture_rate = captured / draws if byz_ids and draws else None
+        byz_live = len(byz_ids & end_population)
+        live_byz_fraction = byz_live / len(end_population) if end_population else 0.0
+        bias_amplification = (
+            capture_rate / live_byz_fraction
+            if capture_rate is not None and live_byz_fraction > 0
+            else None
+        )
+        honest_chi2_p, honest_tv = (
+            _uniformity_over([p for p in survivors if p not in byz_ids], counts)
+            if byz_ids
+            else (None, None)
+        )
         live = (
             sum(c for p, c in counts.items() if p in end_population) / draws
             if draws
@@ -374,9 +450,90 @@ def _shard_reports(
                 delegated_lookups=batch_stats.delegated if batch_stats else 0,
                 snapshot_builds=getattr(net, "snapshot_builds", 0),
                 ring_correct_after_recovery=ring_ok[shard_id],
+                byzantine=len(byz_ids),
+                captured_draws=captured,
+                capture_rate=capture_rate,
+                bias_amplification=bias_amplification,
+                honest_chi2_p=honest_chi2_p,
+                honest_tv=honest_tv,
             )
         )
     return reports
+
+
+class _SequenceSampler:
+    """Replays the run's completed draws as committee members, in order.
+
+    Capture is measured on the draws the service *actually served* --
+    no fresh randomness, so the verdict is as deterministic as the run.
+    Members are ``(shard_id, peer_id)`` pairs because shard-scoped peer
+    ids may collide across shards.
+    """
+
+    __slots__ = ("_it",)
+
+    def __init__(self, draws):
+        self._it = iter(draws)
+
+    def sample(self):
+        return next(self._it)
+
+
+def _adversary_report(spec, service, networks, adversaries) -> dict:
+    """Committee capture and lie accounting for an adversarial run.
+
+    Committees of ``spec.committee_size`` are chunked from the completed
+    draws in completion order; a committee is *captured* when its
+    Byzantine share exceeds the 1/3-threshold tolerance
+    (:class:`~repro.apps.committee.CommitteeSpec`).  The analytic twin
+    is the binomial tail under uniform sampling over the end-of-run
+    live population -- the number the empirical rate is banded against
+    in the adversary test suite (see docs/ADVERSARY.md).
+    """
+    byz_sets = [adv.byzantine_ids for adv in adversaries]
+
+    def is_byzantine(member) -> bool:
+        shard_id, peer_id = member
+        return peer_id in byz_sets[shard_id]
+
+    draws = [(r.shard_id, r.peer.peer_id) for r in service.completed]
+    cspec = CommitteeSpec(spec.committee_size)
+    elections = len(draws) // cspec.size
+    empirical = (
+        empirical_committee_failure(
+            _SequenceSampler(draws), is_byzantine, cspec, elections
+        )
+        if elections
+        else None
+    )
+    live_total = sum(len(net.nodes) for net in networks)
+    byz_live = sum(
+        len(byz_sets[i] & set(net.nodes)) for i, net in enumerate(networks)
+    )
+    analytic = (
+        committee_failure_probability(live_total, byz_live, cspec)
+        if live_total
+        else None
+    )
+    captured = sum(1 for member in draws if is_byzantine(member))
+    return {
+        "fraction": spec.adv_fraction,
+        "strategy": spec.adv_strategy,
+        "byzantine_total": sum(len(s) for s in byz_sets),
+        "byzantine_live": byz_live,
+        "live_total": live_total,
+        "draws": len(draws),
+        "captured_draws": captured,
+        "capture_rate": captured / len(draws) if draws else None,
+        "committee": {
+            "size": cspec.size,
+            "max_byzantine": cspec.max_byzantine,
+            "elections": elections,
+            "empirical_capture": empirical,
+            "analytic_capture": analytic,
+        },
+        "shards": [adv.describe() for adv in adversaries],
+    }
 
 
 def _uniformity_over(survivors, counts) -> tuple[float | None, float | None]:

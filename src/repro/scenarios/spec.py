@@ -24,6 +24,9 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.adversary.state import LIE_STRATEGIES
+from repro.service.shapes import LOAD_SHAPES
+
 __all__ = ["BACKENDS", "ScenarioSpec", "PRESETS", "preset", "sweep"]
 
 #: Message-level substrates the runner can drive.  ``chord`` stabilizes
@@ -63,6 +66,15 @@ class ScenarioSpec:
     # -- offered load --
     rate: float = 1.0  # Poisson request arrivals / time unit (service-wide)
     requests: int = 500
+    # -- workload shape (see repro.service.shapes; defaults = legacy load) --
+    load_shape: str = "constant"  # constant | diurnal | flash
+    shape_amplitude: float = 1.0  # swing (diurnal) / burst scale (flash)
+    shape_period: float = 200.0  # diurnal period / flash timing base
+    key_skew: float = 0.0  # Zipf exponent for request keys; 0 = unkeyed
+    # -- adversary (see repro.adversary; fraction 0 = every peer honest) --
+    adv_fraction: float = 0.0  # Byzantine fraction of each shard's ring
+    adv_strategy: str = "lookup"  # lookup | census | eclipse
+    committee_size: int = 16  # committee draws per capture election
     # -- serving configuration --
     dispatch: str = "batch"
     policy: str = "least-loaded"
@@ -106,12 +118,35 @@ class ScenarioSpec:
             raise ValueError("retry_jitter must be in [0, 1)")
         if self.rate <= 0:
             raise ValueError("rate must be positive")
+        if self.load_shape not in LOAD_SHAPES:
+            raise ValueError(
+                f"unknown load shape {self.load_shape!r}; choose from {LOAD_SHAPES}"
+            )
+        if self.shape_amplitude < 0:
+            raise ValueError("shape_amplitude must be non-negative")
+        if self.shape_period <= 0:
+            raise ValueError("shape_period must be positive")
+        if self.key_skew < 0:
+            raise ValueError("key_skew must be non-negative")
+        if not 0.0 <= self.adv_fraction < 1.0:
+            raise ValueError("adv_fraction must be in [0, 1)")
+        if self.adv_strategy not in LIE_STRATEGIES:
+            raise ValueError(
+                f"unknown lie strategy {self.adv_strategy!r}; "
+                f"choose from {LIE_STRATEGIES}"
+            )
+        if self.committee_size < 1:
+            raise ValueError("committee_size must be positive")
         if self.max_sim_time <= 0:
             raise ValueError("max_sim_time must be positive")
 
     @property
     def churning(self) -> bool:
         return self.churn_rate > 0
+
+    @property
+    def adversarial(self) -> bool:
+        return self.adv_fraction > 0
 
     def with_(self, **overrides) -> "ScenarioSpec":
         """A copy with the given fields replaced (validation re-runs)."""
@@ -156,6 +191,54 @@ PRESETS: dict[str, ScenarioSpec] = {
         churn_rate=0.15,
         crash_fraction=0.9,
         stabilize_interval=6.0,
+    ),
+    # Adversarial & heterogeneous regimes (the PR-8 scenario lab).
+    # ``byzantine`` is the smoke-sized deflection regime: one peer in
+    # five lies in lookups, membership is otherwise static so every
+    # degradation is attributable to the lies.  ``eclipse`` poisons
+    # Kademlia routing tables wholesale -- the substrate where observed
+    # contacts persist.  ``flash-crowd`` leaves every peer honest but
+    # slams an 8x arrival burst of Zipf-skewed keys through rendezvous
+    # routing, the heterogeneous-load half of the lab.
+    "byzantine": _base(
+        name="byzantine",
+        n=32,
+        shards=2,
+        chord_m=12,
+        stabilize_interval=2.0,
+        rate=1.0,
+        requests=150,
+        max_batch=8,
+        adv_fraction=0.2,
+        adv_strategy="lookup",
+    ),
+    "eclipse": _base(
+        name="eclipse",
+        backend="kademlia",
+        n=32,
+        shards=2,
+        chord_m=12,
+        stabilize_interval=2.0,
+        rate=1.0,
+        requests=150,
+        max_batch=8,
+        adv_fraction=0.2,
+        adv_strategy="eclipse",
+    ),
+    "flash-crowd": _base(
+        name="flash-crowd",
+        n=32,
+        shards=2,
+        chord_m=12,
+        stabilize_interval=2.0,
+        rate=1.0,
+        requests=200,
+        max_batch=8,
+        policy="rendezvous",
+        load_shape="flash",
+        shape_amplitude=7.0,
+        shape_period=200.0,
+        key_skew=1.1,
     ),
 }
 

@@ -302,12 +302,16 @@ def build_load(
     total: int,
     seed: int = 0,
     stream: str = "arrivals",
+    shape=None,
+    keys=None,
 ) -> LoadGenerator:
     """An open-loop Poisson generator wired to ``service.submit``.
 
     The standard drive idiom -- arrivals on the service's own clock,
     interarrival randomness on its own named seed stream -- in one
     place, so the CLI, benchmarks, examples and tests stay in lockstep.
+    ``shape``/``keys`` (see :mod:`repro.service.shapes`) modulate the
+    arrival rate and attach skewed request keys; both default off.
     Call ``.start()`` then ``service.run()``.
     """
     return LoadGenerator(
@@ -316,4 +320,6 @@ def build_load(
         rate=rate,
         total=total,
         rng=RngRegistry(seed).stream(stream),
+        shape=shape,
+        keys=keys,
     )

@@ -8,6 +8,23 @@ open-loop discipline is what makes overload visible -- a closed loop
 hides saturation; an open loop keeps arriving and forces queues and
 admission control to absorb the difference (see PAPERS.md on
 coordinated omission in load testing).
+
+Heterogeneous workloads ride on two optional hooks (both default off,
+leaving the constant-rate path draw-for-draw identical to earlier
+releases):
+
+- ``shape`` -- an arrival-rate modulator (``rate_at(t)``; see
+  :mod:`repro.service.shapes`).  The process becomes non-homogeneous
+  Poisson, approximated by re-sampling the instantaneous rate at each
+  arrival.  A modulated rate of zero is an *idle interval*, not an
+  error: the generator polls forward ``idle_poll`` time units until the
+  shape wakes up, instead of feeding ``expovariate`` a zero (division
+  by zero) or a negative rate (negative "gaps" that would schedule
+  arrivals into the past).
+- ``keys`` -- a nullary key source (e.g.
+  :class:`~repro.service.shapes.ZipfKeys`); when set, each arrival
+  submits ``submit(keys())`` so skewed keys exercise rendezvous
+  routing.
 """
 
 from __future__ import annotations
@@ -26,21 +43,29 @@ class LoadGenerator:
     def __init__(
         self,
         sim: Simulator,
-        submit: Callable[[], object],
+        submit: Callable[..., object],
         *,
         rate: float,
         total: int,
         rng: random.Random | None = None,
+        shape=None,
+        keys: Callable[[], int] | None = None,
+        idle_poll: float = 1.0,
     ):
         if rate <= 0:
             raise ValueError("rate must be positive")
         if total < 0:
             raise ValueError("total must be non-negative")
+        if idle_poll <= 0:
+            raise ValueError("idle_poll must be positive")
         self._sim = sim
         self._submit = submit
         self.rate = rate
         self.total = total
         self._rng = rng if rng is not None else random.Random()
+        self._shape = shape
+        self._keys = keys
+        self._idle_poll = idle_poll
         self.submitted = 0
         self._started = False
         self._stopped = False
@@ -51,7 +76,7 @@ class LoadGenerator:
             raise RuntimeError("load generator already started")
         self._started = True
         if self.total > 0:
-            self._sim.schedule(self._rng.expovariate(self.rate), self._arrive)
+            self._schedule_next()
 
     def stop(self) -> None:
         """Stop offering load: no further arrivals are submitted.
@@ -62,13 +87,38 @@ class LoadGenerator:
         """
         self._stopped = True
 
+    def _schedule_next(self) -> None:
+        shape = self._shape
+        if shape is None:
+            # The original constant-rate path, bit-for-bit: one
+            # expovariate draw per arrival and nothing else.
+            self._sim.schedule(self._rng.expovariate(self.rate), self._arrive)
+            return
+        r = shape.rate_at(self._sim.now)
+        if r <= 0.0:
+            # Idle interval (diurnal trough, pre-burst dead zone):
+            # expovariate(0) raises and a negative rate yields negative
+            # gaps, so poll forward instead until the shape wakes up.
+            self._sim.schedule(self._idle_poll, self._poll)
+            return
+        # Clamp defends against shapes whose float edges dip epsilon
+        # negative; expovariate itself is non-negative for positive r.
+        self._sim.schedule(max(0.0, self._rng.expovariate(r)), self._arrive)
+
+    def _poll(self) -> None:
+        if not self._stopped:
+            self._schedule_next()
+
     def _arrive(self) -> None:
         if self._stopped:
             return
         self.submitted += 1
-        self._submit()
+        if self._keys is not None:
+            self._submit(self._keys())
+        else:
+            self._submit()
         if self.submitted < self.total:
-            self._sim.schedule(self._rng.expovariate(self.rate), self._arrive)
+            self._schedule_next()
 
     @property
     def done(self) -> bool:

@@ -1,0 +1,157 @@
+"""Heterogeneous workload shapes: arrival-rate modulators and key skew.
+
+The scenario matrix so far offered load exactly one way: a constant-rate
+Poisson process over unkeyed requests.  Real request streams are neither
+flat nor uniform, and both departures matter to a sampling service --
+rate modulation stresses admission and queueing at the worst moment, and
+key skew concentrates rendezvous routing onto a few shards.  This module
+supplies both as small deterministic objects the
+:class:`~repro.service.loadgen.LoadGenerator` consults on its own clock
+and RNG streams:
+
+- :class:`DiurnalShape` -- a sinusoidal day/night swing around the base
+  rate.  Amplitude > 1 deliberately drives the trough *negative*, which
+  the generator must clamp to an idle (rate-0) interval rather than
+  divide by zero or schedule backwards in time (the satellite-5 bug
+  class; regression-tested in ``tests/service/test_loadgen.py``).
+- :class:`FlashCrowdShape` -- a rectangular burst: ``base`` rate
+  everywhere except ``[start, start + duration)``, where it multiplies
+  by ``multiplier``.
+- :class:`ZipfKeys` -- Zipf-distributed request keys over a bounded key
+  space via inverse-CDF draws on a dedicated RNG stream, so keyed and
+  unkeyed runs consume identical arrival draws.
+
+Shapes are pure functions of simulated time (frozen dataclasses, no RNG,
+no state), so a fixed-seed run is bit-identical whatever the shape.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+
+__all__ = [
+    "DiurnalShape",
+    "FlashCrowdShape",
+    "ZipfKeys",
+    "LOAD_SHAPES",
+    "make_shape",
+]
+
+#: Shape names accepted by :func:`make_shape` / ``ScenarioSpec.load_shape``.
+LOAD_SHAPES = ("constant", "diurnal", "flash")
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalShape:
+    """``base * (1 + amplitude * sin(2*pi*t / period))``, clamped at zero.
+
+    ``amplitude`` may exceed 1: the trough then spends part of each
+    period at rate zero (a dead interval), which is precisely the edge
+    the load generator must survive without ``expovariate(0)``.
+    """
+
+    base: float
+    amplitude: float = 0.5
+    period: float = 200.0
+
+    def __post_init__(self):
+        if self.base <= 0:
+            raise ValueError("base rate must be positive")
+        if self.amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def rate_at(self, t: float) -> float:
+        return max(
+            0.0,
+            self.base * (1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FlashCrowdShape:
+    """``base`` everywhere, ``base * multiplier`` on ``[start, start+duration)``."""
+
+    base: float
+    multiplier: float = 8.0
+    start: float = 50.0
+    duration: float = 30.0
+
+    def __post_init__(self):
+        if self.base <= 0:
+            raise ValueError("base rate must be positive")
+        if self.multiplier < 0:
+            raise ValueError("multiplier must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def rate_at(self, t: float) -> float:
+        if self.start <= t < self.start + self.duration:
+            return self.base * self.multiplier
+        return self.base
+
+
+def make_shape(
+    name: str,
+    base: float,
+    *,
+    amplitude: float = 1.0,
+    period: float = 200.0,
+):
+    """Build the named arrival shape, or ``None`` for ``"constant"``.
+
+    ``None`` (not a constant-rate object) is deliberate: the load
+    generator's unshaped path is its original code path, so constant
+    runs stay draw-for-draw identical to every pre-shape release.
+    ``amplitude`` doubles as the flash-crowd multiplier's scale
+    (``multiplier = 1 + amplitude``) so one spec knob covers both.
+    """
+    if name == "constant":
+        return None
+    if name == "diurnal":
+        return DiurnalShape(base=base, amplitude=amplitude, period=period)
+    if name == "flash":
+        return FlashCrowdShape(
+            base=base,
+            multiplier=1.0 + amplitude,
+            start=period / 4.0,
+            duration=period / 4.0,
+        )
+    raise ValueError(f"unknown load shape {name!r}; choose from {LOAD_SHAPES}")
+
+
+class ZipfKeys:
+    """Zipf-distributed keys on ``[0, space)`` via inverse-CDF draws.
+
+    Rank ``r`` (1-based) has probability proportional to ``r**-exponent``.
+    The CDF is precomputed once; each call does one ``rng.random()`` and
+    a bisect, so draws are O(log space) and fully determined by the
+    supplied RNG stream.  ``exponent=0`` degenerates to uniform keys.
+    """
+
+    __slots__ = ("space", "exponent", "_rng", "_cdf")
+
+    def __init__(self, space: int, exponent: float, rng: random.Random):
+        if space < 1:
+            raise ValueError("key space must be positive")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.space = space
+        self.exponent = exponent
+        self._rng = rng
+        weights = [(r + 1) ** -exponent for r in range(space)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cdf.append(acc / total)
+        cdf[-1] = 1.0  # guard float drift at the top of the CDF
+        self._cdf = cdf
+
+    def __call__(self) -> int:
+        return bisect_left(self._cdf, self._rng.random())

@@ -27,6 +27,7 @@ __all__ = [
     "ConstantLatency",
     "UniformLatency",
     "ExponentialLatency",
+    "NullAdversary",
     "NullFaults",
     "NullTraceSink",
     "RpcError",
@@ -123,6 +124,25 @@ class NullFaults:
 
     def latency_factor(self, source: int | None, target: int | None) -> float:
         return 1.0
+
+
+class NullAdversary:
+    """The default Byzantine surface: every peer answers honestly.
+
+    The transport consults :attr:`RpcTransport.adversary` after each
+    handler runs; this null object answers "no one lies" at the cost of
+    one attribute read per delivery.  The real implementor -- colluding
+    deflection, census misreport, eclipse poisoning -- is
+    :class:`repro.adversary.state.AdversaryState`, installed via
+    :meth:`RpcTransport.install_adversary`.  Same inversion as
+    :class:`NullFaults` and :class:`NullTraceSink`, for the same
+    reason: the sim layer does not import the layers above it.
+    """
+
+    active = False
+
+    def rewrite(self, responder_id: int, method: str, args: tuple, result):
+        return result
 
 
 class NullTraceSink:
@@ -241,6 +261,9 @@ class RpcTransport:
         #: The trace sink notified of deliveries while it is active
         #: (:class:`NullTraceSink` until :meth:`install_tracer`).
         self.tracer = NullTraceSink()
+        #: The Byzantine surface asked to rewrite each reply while it is
+        #: active (:class:`NullAdversary` until :meth:`install_adversary`).
+        self.adversary = NullAdversary()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Bound ``Counter.increment`` handles for the per-delivery
         #: counters.  Caching them skips two registry lookups and an
@@ -281,6 +304,19 @@ class RpcTransport:
         """
         self.tracer = tracer
         return tracer
+
+    def install_adversary(self, adversary: Any) -> Any:
+        """Install (and return) a Byzantine surface, replacing the current one.
+
+        While ``adversary.active`` is true, every delivered reply passes
+        through ``adversary.rewrite(responder_id, method, args, result)``
+        *after* the handler has run and the delivery has been charged:
+        Byzantine peers participate at full protocol cost, they just
+        answer falsely.  The rewrite sits on the reply leg only -- a lie
+        never saves a message, and a dead liar still times out.
+        """
+        self.adversary = adversary
+        return adversary
 
     def endpoint(self, node_id: int) -> TransportEndpoint:
         """A node-bound view whose calls carry ``node_id`` as the source."""
@@ -421,6 +457,11 @@ class RpcTransport:
         else:
             self.elapsed += delta
         result = getattr(target, method)(*args, **kwargs)
+        adversary = self.adversary
+        if adversary.active:
+            # Byzantine responder: the handler ran and the exchange was
+            # charged in full, but the reply on the wire may be a lie.
+            result = adversary.rewrite(target_id, method, args, result)
         if self.faults.blocked(target_id, source_id):
             # One-way partition, reply leg severed: the request crossed
             # and the handler ran (side effects stand), but the answer
@@ -483,7 +524,11 @@ class RpcTransport:
             )
         else:
             self.elapsed += delta
-        return getattr(target, method)(*args, **kwargs)
+        result = getattr(target, method)(*args, **kwargs)
+        adversary = self.adversary
+        if adversary.active:
+            result = adversary.rewrite(target_id, method, args, result)
+        return result
 
     # -- per-method message accounting ----------------------------------
 

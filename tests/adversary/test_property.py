@@ -1,0 +1,117 @@
+"""Property-based checks on committee capture under adversarial placement.
+
+Hypothesis drives arbitrary Byzantine layouts at fraction < 1/3 through
+the committee machinery: under *uniform* sampling the empirical capture
+frequency must stay inside the Bonferroni-corrected binomial acceptance
+band around the analytic tail, for every placement -- where the peers
+sit cannot matter, only how many there are.  Under a deflecting
+(lie-in-lookup) sampler even a single colluder leaves the band, and
+Hypothesis's shrinker reduces any failing layout to the minimal one.
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import find, given, settings, strategies as st  # noqa: E402
+
+from repro.adversary import AdversaryState, acceptance_band  # noqa: E402
+from repro.apps.committee import (  # noqa: E402
+    CommitteeSpec,
+    committee_failure_probability,
+    empirical_committee_failure,
+)
+
+N = 60  # population size; fraction < 1/3 means at most 19 Byzantine peers
+SPEC = CommitteeSpec(size=9)
+ELECTIONS = 400
+ALPHA = 1e-6
+
+byz_sets = st.sets(st.integers(min_value=0, max_value=N - 1), max_size=19)
+
+
+class _UniformSampler:
+    """Seeded uniform member draws -- the honest King-Saia idealisation."""
+
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def sample(self):
+        return self._rng.randrange(N)
+
+
+class _DeflectingSampler:
+    """Uniform draw bent to the clockwise-first colluder, as a fully
+    successful lie-in-lookup adversary would bend every query."""
+
+    def __init__(self, seed, byzantine):
+        self._rng = random.Random(seed)
+        self._adv = AdversaryState(m=8)
+        for peer in byzantine:
+            self._adv.mark(peer, "lookup")
+
+    def sample(self):
+        return self._adv._deflect(self._rng.randrange(N))
+
+
+def _layout_seed(byzantine):
+    # Derandomised examples must still give distinct layouts distinct
+    # (but reproducible) draw streams.
+    return "layout:" + ",".join(map(str, sorted(byzantine)))
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(byz_sets)
+def test_uniform_capture_stays_in_band_for_any_placement(byzantine):
+    analytic = committee_failure_probability(N, len(byzantine), SPEC)
+    observed = empirical_committee_failure(
+        _UniformSampler(_layout_seed(byzantine)),
+        byzantine.__contains__,
+        SPEC,
+        ELECTIONS,
+    )
+    lo, hi = acceptance_band(analytic, ELECTIONS, alpha=ALPHA)
+    assert lo <= observed <= hi, (
+        f"uniform sampling left the band for layout {sorted(byzantine)}: "
+        f"observed {observed}, band [{lo}, {hi}] around {analytic}"
+    )
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(byz_sets.filter(lambda s: len(s) >= 1))
+def test_deflection_amplifies_any_nonempty_placement(byzantine):
+    # A deflecting sampler routes every draw to a colluder, so committee
+    # capture saturates regardless of where the colluders sit.
+    observed = empirical_committee_failure(
+        _DeflectingSampler(_layout_seed(byzantine), byzantine),
+        byzantine.__contains__,
+        SPEC,
+        ELECTIONS,
+    )
+    assert observed == 1.0
+
+
+def test_shrinking_finds_the_minimal_adversary_layout():
+    # The smallest layout whose deflected capture escapes the uniform
+    # acceptance band is a single colluder; shrinking must find exactly
+    # that -- and minimise the peer id too.
+    def escapes_uniform_band(byzantine):
+        if not byzantine:
+            return False
+        analytic = committee_failure_probability(N, len(byzantine), SPEC)
+        observed = empirical_committee_failure(
+            _DeflectingSampler(_layout_seed(byzantine), byzantine),
+            byzantine.__contains__,
+            SPEC,
+            ELECTIONS,
+        )
+        lo, hi = acceptance_band(analytic, ELECTIONS, alpha=ALPHA)
+        return not (lo <= observed <= hi)
+
+    minimal = find(
+        byz_sets,
+        escapes_uniform_band,
+        settings=settings(max_examples=200, deadline=None, derandomize=True),
+    )
+    assert minimal == {0}

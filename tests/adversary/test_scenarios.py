@@ -1,0 +1,180 @@
+"""End-to-end adversarial scenario runs: wiring, reporting, presets, CLI."""
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, adversary_table, preset, run_scenario
+
+QUICK = dict(n=24, requests=60, seed=5)
+
+
+@pytest.fixture(scope="module")
+def byzantine_chord():
+    return run_scenario(preset("byzantine", **QUICK))
+
+
+@pytest.fixture(scope="module")
+def byzantine_kademlia():
+    return run_scenario(preset("byzantine", backend="kademlia", **QUICK))
+
+
+class TestSpecSurface:
+    def test_presets_validate(self):
+        for name in ("byzantine", "eclipse", "flash-crowd"):
+            spec = preset(name)
+            assert spec.name == name
+
+    def test_adversarial_property(self):
+        assert preset("byzantine").adversarial
+        assert not preset("smoke").adversarial
+
+    def test_validation_rejects_bad_adversary_knobs(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", adv_fraction=1.0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", adv_strategy="gaslight")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", committee_size=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", load_shape="sawtooth")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", key_skew=-1.0)
+
+    def test_spec_record_carries_the_adversary_block(self):
+        record = preset("byzantine").to_record()
+        assert record["adv_fraction"] == 0.2
+        assert record["adv_strategy"] == "lookup"
+        assert record["load_shape"] == "constant"
+
+
+class TestAdversarialRun:
+    def test_run_completes_under_lies(self, byzantine_chord):
+        assert byzantine_chord.completed > 0
+        assert not byzantine_chord.truncated
+
+    def test_adversary_block_reports_capture(self, byzantine_chord):
+        adv = byzantine_chord.adversary
+        assert adv is not None
+        assert adv["strategy"] == "lookup"
+        assert adv["byzantine_total"] > 0
+        assert adv["capture_rate"] is not None
+        # Deflection toward colluders must over-represent them: the
+        # capture rate exceeds the Byzantine head-count fraction.
+        assert adv["capture_rate"] > adv["byzantine_live"] / adv["live_total"]
+        assert sum(s["lies_told"] for s in adv["shards"]) > 0
+
+    def test_committee_block_has_both_rates(self, byzantine_chord):
+        committee = byzantine_chord.adversary["committee"]
+        assert committee["elections"] > 0
+        assert 0.0 <= committee["empirical_capture"] <= 1.0
+        assert 0.0 <= committee["analytic_capture"] <= 1.0
+
+    def test_shard_reports_carry_adversarial_fields(self, byzantine_chord):
+        for shard in byzantine_chord.shards:
+            assert shard.byzantine > 0
+            assert shard.captured_draws >= 0
+            record = shard.to_record()
+            assert "capture_rate" in record
+            assert "honest_chi2_p" in record
+
+    def test_kademlia_backend_runs_the_same_schema(self, byzantine_kademlia):
+        adv = byzantine_kademlia.adversary
+        assert adv is not None
+        assert adv["capture_rate"] is not None
+        assert adv["capture_rate"] > 0
+
+    def test_honest_run_has_no_adversary_block(self):
+        result = run_scenario(preset("smoke", **QUICK))
+        assert result.adversary is None
+        for shard in result.shards:
+            assert shard.byzantine == 0
+            assert shard.capture_rate is None
+        assert result.to_record()["adversary"] is None
+
+    def test_census_and_eclipse_strategies_run(self):
+        for strategy in ("census", "eclipse"):
+            result = run_scenario(
+                preset("byzantine", adv_strategy=strategy, **QUICK)
+            )
+            assert result.completed > 0
+            assert result.adversary["strategy"] == strategy
+
+    def test_entry_vantage_stays_honest(self, byzantine_chord):
+        # The service's lookup vantage is excluded from marking: the
+        # threat model is lying participants, not a compromised client.
+        spec = preset("byzantine", **QUICK)
+        result = byzantine_chord
+        assert result.adversary["byzantine_total"] <= spec.shards * round(
+            spec.adv_fraction * spec.n
+        )
+
+    def test_adversary_table_renders(self, byzantine_chord):
+        table = adversary_table([byzantine_chord])
+        text = table.render()
+        assert "byzantine" in text
+        assert "lookup" in text
+
+
+class TestHeterogeneousLoad:
+    def test_flash_crowd_preset_completes(self):
+        result = run_scenario(preset("flash-crowd", **QUICK))
+        assert result.completed > 0
+        assert result.adversary is None
+
+    def test_diurnal_shape_with_dead_troughs_completes(self):
+        spec = preset(
+            "smoke",
+            load_shape="diurnal",
+            shape_amplitude=1.5,  # trough spends time at rate 0
+            shape_period=40.0,
+            **QUICK,
+        )
+        result = run_scenario(spec)
+        assert result.completed + result.failed + result.rejected > 0
+        assert not result.truncated
+
+    def test_zipf_keys_route_through_rendezvous(self):
+        result = run_scenario(
+            preset("smoke", policy="rendezvous", key_skew=1.2, **QUICK)
+        )
+        assert result.completed > 0
+
+    def test_constant_shape_is_bit_identical_to_legacy(self):
+        # load_shape="constant" must not perturb a single draw.
+        base = run_scenario(preset("smoke", **QUICK))
+        shaped = run_scenario(preset("smoke", load_shape="constant", **QUICK))
+        a, b = base.to_record(), shaped.to_record()
+        a.pop("wall_seconds"), b.pop("wall_seconds")
+        a["spec"].pop("name"), b["spec"].pop("name")
+        assert a == b
+
+
+class TestCli:
+    def test_scenario_run_adversary_flags(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["scenario", "run", "--preset", "byzantine",
+             "--n", "24", "--requests", "40", "--adversary", "0.25",
+             "--lie", "census", "--committee-size", "8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adversary:" in out
+        assert "census lies" in out
+
+    def test_fault_presets_reject_adversary_flags(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["scenario", "run", "--preset", "mass-failure", "--adversary", "0.1"]
+        )
+        assert code == 2
+        assert "only apply to churn presets" in capsys.readouterr().err
+
+    def test_scenario_list_mentions_adversarial_presets(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Byzantine" in out
+        assert "flash" in out

@@ -1,0 +1,110 @@
+"""The statistical harness must catch planted bugs and pass honest samplers.
+
+These are the acceptance-criteria tests: rejection of a deliberately
+biased sampler and acceptance of the honest one, both deterministic
+under fixed seeds, plus the Bonferroni and binomial-band arithmetic the
+verdicts rest on.
+"""
+
+import pytest
+
+from repro.adversary.verify import (
+    acceptance_band,
+    bonferroni,
+    verify_capture,
+    verify_uniformity,
+)
+
+
+def _honest(rng):
+    return rng.randrange(64)
+
+
+def _biased(rng):
+    # Peer 0 drawn with double weight -- the planted bug.
+    pick = rng.randrange(65)
+    return 0 if pick == 64 else pick
+
+
+class TestBonferroni:
+    def test_divides_alpha(self):
+        assert bonferroni(0.05, 10) == pytest.approx(0.005)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bonferroni(0.0, 5)
+        with pytest.raises(ValueError):
+            bonferroni(1.5, 5)
+        with pytest.raises(ValueError):
+            bonferroni(0.05, 0)
+
+
+class TestVerifyUniformity:
+    def test_accepts_honest_sampler(self):
+        report = verify_uniformity(
+            _honest, range(64), trials=8, draws=4000, alpha=0.01, seed=0
+        )
+        assert report.accepted
+        assert report.rejections == 0
+        assert report.corrected_alpha == pytest.approx(0.01 / 8)
+
+    def test_rejects_planted_bias(self):
+        report = verify_uniformity(
+            _biased, range(64), trials=8, draws=4000, alpha=0.01, seed=0
+        )
+        assert not report.accepted
+        assert report.min_p_value < report.corrected_alpha
+
+    def test_deterministic_under_fixed_seed(self):
+        a = verify_uniformity(_honest, range(64), trials=4, draws=2000, seed=7)
+        b = verify_uniformity(_honest, range(64), trials=4, draws=2000, seed=7)
+        assert a.p_values == b.p_values
+        assert a.tv_distances == b.tv_distances
+
+    def test_different_seeds_draw_differently(self):
+        a = verify_uniformity(_honest, range(64), trials=4, draws=2000, seed=7)
+        b = verify_uniformity(_honest, range(64), trials=4, draws=2000, seed=8)
+        assert a.p_values != b.p_values
+
+    def test_to_record_round_trips_the_verdict(self):
+        report = verify_uniformity(_honest, range(64), trials=4, draws=2000, seed=0)
+        record = report.to_record()
+        assert record["accepted"] is True
+        assert record["trials"] == 4
+        assert record["min_p_value"] == report.min_p_value
+
+    def test_guards_tiny_populations_and_thin_draws(self):
+        with pytest.raises(ValueError):
+            verify_uniformity(_honest, [1], trials=2, draws=100)
+        with pytest.raises(ValueError):
+            verify_uniformity(_honest, range(64), trials=2, draws=50)
+
+
+class TestAcceptanceBand:
+    def test_band_contains_the_mean(self):
+        lo, hi = acceptance_band(0.1, 1000, alpha=1e-6)
+        assert lo <= 0.1 <= hi
+        assert 0.0 <= lo < hi <= 1.0
+
+    def test_band_tightens_with_elections(self):
+        lo1, hi1 = acceptance_band(0.1, 100, alpha=1e-6)
+        lo2, hi2 = acceptance_band(0.1, 10_000, alpha=1e-6)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_degenerate_probabilities(self):
+        assert acceptance_band(0.0, 100) == (0.0, 0.0)
+        lo, hi = acceptance_band(1.0, 100)
+        assert lo == hi == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            acceptance_band(1.5, 100)
+        with pytest.raises(ValueError):
+            acceptance_band(0.5, 0)
+
+    def test_verify_capture_flags_out_of_band(self):
+        ok = verify_capture(0.1, 0.1, 1000, alpha=1e-6)
+        assert ok["within_band"]
+        bad = verify_capture(0.9, 0.1, 1000, alpha=1e-6)
+        assert not bad["within_band"]
+        assert bad["band_low"] <= bad["band_high"]

@@ -325,3 +325,139 @@ class TestUnreachableSemantics:
         survivors = backend.live_peer_ids(dht)
         drawn = [sampler.sample() for _ in range(25)]
         assert all(p.peer_id in survivors for p in drawn)
+
+
+def _record_routes(dht):
+    """Wrap the substrate's transport so every RPC responder is recorded.
+
+    Returns the list the wrappers append to; each ``h`` call's contacted
+    responders are the list entries added while it ran.
+    """
+    transport = dht._network.transport
+    contacted: list[int] = []
+    orig_rpc, orig_oneway = transport.rpc_from, transport.oneway_from
+
+    def rpc_from(source_id, target_id, method, *args, **kwargs):
+        contacted.append(target_id)
+        return orig_rpc(source_id, target_id, method, *args, **kwargs)
+
+    def oneway_from(source_id, target_id, method, *args, **kwargs):
+        contacted.append(target_id)
+        return orig_oneway(source_id, target_id, method, *args, **kwargs)
+
+    transport.rpc_from, transport.oneway_from = rpc_from, oneway_from
+    return contacted
+
+
+class TestAdversarialContract:
+    """Lookups under Byzantine responders: wrong answers must be attributable.
+
+    The contract every live substrate must honor when some registered
+    peers lie in their lookup replies (``AdversaryState``, strategy
+    ``"lookup"``):
+
+    - A lookup whose honest route contacts **no** Byzantine peer returns
+      exactly the oracle successor -- the adapter never invents or
+      launders an adversary-chosen peer on an all-honest path.
+    - A lookup whose honest route does cross a Byzantine responder may
+      be bent, but only to a *colluder* (or it may still reach the
+      oracle answer, or raise ``PeerUnreachableError``).  It must never
+      silently return some third, unrelated peer.
+    - Every lookup -- truthful or deflected -- charges honestly: one
+      ``h`` call with positive messages.  Lying is free for the liar;
+      it is never free for the meter.
+
+    The ideal backend has no transport to corrupt, so its contract is
+    trivially "always the oracle answer"; asserting that here keeps the
+    parametrization total.
+    """
+
+    N = 48
+    SEED = 60
+    TRIALS = 60
+
+    def _byzantine_set(self, dht, live):
+        # every fourth live peer, sparing the entry vantage
+        return set(sorted(live)[::4]) - {dht.entry_id}
+
+    def test_lookup_is_oracle_correct_or_attributably_bent(self, backend):
+        from repro.adversary import AdversaryState
+
+        honest = backend.make(self.N, seed=self.SEED)
+        ring = oracle_ring(backend, honest)
+        xs = trial_points(self.TRIALS, 83)
+
+        if not backend.churnable:  # the ideal oracle has no transport
+            for x in xs:
+                assert honest.h(x) == oracle_h(ring, x)
+            return
+
+        # honest twin records which responders each lookup touches
+        routes = _record_routes(honest)
+        honest_routes = []
+        for x in xs:
+            start = len(routes)
+            honest.h(x)
+            honest_routes.append(set(routes[start:]))
+
+        lying = backend.make(self.N, seed=self.SEED)  # identical twin
+        live = backend.live_peer_ids(lying)
+        byzantine = self._byzantine_set(lying, live)
+        assert byzantine and lying.entry_id not in byzantine
+        adv = AdversaryState(m=16)
+        for peer_id in byzantine:
+            adv.mark(peer_id, "lookup")
+        lying._network.transport.install_adversary(adv)
+
+        bent = 0
+        for x, route in zip(xs, honest_routes):
+            before = lying.cost.snapshot()
+            try:
+                peer = lying.h(x)
+            except PeerUnreachableError:
+                continue  # honest refusal is within the contract
+            delta = lying.cost.snapshot() - before
+            assert delta.h_calls == 1 and delta.messages > 0, (
+                f"{backend.name}: lookup under lies must still charge"
+            )
+            expected = oracle_h(ring, x)
+            if route.isdisjoint(byzantine):
+                assert peer == expected, (
+                    f"{backend.name}: all-honest route for h({x}) returned "
+                    f"{peer.peer_id} instead of oracle {expected.peer_id}"
+                )
+            else:
+                assert peer == expected or peer.peer_id in byzantine, (
+                    f"{backend.name}: h({x}) returned {peer.peer_id}, which "
+                    "is neither the oracle successor nor a colluder"
+                )
+                if peer != expected:
+                    bent += 1
+        # the lie surface must actually have been exercised, or this
+        # test would pass vacuously with the adversary disconnected.
+        # (Successful deflection is NOT required: Kademlia's aligned
+        # block certification legitimately outvotes lone liars, so its
+        # bent count may be zero while thousands of lies were told.)
+        assert adv.describe()["lies_told"] > 0, (
+            f"{backend.name}: no Byzantine responder was ever consulted"
+        )
+        if backend.name == "chord":
+            assert bent > 0, "chord: greedy routing should have been bent"
+
+    def test_census_lies_never_corrupt_the_lookup_path(self, backend):
+        from repro.adversary import AdversaryState
+
+        if not backend.churnable:
+            pytest.skip(f"{backend.name} has no transport to corrupt")
+        dht = backend.make(self.N, seed=self.SEED + 1)
+        ring = oracle_ring(backend, dht)
+        live = backend.live_peer_ids(dht)
+        adv = AdversaryState(m=16)
+        for peer_id in self._byzantine_set(dht, live):
+            adv.mark(peer_id, "census")
+        dht._network.transport.install_adversary(adv)
+        for x in trial_points(30, 84):
+            assert dht.h(x) == oracle_h(ring, x), (
+                f"{backend.name}: census lies must only distort membership "
+                "reports, never routed lookups"
+            )

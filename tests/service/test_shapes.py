@@ -1,0 +1,103 @@
+"""Workload shape and key-skew tests (diurnal, flash crowd, Zipf keys)."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.service.shapes import (
+    LOAD_SHAPES,
+    DiurnalShape,
+    FlashCrowdShape,
+    ZipfKeys,
+    make_shape,
+)
+
+
+class TestDiurnalShape:
+    def test_peaks_and_troughs(self):
+        shape = DiurnalShape(base=4.0, amplitude=0.5, period=100.0)
+        assert shape.rate_at(25.0) == pytest.approx(6.0)  # peak: base*(1+A)
+        assert shape.rate_at(75.0) == pytest.approx(2.0)  # trough: base*(1-A)
+        assert shape.rate_at(0.0) == pytest.approx(4.0)
+
+    def test_deep_amplitude_clamps_at_zero(self):
+        shape = DiurnalShape(base=2.0, amplitude=1.5, period=100.0)
+        assert shape.rate_at(75.0) == 0.0  # would be negative unclamped
+        assert shape.rate_at(25.0) == pytest.approx(5.0)
+
+    def test_periodicity(self):
+        shape = DiurnalShape(base=3.0, amplitude=0.4, period=50.0)
+        for t in (0.0, 13.7, 42.0):
+            assert shape.rate_at(t) == pytest.approx(shape.rate_at(t + 50.0))
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            DiurnalShape(base=-1.0)
+        with pytest.raises(ValueError):
+            DiurnalShape(base=1.0, amplitude=-0.1)
+        with pytest.raises(ValueError):
+            DiurnalShape(base=1.0, period=0.0)
+
+
+class TestFlashCrowdShape:
+    def test_burst_window(self):
+        shape = FlashCrowdShape(base=1.0, multiplier=8.0, start=50.0, duration=30.0)
+        assert shape.rate_at(49.9) == 1.0
+        assert shape.rate_at(50.0) == 8.0
+        assert shape.rate_at(79.9) == 8.0
+        assert shape.rate_at(80.0) == 1.0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            FlashCrowdShape(base=1.0, multiplier=-1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdShape(base=1.0, duration=-1.0)
+
+
+class TestMakeShape:
+    def test_constant_returns_none(self):
+        # None keeps the LoadGenerator on its legacy draw-identical path.
+        assert make_shape("constant", 2.0) is None
+
+    def test_known_names(self):
+        assert set(LOAD_SHAPES) == {"constant", "diurnal", "flash"}
+        assert isinstance(make_shape("diurnal", 2.0), DiurnalShape)
+        assert isinstance(make_shape("flash", 2.0), FlashCrowdShape)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_shape("sawtooth", 2.0)
+
+
+class TestZipfKeys:
+    def test_keys_in_range_and_deterministic(self):
+        a = ZipfKeys(256, 1.1, random.Random(3))
+        b = ZipfKeys(256, 1.1, random.Random(3))
+        draws = [a() for _ in range(500)]
+        assert all(0 <= k < 256 for k in draws)
+        assert draws == [b() for _ in range(500)]
+
+    def test_skew_concentrates_head(self):
+        keys = ZipfKeys(1024, 1.2, random.Random(0))
+        counts = Counter(keys() for _ in range(20_000))
+        head = sum(counts[k] for k in range(10))
+        assert head / 20_000 > 0.5  # top-10 keys dominate under Zipf 1.2
+
+    def test_zero_exponent_is_uniform_ish(self):
+        keys = ZipfKeys(64, 0.0, random.Random(0))
+        counts = Counter(keys() for _ in range(64_000))
+        assert max(counts.values()) / min(counts.values()) < 1.5
+
+    def test_cdf_is_normalised(self):
+        keys = ZipfKeys(100, 1.5, random.Random(0))
+        assert math.isclose(keys._cdf[-1], 1.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ZipfKeys(0, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfKeys(16, -0.5, random.Random(0))
