@@ -1,0 +1,40 @@
+"""Async-transport mass failure: the acceptance outage at message level.
+
+Thin entry point around :mod:`repro.bench.async_net` (also reachable as
+``python -m repro bench async``), kept in ``benchmarks/`` so the
+artifact-producing scripts stay discoverable in one place.  See the
+module docstring there for what is measured; results land in
+``BENCH_async.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+from repro.bench.async_net import (
+    bench_specs,
+    check_results,
+    emit,
+    main,
+    results_table,
+    run_all,
+)
+
+
+def test_async_bench_quick(show, tmp_path):
+    """CI-scale async outage: both substrates recover on the message-level
+    transport and report the async-only observables."""
+    results = run_all(bench_specs(quick=True))
+    show(results_table(results, "mass failure on the async transport (quick)"))
+    emit(results, tmp_path / "BENCH_async.json", quick=True, seed=0)
+    assert check_results(results) == []
+    for r in results:
+        # the async-only observables must actually materialize
+        assert r.recovery_sim_time is not None and r.recovery_sim_time > 0
+        assert r.hop_latency["count"] > 0
+        assert 1.0 <= r.hop_latency["p50"] <= r.hop_latency["p99"] <= 3.0
+    # the outage must wound lookups before repair runs on at least one
+    # substrate, or the scenario is not measuring anything
+    assert any(r.outage.error_rate > 0.0 for r in results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,7 @@ QUICK_COMMANDS = {
     "BENCH_faults.json": ["benchmarks/bench_faults.py", "--quick"],
     "BENCH_obs.json": ["benchmarks/bench_obs.py", "--quick"],
     "BENCH_adversary.json": ["benchmarks/bench_adversary.py", "--quick"],
+    "BENCH_async.json": ["benchmarks/bench_async.py", "--quick"],
 }
 
 #: Metric direction markers.
@@ -186,6 +187,29 @@ def _metrics_adversary(record: dict) -> dict:
     return out
 
 
+def _metrics_async(record: dict) -> dict:
+    # Keyed by backend for the scale-insensitive invariants (recovery to
+    # oracle-perfect lookups, hop-RTT ceiling -- the latency model is the
+    # same at every n, so quick vs full compares fairly); the sim-clock
+    # recovery time grows with overlay size, so it is additionally keyed
+    # by n and only compares between runs of the same scale.
+    out = {}
+    for row in record.get("results", []):
+        spec = row.get("spec", {})
+        backend = spec.get("backend", "?")
+        out[f"{backend}/recovered"] = (bool(row.get("recovered")), EXACT)
+        out[f"{backend}/post_error_rate"] = (row.get("phases", {})
+                                             .get("post", {})
+                                             .get("error_rate", 1.0), LOWER)
+        hop = row.get("hop_latency") or {}
+        if hop.get("p99") is not None:
+            out[f"{backend}/hop_p99"] = (hop["p99"], LOWER)
+        if row.get("recovery_sim_time") is not None:
+            out[f"{backend}/n={spec.get('n', '?')}/recovery_sim_time"] = (
+                row["recovery_sim_time"], LOWER)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_throughput.json": _metrics_throughput,
     "BENCH_chord_batch.json": _metrics_chord_batch,
@@ -195,6 +219,7 @@ EXTRACTORS = {
     "BENCH_faults.json": _metrics_faults,
     "BENCH_obs.json": _metrics_obs,
     "BENCH_adversary.json": _metrics_adversary,
+    "BENCH_async.json": _metrics_async,
 }
 
 

@@ -1,0 +1,155 @@
+"""Async-transport benchmark: the mass-failure acceptance run, message-level.
+
+PR 6's acceptance experiment -- kill 40% of a 10,000-node overlay in one
+instant and demand recovery to 100% oracle-correct lookups -- reruns
+here on the asynchronous transport (:mod:`repro.sim.async_net`): every
+request and reply is its own scheduled delivery with an independent
+latency draw, timeouts are real events on the simulator clock, and
+lookups are continuation-driven coroutines that survive peers dying
+mid-flight.  Both substrates run it.
+
+Beyond the sync lab's round-counted recovery, the async run reports two
+observables that only exist at message level:
+
+- ``recovery_sim_time`` -- the sim-clock span from fault injection to
+  the first all-correct probe sweep (wall-of-sim-clock recovery, not a
+  maintenance-round count);
+- ``hop_latency`` -- p50/p95/p99/mean RTT over every successful
+  delivery's *actual* send-to-reply span, from the transport's delivery
+  log (two uniform one-way legs, so RTTs land in [1, 3] time units).
+
+Results go to ``BENCH_async.json`` at the repo root (schema in
+docs/BENCHMARKS.md).  Run standalone
+(``PYTHONPATH=src python benchmarks/bench_async.py``, or
+``python -m repro bench async``; add ``--quick`` for the CI smoke
+configuration) or under pytest via ``benchmarks/bench_async.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..scenarios.faults import FaultScenarioSpec, fault_preset, run_fault_scenario
+from .harness import Table, write_bench_json
+
+__all__ = ["main", "bench_specs", "run_all", "results_table", "check_results",
+           "emit", "DEFAULT_OUT", "BACKENDS"]
+
+DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_async.json"
+
+BACKENDS = ("chord", "kademlia")
+
+
+def bench_specs(quick: bool, n: int | None = None, seed: int = 0) -> list[FaultScenarioSpec]:
+    """The mass-failure preset on the async transport, both substrates.
+
+    Full mode keeps the preset's acceptance scale (n=10,000, m=20);
+    quick shrinks to the CI smoke size.  An explicit ``n`` overrides
+    either, with the id width stretched to fit.
+    """
+    shrink: dict = dict(n=256, m=12, probes=32, recovery_round_budget=60) if quick else {}
+    if n is not None:
+        shrink["n"] = n
+        shrink["m"] = max(12, n.bit_length() + 2)
+    specs = []
+    for backend in BACKENDS:
+        spec = fault_preset(
+            "mass-failure", backend=backend, transport="async", seed=seed, **shrink
+        )
+        specs.append(spec.with_(name=f"mass-failure-async-{backend}"))
+    return specs
+
+
+def run_all(specs) -> list:
+    return [run_fault_scenario(spec) for spec in specs]
+
+
+def results_table(results, title: str) -> Table:
+    table = Table(
+        title=title,
+        headers=["scenario", "backend", "n", "recovered", "rounds",
+                 "recovery sim-time", "outage err", "post err",
+                 "hop p50", "hop p95", "hop p99", "wall s"],
+    )
+    for r in results:
+        hop = r.hop_latency or {}
+        table.add_row(
+            r.spec.name,
+            r.spec.backend,
+            r.spec.n,
+            r.recovered,
+            r.recovery_rounds if r.recovery_rounds is not None else "-",
+            r.recovery_sim_time if r.recovery_sim_time is not None else "-",
+            r.outage.error_rate,
+            r.post.error_rate,
+            hop.get("p50", "-"),
+            hop.get("p95", "-"),
+            hop.get("p99", "-"),
+            r.wall_seconds,
+        )
+    table.note("recovery sim-time = sim clock from injection to first all-correct sweep")
+    table.note("hop quantiles = RTT over actual deliveries (two uniform [0.5,1.5] legs)")
+    return table
+
+
+def check_results(results) -> list[str]:
+    """The benchmark's gates; returns human-readable violations."""
+    problems = []
+    for r in results:
+        if not r.recovered:
+            problems.append(
+                f"{r.spec.name}: did not recover "
+                f"(rounds={r.recovery_rounds}, post_err={r.post.error_rate:.3f})"
+            )
+        if r.post.error_rate != 0.0:
+            problems.append(
+                f"{r.spec.name}: post-recovery lookups not oracle-perfect "
+                f"({r.post.error_rate:.3f})"
+            )
+        if not r.hop_latency:
+            problems.append(f"{r.spec.name}: transport delivered no RTT samples")
+        elif not 1.0 <= r.hop_latency["p50"] <= 3.0:
+            # two uniform [0.5, 1.5] legs bound every RTT to [1, 3]
+            problems.append(
+                f"{r.spec.name}: hop p50 {r.hop_latency['p50']:.3f} outside [1, 3]"
+            )
+        if r.recovered and r.recovery_sim_time is None:
+            problems.append(f"{r.spec.name}: recovered but no sim-clock recovery time")
+    return problems
+
+
+def emit(results, out: Path, quick: bool, seed: int) -> Path:
+    record = {
+        "seed": seed,
+        "quick": quick,
+        "results": [r.to_record() for r in results],
+        "generated_unix": time.time(),
+    }
+    return write_bench_json(out, record)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument("--n", type=int, default=None, help="override the overlay size")
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    args = parser.parse_args(argv)
+
+    results = run_all(bench_specs(args.quick, n=args.n, seed=args.seed))
+    results_table(results, "mass failure on the async transport").show()
+
+    path = emit(results, args.out, quick=args.quick, seed=args.seed)
+    print(f"wrote {path}")
+
+    problems = check_results(results)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,12 +14,14 @@ Subcommands::
     python -m repro scenario run --preset smoke --backend kademlia
     python -m repro scenario run --preset mass-failure --n 300   # outage lab
     python -m repro scenario run --preset partition-heal --backend kademlia
+    python -m repro scenario run --preset mass-failure --n 300 --transport async
     python -m repro scenario list                   # churn + fault regimes
     python -m repro trace --preset smoke            # traced run + exports
     python -m repro trace --backend kademlia --sample slowest:32
     python -m repro faults list                     # injectors and presets
     python -m repro bench chord-batch --quick       # lockstep lookup bench
     python -m repro bench backends --quick          # Chord-vs-Kademlia costs
+    python -m repro bench async --quick             # message-level outage run
 
 Every subcommand accepts ``--seed`` for reproducibility and prints a
 plain-text report; exit status is non-zero on invalid arguments.
@@ -49,6 +51,7 @@ from .scenarios import (
     BACKENDS,
     FAULT_PRESETS,
     PRESETS,
+    TRANSPORTS,
     critical_path_table,
     fault_preset,
     hop_table,
@@ -159,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--backend", choices=BACKENDS, default=None,
                        help="override the shard overlay (chord or kademlia)")
+    p_run.add_argument("--transport", choices=TRANSPORTS, default=None,
+                       help="override how messages move: sync call-and-return "
+                            "or the async message-level transport")
     p_run.add_argument("--n", type=int, default=None,
                        help="override the overlay size")
     p_run.add_argument("--requests", type=int, default=None, help="override offered requests")
@@ -235,6 +241,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the overlay sizes to measure")
     p_bk.add_argument("--samples", type=int, default=None,
                       help="override draws per phase")
+    p_as = bench_sub.add_parser(
+        "async",
+        help="mass failure on the async transport: message-level recovery "
+             "time and per-hop RTT quantiles",
+    )
+    p_as.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    p_as.add_argument("--out", type=Path, default=None, help="JSON output path")
+    p_as.add_argument("--n", type=int, default=None, help="override the overlay size")
     return parser
 
 
@@ -417,6 +431,7 @@ def _run_fault_preset(args) -> int:
         key: value
         for key, value in (
             ("backend", args.backend),
+            ("transport", args.transport),
             ("n", args.n),
             ("seed", args.seed),
         )
@@ -442,6 +457,14 @@ def _run_fault_preset(args) -> int:
     print(f"  recovery: {rounds}, {result.recovery_messages} repair messages, "
           f"outage error rate {result.outage_error_rate:.2f}, "
           f"outage msgs/probe x{result.msgs_inflation_outage:.2f} vs baseline")
+    if spec.transport == "async":
+        sim_time = ("n/a" if result.recovery_sim_time is None
+                    else f"{result.recovery_sim_time:.1f}")
+        hop = result.hop_latency or {}
+        print(f"  async: recovery sim-time {sim_time}, hop RTT "
+              f"p50 {hop.get('p50', float('nan')):.2f} / "
+              f"p99 {hop.get('p99', float('nan')):.2f} "
+              f"over {hop.get('count', 0)} deliveries")
     print(f"  recovered: {result.recovered}  (wall {result.wall_seconds:.2f}s)")
     if args.out is not None:
         write_bench_json(args.out, result.to_record())
@@ -488,6 +511,7 @@ def _cmd_scenario(args) -> int:
         key: value
         for key, value in (
             ("backend", args.backend),
+            ("transport", args.transport),
             ("n", args.n),
             ("requests", args.requests),
             ("rate", args.rate),
@@ -618,8 +642,14 @@ def _cmd_bench(args) -> int:
         argv.append("--quick")
     if args.out is not None:
         argv += ["--out", str(args.out)]
-    if args.sizes:
+    if getattr(args, "sizes", None):
         argv += ["--sizes", *map(str, args.sizes)]
+    if args.bench_command == "async":
+        from .bench import async_net
+
+        if args.n is not None:
+            argv += ["--n", str(args.n)]
+        return async_net.main(argv)
     if args.bench_command == "backends":
         from .bench import backends
 

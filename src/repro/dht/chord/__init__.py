@@ -3,6 +3,7 @@ standard-DHT substrate: iterative ``O(log n)`` lookups, successor lists,
 stabilization, and churn tolerance.
 """
 
+from .async_lookup import lookup_async, lookup_recursive_async
 from .batch import BatchLookupStats, LookupTrace, RingSnapshot, lockstep_resolve
 from .idspace import id_to_point, in_open_closed, in_open_open, point_to_target_id
 from .network import ChordDHT, ChordNetwork
@@ -24,4 +25,6 @@ __all__ = [
     "ChordNode",
     "LookupError_",
     "LookupResult",
+    "lookup_async",
+    "lookup_recursive_async",
 ]

@@ -13,6 +13,7 @@ import networkx as nx
 from ...compat import load_numpy
 from ...core.intervals import SortedCircle
 from ...faults.retry import RetryPolicy
+from ...sim.async_net import AsyncRpcTransport
 from ...sim.kernel import Simulator
 from ...sim.network import LatencyModel, RpcTimeout, RpcTransport
 from ..api import NUMPY_MIN_BATCH, CostMeter, PeerRef
@@ -43,15 +44,27 @@ class ChordNetwork:
         sim: Simulator | None = None,
         ring_merge: bool = True,
         loss_rng: random.Random | None = None,
+        async_transport: bool = False,
     ):
         if m < 3:
             raise ValueError("identifier space needs at least 3 bits")
         self.m = m
         self.rng = rng if rng is not None else random.Random()
         self.sim = sim if sim is not None else Simulator()
-        self.transport = RpcTransport(
-            latency=latency, rng=self.rng, loss_rate=loss_rate, loss_rng=loss_rng
-        )
+        if async_transport:
+            # The message-level transport: requests/replies as scheduled
+            # events on this network's simulator (see repro.sim.async_net).
+            self.transport: RpcTransport = AsyncRpcTransport(
+                self.sim,
+                latency=latency,
+                rng=self.rng,
+                loss_rate=loss_rate,
+                loss_rng=loss_rng,
+            )
+        else:
+            self.transport = RpcTransport(
+                latency=latency, rng=self.rng, loss_rate=loss_rate, loss_rng=loss_rng
+            )
         self._slist_size = successor_list_size
         #: Run the network-level ring-merge pass (see :meth:`_merge_rings`)
         #: at the end of every stabilization round.  On by default -- it
@@ -567,11 +580,15 @@ class ChordDHT(EntryVantageMixin):
         would be lost.  Ineligible adapters keep the per-call loop.
         An active adversary disqualifies replay for the same reason:
         lies are applied per delivery on the reply leg, and a snapshot
-        of honest routing state cannot reproduce them.
+        of honest routing state cannot reproduce them.  An asynchronous
+        transport is refused outright: its lookups are event-scheduled
+        deliveries racing timeout events on the sim clock, which
+        off-clock replay cannot be charge-identical to.
         """
         transport = self._network.transport
         return (
             transport.loss_rate == 0.0
+            and not getattr(transport, "asynchronous", False)
             and not transport.faults.active
             and not transport.adversary.active
             and bool(getattr(transport.latency_model, "deterministic", False))

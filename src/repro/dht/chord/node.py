@@ -11,6 +11,8 @@ Theorem 7 accounts costs.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ...sim.network import RpcTimeout, RpcTransport
 from ..api import PeerUnreachableError
 from .idspace import id_to_point, in_open_closed, in_open_open
@@ -78,6 +80,11 @@ class ChordNode:
         self.predecessor: int | None = None
         self.fingers: list[int | None] = [None] * m
         self._next_finger = 0
+        #: Pending async recursive lookups this node originated:
+        #: token -> completion callback (see repro.dht.chord.async_lookup).
+        #: Plain bookkeeping; unused (and free) on the sync transport.
+        self._async_lookups: dict[int, Any] = {}
+        self._async_seq = 0
 
     # -- identity ---------------------------------------------------------
 
@@ -250,6 +257,12 @@ class ChordNode:
         # querier times out -- it cannot reroute, unlike iterative mode.
         if owner != self.node_id:
             if not self._transport.is_registered(owner):
+                # The querier waits out its reply timer in full before
+                # giving up: charge the timeout interval and tick the
+                # timeout counter exactly like a dead-target RPC, so a
+                # failed lookup is never cheaper than a successful one.
+                self._transport.metrics.counter("rpc.timeouts").increment()
+                self._transport.charge_delay(self._transport.timeout)
                 raise LookupError_(
                     f"recursive lookup of {target_id}: owner {owner} never replied"
                 )
@@ -266,6 +279,46 @@ class ChordNode:
         if kind == "done":
             return nxt, hops
         return self._transport.oneway(nxt, "forward_lookup", target_id, hops + 1, budget)
+
+    # -- async recursive routing (message-level transport only) ---------------
+    #
+    # The event-scheduled twins of ``lookup_recursive``/``forward_lookup``:
+    # each hop is a request/ack exchange (so a forwarder notices a dead
+    # next hop and re-issues to the next live successor), and the owner
+    # claims the query with one direct message to the querier.  Handlers
+    # are plain RPC-exposed methods; the continuation logic lives in
+    # :mod:`repro.dht.chord.async_lookup`.  Never invoked on the sync
+    # transport (whose endpoints have no ``spawn``/``cast``).
+
+    def async_forward_lookup(
+        self, target_id: int, querier_id: int, token: int, hops: int, budget: int
+    ) -> bool:
+        """Accept one hop of an async recursive lookup (the reply acks it)."""
+        from .async_lookup import forward_hop
+
+        self._transport.spawn(
+            forward_hop(self, target_id, querier_id, token, hops, budget)
+        )
+        return True
+
+    def claim_async_lookup(
+        self, target_id: int, querier_id: int, token: int, hops: int
+    ) -> None:
+        """We are the owner: send the single direct answer to the querier.
+
+        Delivery of this message is the liveness proof ``lookup_recursive``
+        gets from its direct reply -- a dead owner simply never claims,
+        and the querier's deadline event fires instead.
+        """
+        self._transport.cast(
+            querier_id, "complete_async_lookup", token, self.node_id, hops
+        )
+
+    def complete_async_lookup(self, token: int, owner_id: int, hops: int) -> None:
+        """The owner's direct answer lands at the querier (RPC-exposed)."""
+        settle = self._async_lookups.pop(token, None)
+        if settle is not None:
+            settle(owner_id, hops)
 
     # -- maintenance protocol -------------------------------------------------
 

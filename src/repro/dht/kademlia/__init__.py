@@ -6,6 +6,7 @@ aligned-block certification so the paper's ``h``/``next`` interface is
 exact on a substrate that has no ring.
 """
 
+from .async_lookup import find_node_async, find_successor_async
 from .idspace import (
     aligned_limit,
     bucket_index,
@@ -34,6 +35,8 @@ __all__ = [
     "aligned_limit",
     "bucket_index",
     "bucket_range",
+    "find_node_async",
+    "find_successor_async",
     "id_to_point",
     "lookup_budget",
     "point_to_target_id",

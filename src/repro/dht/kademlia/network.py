@@ -35,6 +35,7 @@ from array import array
 from collections import Counter
 
 from ...faults.retry import RetryPolicy
+from ...sim.async_net import AsyncRpcTransport
 from ...sim.kernel import Simulator
 from ...sim.network import LatencyModel, RpcTimeout, RpcTransport
 from ..api import CostMeter, PeerRef
@@ -69,6 +70,7 @@ class KademliaNetwork:
         loss_rate: float = 0.0,
         sim: Simulator | None = None,
         loss_rng: random.Random | None = None,
+        async_transport: bool = False,
     ):
         if m < 3:
             raise ValueError("identifier space needs at least 3 bits")
@@ -77,9 +79,20 @@ class KademliaNetwork:
         self.alpha = alpha
         self.rng = rng if rng is not None else random.Random()
         self.sim = sim if sim is not None else Simulator()
-        self.transport = RpcTransport(
-            latency=latency, rng=self.rng, loss_rate=loss_rate, loss_rng=loss_rng
-        )
+        if async_transport:
+            # The message-level transport: requests/replies as scheduled
+            # events on this network's simulator (see repro.sim.async_net).
+            self.transport: RpcTransport = AsyncRpcTransport(
+                self.sim,
+                latency=latency,
+                rng=self.rng,
+                loss_rate=loss_rate,
+                loss_rng=loss_rng,
+            )
+        else:
+            self.transport = RpcTransport(
+                latency=latency, rng=self.rng, loss_rate=loss_rate, loss_rng=loss_rng
+            )
         self.nodes: dict[int, KademliaNode] = {}
         #: Monotone counter bumped by every membership or maintenance
         #: event; epoch-keyed oracle caches (:meth:`sorted_ids`,

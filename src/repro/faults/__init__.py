@@ -24,7 +24,7 @@ kill fraction x retry policy into ``BENCH_faults.json``.
 """
 
 from .plan import INJECTORS, FaultPlan, GreyFailure, LossBurst, MassKill, Partition
-from .retry import RetryPolicy, call_with_retry
+from .retry import RetryPolicy, call_with_retry, call_with_retry_async
 from .state import PARTITION_MODES, FaultState, GreyProfile
 
 __all__ = [
@@ -39,4 +39,5 @@ __all__ = [
     "Partition",
     "RetryPolicy",
     "call_with_retry",
+    "call_with_retry_async",
 ]

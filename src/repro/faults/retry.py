@@ -23,7 +23,7 @@ import dataclasses
 import random
 from dataclasses import dataclass
 
-__all__ = ["RetryPolicy", "call_with_retry"]
+__all__ = ["RetryPolicy", "call_with_retry", "call_with_retry_async"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,6 +34,13 @@ class RetryPolicy:
     failure ``f`` (1-based) the caller backs off
     ``min(base_delay * factor**(f-1), max_delay)`` time units, stretched
     by a uniform ``+/- jitter`` fraction when jitter is configured.
+
+    ``deadline``, when set, caps the *total latency budget* of one
+    logical call: retrying stops -- even with attempts left -- once the
+    time already spent (failed attempts' timeout charges plus backoff
+    waits), or spending the next backoff, would reach it.  The budget is
+    tracked from the policy's own charge model, so it is deterministic
+    and identical on the sync and async transports.
     """
 
     attempts: int = 3
@@ -41,6 +48,7 @@ class RetryPolicy:
     factor: float = 2.0
     max_delay: float = 64.0
     jitter: float = 0.0
+    deadline: float | None = None
 
     def __post_init__(self):
         if self.attempts < 1:
@@ -51,6 +59,8 @@ class RetryPolicy:
             raise ValueError("backoff factor must be >= 1")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive when set")
 
     # -- canned policies ---------------------------------------------------
 
@@ -91,6 +101,10 @@ class RetryPolicy:
     def should_retry(self, failures: int) -> bool:
         """May another attempt follow after ``failures`` failures so far?"""
         return failures < self.attempts
+
+    def within_deadline(self, spent: float) -> bool:
+        """Whether a call that has already spent ``spent`` may continue."""
+        return self.deadline is None or spent < self.deadline
 
     def delay(self, failure: int, rng: random.Random | None = None) -> float:
         """Backoff before the retry that follows failure ``failure`` (1-based).
@@ -134,14 +148,77 @@ def call_with_retry(
     from ..sim.network import RpcTimeout  # deferred: sim must not import us
 
     last: RpcTimeout | None = None
+    spent = 0.0
     for failure in range(1, policy.attempts + 1):
         try:
             return transport.rpc(target_id, method, *args, **kwargs)
         except RpcTimeout as exc:
             last = exc
-            if not policy.should_retry(failure):
+            spent += transport.timeout  # what the failed attempt charged
+            if not policy.should_retry(failure) or not policy.within_deadline(spent):
                 break
+            delay = policy.delay(failure, rng)
+            if policy.deadline is not None and spent + delay >= policy.deadline:
+                break  # the backoff alone would exhaust the budget
             transport.metrics.counter("rpc.retries").increment()
-            transport.charge_delay(policy.delay(failure, rng))
+            transport.charge_delay(delay)
+            spent += delay
     assert last is not None
     raise last
+
+
+def call_with_retry_async(
+    endpoint,
+    policy: RetryPolicy,
+    target_id: int,
+    method: str,
+    *args,
+    on_reply=None,
+    on_timeout=None,
+    rng: random.Random | None = None,
+    **kwargs,
+):
+    """Async twin of :func:`call_with_retry`: backoff *elapses* on the clock.
+
+    ``endpoint`` is an :class:`~repro.sim.async_net.AsyncEndpoint` (or
+    the transport itself via a bound ``call``).  Each attempt goes out
+    on the async plane; a timeout schedules the next attempt ``delay``
+    later as a real simulator event -- other traffic proceeds while this
+    caller backs off -- with the wait also charged to the latency ledger
+    for parity with the sync discipline.  The same ``deadline`` budget
+    arithmetic as the sync helper decides when to stop; the final
+    failure reaches ``on_timeout``.
+    """
+    sim = endpoint.sim
+    state = {"failures": 0, "spent": 0.0}
+
+    def attempt() -> None:
+        endpoint.call(
+            target_id, method, *args, on_reply=on_reply, on_timeout=failed, **kwargs
+        )
+
+    def failed(exc) -> None:
+        state["failures"] += 1
+        state["spent"] += endpoint.timeout
+        failure = state["failures"]
+        give_up = not policy.should_retry(failure) or not policy.within_deadline(
+            state["spent"]
+        )
+        delay = 0.0
+        if not give_up:
+            delay = policy.delay(failure, rng)
+            if policy.deadline is not None and state["spent"] + delay >= policy.deadline:
+                give_up = True
+        if give_up:
+            if on_timeout is not None:
+                on_timeout(exc)
+            return
+        endpoint.metrics.counter("rpc.retries").increment()
+        state["spent"] += delay
+        if delay > 0:
+            endpoint.charge_delay(delay)
+            sim.schedule(delay, attempt)
+        else:
+            attempt()
+
+    attempt()

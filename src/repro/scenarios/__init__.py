@@ -54,10 +54,11 @@ from .report import (
     slowest_table,
 )
 from .runner import ScenarioResult, ShardReport, run_scenario, run_specs
-from .spec import BACKENDS, PRESETS, ScenarioSpec, preset, sweep
+from .spec import BACKENDS, PRESETS, TRANSPORTS, ScenarioSpec, preset, sweep
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "FAULT_PRESETS",
     "FaultScenarioResult",
     "FaultScenarioSpec",

@@ -40,15 +40,19 @@ import time
 from dataclasses import dataclass, field
 
 from ..dht.api import PeerUnreachableError
+from ..dht.chord.async_lookup import lookup_async
 from ..dht.chord.network import ChordNetwork
 from ..dht.idspace import point_to_target_id
+from ..dht.kademlia.async_lookup import find_successor_async
 from ..dht.kademlia.network import KademliaNetwork
 from ..faults.plan import REGIONS, FaultPlan, MassKill, Partition
 from ..faults.retry import RetryPolicy
 from ..faults.state import PARTITION_MODES, FaultState
+from ..sim.async_net import drive
 from ..sim.kernel import Simulator
+from ..sim.network import UniformLatency
 from ..sim.rng import RngRegistry
-from .spec import BACKENDS
+from .spec import BACKENDS, TRANSPORTS
 
 __all__ = [
     "FAULT_PRESETS",
@@ -70,6 +74,16 @@ class FaultScenarioSpec:
     name: str
     backend: str = "chord"  # which message-level overlay to wound
     fault: str = "mass-kill"
+    #: ``sync`` replays the historical call-and-return experiment bit
+    #: for bit; ``async`` reruns it on the message-level transport
+    #: (scheduled request/reply deliveries, real timeout events, jittered
+    #: per-hop latency) and additionally reports wall-of-sim-clock
+    #: recovery time plus per-hop RTT quantiles from actual deliveries.
+    transport: str = "sync"
+    #: Total-latency budget per logical probe on the async transport
+    #: (see :attr:`~repro.faults.retry.RetryPolicy.deadline`); ``None``
+    #: leaves retries bounded by attempts alone.
+    retry_deadline: float | None = None
     # -- substrate shape --
     n: int = 10_000
     m: int = 20  # identifier bits
@@ -100,6 +114,10 @@ class FaultScenarioSpec:
             raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
         if self.fault not in FAULTS:
             raise ValueError(f"unknown fault {self.fault!r}; choose from {FAULTS}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; choose from {TRANSPORTS}"
+            )
         if self.region not in REGIONS:
             raise ValueError(f"unknown region {self.region!r}; choose from {REGIONS}")
         if self.partition_mode not in PARTITION_MODES:
@@ -133,6 +151,7 @@ class FaultScenarioSpec:
             base_delay=self.retry_base_delay,
             factor=self.retry_factor,
             jitter=self.retry_jitter,
+            deadline=self.retry_deadline,
         )
 
     def to_record(self) -> dict:
@@ -217,6 +236,11 @@ class FaultScenarioResult:
     fault_log: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: Async-transport extras (sync runs leave the defaults): sim-clock
+    #: time from fault injection to the first all-correct sweep, and
+    #: per-hop RTT quantiles computed from actual delivery instants.
+    recovery_sim_time: float | None = None
+    hop_latency: dict = field(default_factory=dict)
 
     @property
     def recovered(self) -> bool:
@@ -257,6 +281,8 @@ class FaultScenarioResult:
             "fault_log": list(self.fault_log),
             "counters": dict(self.counters),
             "wall_seconds": self.wall_seconds,
+            "recovery_sim_time": self.recovery_sim_time,
+            "hop_latency": dict(self.hop_latency),
         }
 
 
@@ -266,6 +292,13 @@ class FaultScenarioResult:
 def _build_network(spec: FaultScenarioSpec, sim: Simulator, rngs: RngRegistry):
     ring_rng = random.Random(rngs.fresh("ring").getrandbits(64))
     loss_rng = rngs.stream("transport.loss")
+    extra: dict = {}
+    if spec.transport == "async":
+        # The async experiment wants per-hop quantiles worth reporting:
+        # jittered one-way latency (mean 1.0, like the sync default's
+        # constant) so delivery order genuinely races timeouts.  Only
+        # async runs take this branch; sync builds stay bit-identical.
+        extra = {"async_transport": True, "latency": UniformLatency(0.5, 1.5)}
     if spec.backend == "kademlia":
         return KademliaNetwork.build(
             spec.n,
@@ -275,6 +308,7 @@ def _build_network(spec: FaultScenarioSpec, sim: Simulator, rngs: RngRegistry):
             rng=ring_rng,
             sim=sim,
             loss_rng=loss_rng,
+            **extra,
         )
     return ChordNetwork.build(
         spec.n,
@@ -283,17 +317,24 @@ def _build_network(spec: FaultScenarioSpec, sim: Simulator, rngs: RngRegistry):
         sim=sim,
         successor_list_size=spec.successor_list_size,
         loss_rng=loss_rng,
+        **extra,
     )
 
 
-def _build_plan(spec: FaultScenarioSpec) -> FaultPlan:
+def _build_plan(spec: FaultScenarioSpec, base: float = 0.0) -> FaultPlan:
+    """The spec's fault timeline, offset by ``base`` sim-clock units.
+
+    The async runner's baseline probes advance the clock (deliveries are
+    real events), so its plan is armed relative to *now*; the sync
+    runner keeps ``base=0`` and absolute injection times.
+    """
     if spec.fault == "mass-kill":
         event = MassKill(
-            at=spec.inject_at, fraction=spec.kill_fraction, region=spec.region
+            at=base + spec.inject_at, fraction=spec.kill_fraction, region=spec.region
         )
     else:
         event = Partition(
-            at=spec.inject_at,
+            at=base + spec.inject_at,
             duration=spec.partition_duration,
             groups=spec.partition_groups,
             mode=spec.partition_mode,
@@ -343,6 +384,113 @@ def _probe_sweep(phase: str, dht, network, points, m: int) -> PhaseReport:
     )
 
 
+def _live_entry(network, entry_box: dict) -> int:
+    """The async sweeps' entry vantage: fail over clockwise when killed."""
+    entry = entry_box["id"]
+    if entry in network.nodes:
+        return entry
+    ids = network.sorted_ids()
+    i = bisect.bisect_left(ids, entry)
+    entry_box["id"] = ids[i % len(ids)]
+    return entry_box["id"]
+
+
+def _hop_quantiles(rtts) -> dict:
+    """Per-hop RTT quantiles from the transport's delivery log."""
+    if not rtts:
+        return {}
+    ordered = sorted(rtts)
+    last = len(ordered) - 1
+
+    def q(p: float) -> float:
+        return ordered[min(last, int(p * len(ordered)))]
+
+    return {
+        "count": len(ordered),
+        "p50": q(0.50),
+        "p95": q(0.95),
+        "p99": q(0.99),
+        "mean": sum(ordered) / len(ordered),
+    }
+
+
+def _probe_sweep_async(
+    phase: str,
+    network,
+    spec: FaultScenarioSpec,
+    points,
+    entry_box: dict,
+    policy: RetryPolicy,
+    retry_rng,
+) -> PhaseReport:
+    """The async twin of :func:`_probe_sweep`: probes ride the event clock.
+
+    Each probe runs the backend's continuation-driven lookup
+    (:func:`~repro.dht.chord.async_lookup.lookup_async` /
+    :func:`~repro.dht.kademlia.async_lookup.find_successor_async`) to
+    completion via :func:`~repro.sim.async_net.drive` -- scheduled fault
+    events (the kill, a partition heal) fire *during* probes when their
+    time comes.  Retries follow the spec's policy with backoff elapsing
+    as real sim time and the policy's ``deadline`` budget counted
+    against actual clock spend, not a synthetic charge model.
+    """
+    transport = network.transport
+    sim = network.sim
+    before_msgs = transport.messages_sent
+    before_time = transport.elapsed
+    correct = wrong = failed = 0
+    for x in points:
+        target = point_to_target_id(x, spec.m)
+        got = None
+        spent = 0.0
+        for failure in range(1, policy.attempts + 1):
+            entry = _live_entry(network, entry_box)
+            node = network.nodes[entry]
+            if spec.backend == "kademlia":
+                future = find_successor_async(node, target)
+            else:
+                future = lookup_async(node, target)
+            started = sim.now
+            try:
+                got = drive(sim, future).node_id
+                break
+            except PeerUnreachableError:
+                spent += sim.now - started
+                if not policy.should_retry(failure) or not policy.within_deadline(
+                    spent
+                ):
+                    break
+                delay = policy.delay(failure, retry_rng)
+                if policy.deadline is not None and spent + delay >= policy.deadline:
+                    break
+                transport.metrics.counter("rpc.retries").increment()
+                if delay > 0:
+                    # The backoff elapses on the clock (in-flight events
+                    # proceed underneath) and is charged like the sync
+                    # discipline charges its waits.
+                    transport.charge_delay(delay)
+                    sim.run(until=sim.now + delay)
+                spent += delay
+        # Grade against the oracle *after* the lookup: fault events that
+        # fired mid-probe have already mutated the membership.
+        expected = _oracle_owner(network.sorted_ids(), target)
+        if got is None:
+            failed += 1
+        elif got == expected:
+            correct += 1
+        else:
+            wrong += 1
+    return PhaseReport(
+        phase=phase,
+        probes=len(points),
+        correct=correct,
+        wrong=wrong,
+        failed=failed,
+        messages=transport.messages_sent - before_msgs,
+        latency=transport.elapsed - before_time,
+    )
+
+
 def run_fault_scenario(spec: FaultScenarioSpec) -> FaultScenarioResult:
     """Drive one structured outage end to end and report on it.
 
@@ -354,7 +502,13 @@ def run_fault_scenario(spec: FaultScenarioSpec) -> FaultScenarioResult:
     a full probe sweep is all-correct, which defines time-to-recovery;
     (5) a fresh probe sweep on the recovered overlay pins the
     post-recovery contract: 100% oracle-correct lookups.
+
+    ``spec.transport == "async"`` runs the same five acts on the
+    message-level transport (see :func:`_run_fault_scenario_async`); the
+    sync path below is untouched and bit-identical to its history.
     """
+    if spec.transport == "async":
+        return _run_fault_scenario_async(spec)
     start_wall = time.perf_counter()
     rngs = RngRegistry(spec.seed)
     sim = Simulator()
@@ -440,4 +594,122 @@ def run_fault_scenario(spec: FaultScenarioSpec) -> FaultScenarioResult:
         fault_log=list(fault_log),
         counters=network.transport.metrics.counters(),
         wall_seconds=time.perf_counter() - start_wall,
+    )
+
+
+def _run_fault_scenario_async(spec: FaultScenarioSpec) -> FaultScenarioResult:
+    """The five acts on the message-level transport.
+
+    Structure mirrors the sync runner act for act, with three deliberate
+    differences.  First, probes themselves advance the clock (every
+    request and reply is a scheduled delivery), so the fault plan is
+    armed relative to the clock position *after* the baseline sweep --
+    ``inject_at`` keeps its meaning of "this long after the healthy
+    measurement".  Second, maintenance (``stabilize_round`` /
+    ``run_stabilization``) runs on the inherited call-and-return plane,
+    off the event clock: repair cost still lands on the same meters, but
+    recovery *time* is defined by probe traffic, which is the thing the
+    experiment measures.  Third, the result carries two async-only
+    observables -- ``recovery_sim_time`` (sim-clock span from injection
+    to the first all-correct sweep) and ``hop_latency`` (RTT quantiles
+    over every successful delivery's actual send-to-reply span).
+    """
+    start_wall = time.perf_counter()
+    rngs = RngRegistry(spec.seed)
+    sim = Simulator()
+    network = _build_network(spec, sim, rngs)
+    faults = FaultState()
+    network.transport.install_faults(faults)
+    network.transport.rtt_log = []
+    policy = spec.retry_policy()
+    retry_rng = rngs.stream("lookup.retry")
+    entry_box = {"id": min(network.nodes)}
+
+    population_start = len(network.nodes)
+
+    def draw_points(stream: str) -> list[float]:
+        rng = rngs.stream(stream)
+        return [rng.random() for _ in range(spec.probes)]
+
+    # Act 1: the healthy overlay, measured with real deliveries.
+    baseline = _probe_sweep_async(
+        "baseline",
+        network,
+        spec,
+        draw_points("probes.baseline"),
+        entry_box,
+        policy,
+        retry_rng,
+    )
+
+    # Act 2: arm the plan relative to now, then let the fault fire.
+    base = sim.now
+    plan = _build_plan(spec, base=base)
+    fault_log = plan.schedule(sim, network, rngs.stream("fault.plan"))
+    sim.run(until=base + spec.inject_at)
+    population_after_fault = len(network.nodes)
+
+    # Act 3: life during the outage.
+    outage = _probe_sweep_async(
+        "outage",
+        network,
+        spec,
+        draw_points("probes.outage"),
+        entry_box,
+        policy,
+        retry_rng,
+    )
+    for _ in range(spec.outage_rounds):
+        network.stabilize_round()
+
+    # Act 4: the fault clears; the overlay heals.  Same leg-ups as the
+    # sync runner (obituary purge / rebootstrap for Kademlia); for a
+    # partition the heal event is already scheduled, so running the
+    # clock forward to its instant is what clears it.
+    heal_at = base + spec.inject_at + spec.partition_duration
+    if spec.fault == "partition" and sim.now < heal_at:
+        sim.run(until=heal_at)
+    if spec.backend == "kademlia":
+        if spec.fault == "mass-kill":
+            network.purge_dead_contacts()
+        elif spec.fault == "partition":
+            network.rebootstrap()
+
+    recovery_points = draw_points("probes.recovery")
+    before_recovery_msgs = network.transport.messages_sent
+    recovery_rounds: int | None = None
+    recovery_sim_time: float | None = None
+    rounds_used = 0
+    while rounds_used < spec.recovery_round_budget:
+        chunk = min(spec.recovery_chunk, spec.recovery_round_budget - rounds_used)
+        network.run_stabilization(chunk)
+        rounds_used += chunk
+        sweep = _probe_sweep_async(
+            "recovery", network, spec, recovery_points, entry_box, policy, retry_rng
+        )
+        if sweep.error_rate == 0.0:
+            recovery_rounds = rounds_used
+            recovery_sim_time = sim.now - (base + spec.inject_at)
+            break
+    recovery_messages = network.transport.messages_sent - before_recovery_msgs
+
+    # Act 5: the recovered overlay, probed fresh.
+    post = _probe_sweep_async(
+        "post", network, spec, draw_points("probes.post"), entry_box, policy, retry_rng
+    )
+
+    return FaultScenarioResult(
+        spec=spec,
+        baseline=baseline,
+        outage=outage,
+        post=post,
+        recovery_rounds=recovery_rounds,
+        recovery_messages=recovery_messages,
+        population_start=population_start,
+        population_after_fault=population_after_fault,
+        fault_log=list(fault_log),
+        counters=network.transport.metrics.counters(),
+        wall_seconds=time.perf_counter() - start_wall,
+        recovery_sim_time=recovery_sim_time,
+        hop_latency=_hop_quantiles(network.transport.rtt_log),
     )

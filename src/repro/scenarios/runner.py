@@ -193,6 +193,9 @@ def _build_ring(spec: ScenarioSpec, shard_id: int, sim, rngs):
     backend-agnostic.
     """
     ring_rng = random.Random(rngs.fresh(f"shard{shard_id}.ring").getrandbits(64))
+    # The kwarg is only passed when the spec opts in, so sync-transport
+    # specs build rings through the exact historical code path.
+    extra = {"async_transport": True} if spec.transport == "async" else {}
     if spec.backend == "kademlia":
         return KademliaNetwork.build(
             spec.n,
@@ -201,8 +204,9 @@ def _build_ring(spec: ScenarioSpec, shard_id: int, sim, rngs):
             alpha=spec.kad_alpha,
             rng=ring_rng,
             sim=sim,
+            **extra,
         )
-    return ChordNetwork.build(spec.n, m=spec.chord_m, rng=ring_rng, sim=sim)
+    return ChordNetwork.build(spec.n, m=spec.chord_m, rng=ring_rng, sim=sim, **extra)
 
 
 def run_scenario(spec: ScenarioSpec, tracer=None) -> ScenarioResult:

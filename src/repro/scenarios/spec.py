@@ -27,12 +27,18 @@ from dataclasses import dataclass
 from repro.adversary.state import LIE_STRATEGIES
 from repro.service.shapes import LOAD_SHAPES
 
-__all__ = ["BACKENDS", "ScenarioSpec", "PRESETS", "preset", "sweep"]
+__all__ = ["BACKENDS", "ScenarioSpec", "PRESETS", "TRANSPORTS", "preset", "sweep"]
 
 #: Message-level substrates the runner can drive.  ``chord`` stabilizes
 #: a successor ring; ``kademlia`` refreshes k-buckets -- same churn
 #: process, same serving stack, different liveness model.
 BACKENDS = ("chord", "kademlia")
+
+#: How shard rings move messages.  ``sync`` is the historical
+#: call-and-return transport (bit-identical defaults everywhere);
+#: ``async`` schedules each request/reply as its own delivery event
+#: with real timeout events (see :mod:`repro.sim.async_net`).
+TRANSPORTS = ("sync", "async")
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +59,7 @@ class ScenarioSpec:
     name: str
     # -- substrate shape --
     backend: str = "chord"  # which message-level overlay each shard runs
+    transport: str = "sync"  # sync (call-and-return) | async (message-level)
     n: int = 64  # initial peers per shard ring
     shards: int = 2
     chord_m: int = 16  # identifier bits per ring (either backend)
@@ -97,6 +104,10 @@ class ScenarioSpec:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; choose from {TRANSPORTS}"
             )
         if self.n < 1 or self.shards < 1 or self.requests < 1:
             raise ValueError("n, shards and requests must be positive")

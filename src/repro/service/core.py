@@ -230,6 +230,8 @@ def build_substrates(
     kad_k: int = 20,
     kad_alpha: int = 3,
     replicate_rings: bool = False,
+    transport: str = "sync",
+    sim: Simulator | None = None,
 ) -> list:
     """Construct the shard substrates for :func:`build_service`.
 
@@ -240,12 +242,29 @@ def build_substrates(
     ``replicate_rings=True`` gives every ideal shard the *same* ring
     (one peer population served by many shards) instead of independent
     rings -- what uniformity tests over the union of shards want.
+
+    ``transport="async"`` gives each overlay shard the message-level
+    :class:`~repro.sim.async_net.AsyncRpcTransport`; its deliveries live
+    on ``sim`` (required, and it must be the clock the caller drives --
+    the service's).  The oracle has no transport, so ``ideal``/``mixed``
+    refuse the switch.
     """
     if shards < 1:
         raise ValueError("need at least one shard")
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}; choose from {SUBSTRATES}")
+    if transport not in ("sync", "async"):
+        raise ValueError(f"unknown transport {transport!r}; choose sync or async")
+    if transport == "async" and substrate not in ("chord", "kademlia"):
+        raise ValueError(
+            f"substrate {substrate!r} has no message transport to make async"
+        )
+    if transport == "async" and sim is None:
+        raise ValueError("the async transport needs the shared Simulator")
     rngs = rngs if rngs is not None else RngRegistry(seed)
+    extra: dict = {}
+    if transport == "async":
+        extra = {"async_transport": True, "sim": sim}
     out = []
     for shard_id in range(shards):
         kind = substrate
@@ -258,11 +277,11 @@ def build_substrates(
         elif kind == "kademlia":
             out.append(
                 KademliaNetwork.build_dht(
-                    n, m=kad_bits, k=kad_k, alpha=kad_alpha, rng=ring_rng
+                    n, m=kad_bits, k=kad_k, alpha=kad_alpha, rng=ring_rng, **extra
                 )
             )
         else:
-            out.append(ChordNetwork.build_dht(n, m=chord_m, rng=ring_rng))
+            out.append(ChordNetwork.build_dht(n, m=chord_m, rng=ring_rng, **extra))
     return out
 
 
@@ -277,10 +296,25 @@ def build_service(
     kad_k: int = 20,
     kad_alpha: int = 3,
     replicate_rings: bool = False,
+    transport: str = "sync",
     **service_kwargs,
 ) -> SamplingService:
-    """A ready-to-drive service: substrates built and wired from one seed."""
+    """A ready-to-drive service: substrates built and wired from one seed.
+
+    ``transport="async"`` builds the shard overlays on the message-level
+    async transport, sharing one simulator between the shard rings and
+    the service so RPC deliveries and service events interleave on a
+    single clock.  The sync default is bit-identical to the historical
+    construction (no extra kwargs reach the builders, no extra Simulator
+    is created).
+    """
     rngs = RngRegistry(seed)
+    sim = None
+    if transport == "async":
+        sim = service_kwargs.get("sim")
+        if sim is None:
+            sim = Simulator()
+            service_kwargs["sim"] = sim
     subs = build_substrates(
         n,
         shards,
@@ -291,6 +325,8 @@ def build_service(
         kad_k=kad_k,
         kad_alpha=kad_alpha,
         replicate_rings=replicate_rings,
+        transport=transport,
+        sim=sim,
     )
     return SamplingService(subs, rngs=rngs, **service_kwargs)
 

@@ -1,5 +1,6 @@
 """Discrete-event simulation substrate: kernel, transport, churn, metrics."""
 
+from .async_net import AsyncRpcTransport, Call, Future, drive
 from .churn import ChurnEvent, ChurnProcess
 from .events import Event, EventQueue
 from .kernel import PeriodicTask, Simulator
@@ -15,6 +16,10 @@ from .network import (
 from .rng import RngRegistry, derive_seed
 
 __all__ = [
+    "AsyncRpcTransport",
+    "Call",
+    "Future",
+    "drive",
     "ChurnEvent",
     "ChurnProcess",
     "Event",

@@ -22,21 +22,43 @@ class Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Back-reference to the queue while the event sits in its heap, so
+    #: :meth:`cancel` can report the tombstone for lazy compaction.
+    #: Cleared when the event is popped (a post-pop cancel is a no-op
+    #: for queue accounting).
+    _queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it; cancelling is O(1)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancel()
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Cancelled events stay in the heap as O(1) tombstones, normally
+    discarded when they surface at the top.  A workload that cancels
+    far-future events faster than it drains them (every async RPC whose
+    reply lands before its timeout leaves one) would otherwise grow the
+    heap without bound, so the queue counts its tombstones and lazily
+    compacts -- filter plus re-heapify, O(heap) amortized against the
+    cancellations that earned it -- whenever they outnumber the live
+    events.  The live count makes ``__len__`` O(1) as a bonus.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = itertools.count()
+        #: Cancelled events still sitting in the heap.
+        self._tombstones = 0
 
     def push(self, time: float, action: Callable[[], None]) -> Event:
-        event = Event(time=time, seq=next(self._seq), action=action)
+        event = Event(time=time, seq=next(self._seq), action=action, _queue=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -44,19 +66,46 @@ class EventQueue:
         """Next non-cancelled event, or None when the queue is drained."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._queue = None
             if not event.cancelled:
                 return event
+            self._tombstones -= 1
         return None
 
     def peek_time(self) -> float | None:
         """Timestamp of the next live event without removing it."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._queue = None
+            self._tombstones -= 1
         return self._heap[0].time if self._heap else None
 
+    def _note_cancel(self) -> None:
+        """Account one new tombstone, compacting when they dominate."""
+        self._tombstones += 1
+        if self._tombstones * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone and restore the heap invariant."""
+        live = [e for e in self._heap if not e.cancelled]
+        for event in self._heap:
+            if event.cancelled:
+                event._queue = None
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+
+    @property
+    def raw_size(self) -> int:
+        """Heap entries including tombstones (bounded-growth invariant:
+        at most one tombstone per live event, so ``raw_size`` never
+        exceeds ``2 * len(self)`` plus the one cancel that triggers
+        compaction)."""
+        return len(self._heap)
+
     def __len__(self) -> int:
-        """Exact number of live (non-cancelled) events; O(n)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Exact number of live (non-cancelled) events; O(1)."""
+        return len(self._heap) - self._tombstones
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None

@@ -235,6 +235,13 @@ class RpcTransport:
     methods carry no source and model an external client.
     """
 
+    #: Whether calls are event-scheduled rather than instantaneous.
+    #: The Chord lockstep engine (and anything else replaying charges
+    #: off-transport) checks this and refuses asynchronous transports,
+    #: the same way it refuses active faults: replay could never be
+    #: charge-identical to message-level delivery.
+    asynchronous = False
+
     def __init__(
         self,
         latency: LatencyModel | None = None,

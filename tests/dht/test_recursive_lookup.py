@@ -91,6 +91,27 @@ class TestFailureBehaviour:
         result = entry.lookup(target_key)
         assert result.node_id in net.nodes
 
+    def test_dead_owner_charges_a_full_timeout(self):
+        """A stale successor pointer to a dead owner must not make the
+        failed lookup cheaper than a successful one: the querier waits
+        out its reply timer, so the giving-up branch charges one timeout
+        tick and the full timeout interval (same model as _admit)."""
+        net = ChordNetwork.build(64, m=18, rng=random.Random(178))
+        ids = net.sorted_ids()
+        victim = ids[len(ids) // 2]
+        pred = ids[len(ids) // 2 - 1]
+        net.crash_node(victim)
+        t = net.transport
+        elapsed_before = t.elapsed
+        timeouts_before = t.metrics.counter("rpc.timeouts").value
+        # The predecessor resolves the victim's own id locally ("done",
+        # victim) without forwarding, so the only failure on this path
+        # is the owner never answering the querier.
+        with pytest.raises(LookupError_, match="never replied"):
+            net.nodes[pred].lookup_recursive(victim)
+        assert t.metrics.counter("rpc.timeouts").value == timeouts_before + 1
+        assert t.elapsed == pytest.approx(elapsed_before + t.timeout)
+
     def test_budget_exhaustion(self):
         net = ChordNetwork.build(16, m=18, rng=random.Random(177))
         entry = net.nodes[min(net.nodes)]

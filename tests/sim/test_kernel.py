@@ -52,6 +52,44 @@ class TestEventQueue:
         q.push(1.0, lambda: None)
         assert q
 
+    def test_tombstones_compact_lazily(self):
+        # The async-transport pattern: every call arms a far-future
+        # timeout that the reply cancels.  Without compaction the heap
+        # keeps every tombstone until its timestamp surfaces; with it,
+        # raw_size stays within a constant factor of the live count.
+        q = EventQueue()
+        live = [q.push(1_000_000.0 + i, lambda: None) for i in range(8)]
+        for i in range(10_000):
+            q.push(1_000.0 + i, lambda: None).cancel()
+            assert q.raw_size <= 2 * len(q) + 1
+        assert len(q) == 8
+        assert sorted(e.seq for e in q._heap if not e.cancelled) == sorted(
+            e.seq for e in live
+        )
+
+    def test_compaction_preserves_order_and_len(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda i=i: i) for i in range(100)]
+        for e in events[::2]:  # cancel every other one -> triggers compaction
+            e.cancel()
+        assert len(q) == 50
+        times = []
+        while True:
+            event = q.pop()
+            if event is None:
+                break
+            times.append(event.time)
+        assert times == [float(i) for i in range(1, 100, 2)]
+
+    def test_cancel_after_pop_does_not_corrupt_accounting(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is event
+        event.cancel()  # already popped: a no-op for queue accounting
+        assert len(q) == 1
+        assert q.raw_size == 1
+
 
 class TestSimulator:
     def test_clock_advances_to_event_times(self):

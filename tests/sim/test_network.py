@@ -81,6 +81,17 @@ class TestRpcTransport:
         assert t.elapsed == 9.0
         assert t.metrics.counter("rpc.timeouts").value == 1
 
+    def test_failed_call_charges_the_lost_request(self):
+        # Pin of the _admit charge model: a timed-out call is never free
+        # -- one message (the request that went nowhere), the full
+        # timeout interval, and a timeout tick.  The async transport's
+        # failure accounting is defined as matching exactly this.
+        t = RpcTransport(rng=random.Random(0), timeout=9.0)
+        with pytest.raises(RpcTimeout):
+            t.rpc(42, "ping")
+        assert t.messages_sent == 1
+        assert t.messages_by_method().get("ping") == 1
+
     def test_deregistered_target_times_out(self):
         t = RpcTransport(rng=random.Random(0))
         t.register(1, Echo())

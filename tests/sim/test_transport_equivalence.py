@@ -1,0 +1,135 @@
+"""Property: sync and async transports agree under benign conditions.
+
+With a constant latency model, zero loss, and one sequential caller,
+the async transport's event-scheduled deliveries are just a slower way
+to run the exact same exchanges the sync plane runs inline.  The
+continuation-driven lookups were written to mirror their sync twins
+exchange for exchange in that regime, so everything observable must
+match: the resolved owner, the per-RPC (target, method) sequence seen
+by the tracer, the message counters, and the charged latency.  Any
+divergence means the async path changed protocol behaviour, not just
+scheduling.
+
+Kademlia runs with ``alpha=1``: at higher concurrency the async
+frontier legitimately reorders probes (that concurrency is the
+feature); at alpha=1 it must degenerate to the sync loop exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord.async_lookup import lookup_async, lookup_recursive_async
+from repro.dht.chord.network import ChordNetwork
+from repro.dht.kademlia.async_lookup import find_successor_async
+from repro.dht.kademlia.network import KademliaNetwork
+from repro.sim.async_net import drive
+from repro.sim.network import ConstantLatency
+
+M = 12
+
+
+class RecordingSink:
+    """Tracer that records the schedule-independent part of each RPC."""
+
+    active = True
+
+    def __init__(self):
+        self.events = []
+
+    def on_rpc(self, source, target, method, kind, start, end, outcome):
+        self.events.append((source, target, method, kind, outcome))
+
+
+def _chord_pair(n: int, seed: int):
+    sync = ChordNetwork.build(
+        n, m=M, rng=random.Random(seed), latency=ConstantLatency(1.0)
+    )
+    asyn = ChordNetwork.build(
+        n, m=M, rng=random.Random(seed), latency=ConstantLatency(1.0),
+        async_transport=True,
+    )
+    return sync, asyn
+
+
+def _kad_pair(n: int, seed: int):
+    sync = KademliaNetwork.build(
+        n, m=M, k=8, alpha=1, rng=random.Random(seed), latency=ConstantLatency(1.0)
+    )
+    asyn = KademliaNetwork.build(
+        n, m=M, k=8, alpha=1, rng=random.Random(seed), latency=ConstantLatency(1.0),
+        async_transport=True,
+    )
+    return sync, asyn
+
+
+ring_cases = st.tuples(
+    st.integers(min_value=8, max_value=32),  # n
+    st.integers(min_value=0, max_value=2**16),  # build seed
+    st.lists(st.integers(min_value=0, max_value=(1 << M) - 1), min_size=1, max_size=4),
+)
+
+
+@given(ring_cases)
+@settings(max_examples=20, deadline=None)
+def test_chord_iterative_lookup_equivalent(case):
+    n, seed, targets = case
+    sync_net, async_net = _chord_pair(n, seed)
+    assert sorted(sync_net.nodes) == sorted(async_net.nodes)
+    sync_sink, async_sink = RecordingSink(), RecordingSink()
+    sync_net.transport.install_tracer(sync_sink)
+    async_net.transport.install_tracer(async_sink)
+    entry = min(sync_net.nodes)
+    for target in targets:
+        sync_result = sync_net.nodes[entry].lookup(target)
+        async_result = drive(
+            async_net.sim, lookup_async(async_net.nodes[entry], target)
+        )
+        assert async_result.node_id == sync_result.node_id
+        assert async_result.hops == sync_result.hops
+    assert async_sink.events == sync_sink.events
+    assert async_net.transport.messages_sent == sync_net.transport.messages_sent
+    assert async_net.transport.elapsed == sync_net.transport.elapsed
+    assert (async_net.transport.metrics.counters()["rpc.calls"]
+            == sync_net.transport.metrics.counters()["rpc.calls"])
+
+
+@given(ring_cases)
+@settings(max_examples=15, deadline=None)
+def test_chord_recursive_lookup_same_owner(case):
+    # The async recursive mode deliberately changes the message pattern
+    # (per-hop acks, the owner casting straight back to the querier), so
+    # only the *result* is pinned to the sync recursive mode here.
+    n, seed, targets = case
+    sync_net, async_net = _chord_pair(n, seed)
+    entry = min(sync_net.nodes)
+    for target in targets:
+        sync_result = sync_net.nodes[entry].lookup_recursive(target)
+        async_result = drive(
+            async_net.sim, lookup_recursive_async(async_net.nodes[entry], target)
+        )
+        assert async_result.node_id == sync_result.node_id
+
+
+@given(ring_cases)
+@settings(max_examples=15, deadline=None)
+def test_kademlia_find_successor_equivalent(case):
+    n, seed, targets = case
+    sync_net, async_net = _kad_pair(n, seed)
+    assert sorted(sync_net.nodes) == sorted(async_net.nodes)
+    sync_sink, async_sink = RecordingSink(), RecordingSink()
+    sync_net.transport.install_tracer(sync_sink)
+    async_net.transport.install_tracer(async_sink)
+    entry = min(sync_net.nodes)
+    for target in targets:
+        sync_result = sync_net.nodes[entry].find_successor(target)
+        async_result = drive(
+            async_net.sim, find_successor_async(async_net.nodes[entry], target)
+        )
+        assert async_result.node_id == sync_result.node_id
+    assert async_sink.events == sync_sink.events
+    assert async_net.transport.messages_sent == sync_net.transport.messages_sent
+    assert async_net.transport.elapsed == sync_net.transport.elapsed
