@@ -52,10 +52,42 @@ QUICK_COMMANDS = {
     "BENCH_obs.json": ["benchmarks/bench_obs.py", "--quick"],
     "BENCH_adversary.json": ["benchmarks/bench_adversary.py", "--quick"],
     "BENCH_async.json": ["benchmarks/bench_async.py", "--quick"],
+    "BENCH_scale.json": ["benchmarks/bench_scale.py", "--quick"],
 }
 
 #: Metric direction markers.
 HIGHER, LOWER, EXACT = "higher-is-better", "lower-is-better", "exact"
+
+#: Per-artifact tolerance overrides (ratio floor for perf metrics).
+#: The scale curves are the scaling contract itself: memory/node is
+#: deterministic and lookups/sec is measured on dedicated full-mode
+#: decades, so the gate holds both to within 10% instead of the loose
+#: quick-vs-full default.
+TOLERANCES = {
+    "BENCH_scale.json": 0.9,
+}
+
+#: Peak-RSS ceilings per artifact, in KiB, enforced under ``--strict``
+#: (the nightly).  Benches have stamped ``peak_rss_kb`` into their
+#: records since the observability PR; a fresh record over its ceiling
+#: fails the nightly even if every relative metric held, so a structure
+#: that suddenly holds the whole workload resident cannot ride in under
+#: the ratio gates.  Records without the stamp (pre-stamp baselines,
+#: non-POSIX hosts) are skipped.  Ceilings are sized ~3x the observed
+#: full-mode footprint to absorb allocator noise, except scale, whose
+#: 1e7 build-only decade legitimately peaks above 5 GiB.
+RSS_CEILINGS_KB = {
+    "BENCH_throughput.json": 2_000_000,
+    "BENCH_chord_batch.json": 2_000_000,
+    "BENCH_service.json": 2_000_000,
+    "BENCH_churn.json": 2_000_000,
+    "BENCH_backends.json": 4_000_000,
+    "BENCH_faults.json": 2_000_000,
+    "BENCH_obs.json": 2_000_000,
+    "BENCH_adversary.json": 2_000_000,
+    "BENCH_async.json": 2_000_000,
+    "BENCH_scale.json": 16_000_000,
+}
 
 
 def _metrics_throughput(record: dict) -> dict:
@@ -210,6 +242,32 @@ def _metrics_async(record: dict) -> dict:
     return out
 
 
+def _metrics_scale(record: dict) -> dict:
+    # Keyed by backend and decade -- quick mode runs the n=1e5 decade
+    # only, so the PR guard compares that shared row while the nightly
+    # full run covers every decade.  bytes/node and lookups/sec are the
+    # scaling contract (both gated at the tight scale tolerance); the
+    # structural/oracle flags and the zero-full-rebuild churn invariant
+    # are the teeth.
+    out = {}
+    for row in record.get("results", []):
+        key = f"{row['backend']}/n={row['n']}"
+        if row["phase"] == "build":
+            out[f"{key}/bytes_per_node"] = (row["bytes_per_node"], LOWER)
+            out[f"{key}/spot_check_ok"] = (bool(row.get("spot_check_ok")), EXACT)
+        else:
+            out[f"{key}/lookups_per_sec"] = (row["lookups_per_sec"], HIGHER)
+            out[f"{key}/oracle_ok"] = (bool(row.get("oracle_ok")), EXACT)
+    churn = record.get("churn") or {}
+    if churn:
+        out["churn/zero_full_rebuilds"] = (churn.get("full_rebuilds") == 0, EXACT)
+        out["churn/incremental_equals_rebuild"] = (
+            bool(churn.get("incremental_equals_rebuild")), EXACT)
+        out["churn/soa_splice_equals_rebuild"] = (
+            bool(churn.get("soa_splice_equals_rebuild")), EXACT)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_throughput.json": _metrics_throughput,
     "BENCH_chord_batch.json": _metrics_chord_batch,
@@ -220,6 +278,7 @@ EXTRACTORS = {
     "BENCH_obs.json": _metrics_obs,
     "BENCH_adversary.json": _metrics_adversary,
     "BENCH_async.json": _metrics_async,
+    "BENCH_scale.json": _metrics_scale,
 }
 
 
@@ -266,6 +325,37 @@ def _fmt(value) -> str:
     return f"{value:.3g}" if isinstance(value, float) else str(value)
 
 
+def _write_markdown(path: Path, summary, rss_lines, errors) -> None:
+    """The comparison as one markdown document (the per-PR artifact)."""
+    lines = ["# Benchmark regression summary", ""]
+    for name, tolerance, rows in summary:
+        regressed = sum(1 for r in rows if r["regressed"])
+        verdict = f"**{regressed} regressed**" if regressed else "all ok"
+        lines.append(f"## {name} — tolerance {tolerance:g}, {verdict}")
+        lines.append("")
+        lines.append("| metric | kind | committed | fresh | verdict |")
+        lines.append("|---|---|---:|---:|---|")
+        for row in rows:
+            mark = "REGRESSED" if row["regressed"] else "ok"
+            lines.append(
+                f"| `{row['metric']}` | {row['kind']} | {_fmt(row['committed'])} "
+                f"| {_fmt(row['fresh'])} | {mark} |"
+            )
+        lines.append("")
+    if rss_lines:
+        lines.append("## Peak RSS budgets")
+        lines.append("")
+        lines.extend(f"- {line}" for line in rss_lines)
+        lines.append("")
+    if errors:
+        lines.append("## Errors")
+        lines.append("")
+        lines.extend(f"- {message}" for message in errors)
+        lines.append("")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n")
+
+
 def _run_quick(out_dir: Path, names) -> None:
     for name in names:
         cmd = QUICK_COMMANDS.get(name)
@@ -309,8 +399,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--strict", action="store_true",
-        help="missing fresh artifacts and empty comparisons fail too "
+        help="missing fresh artifacts and empty comparisons fail too, and "
+             "per-bench peak-RSS ceilings are enforced "
              "(the nightly's blocking mode); the default only skips them",
+    )
+    parser.add_argument(
+        "--markdown-out", type=Path, default=None,
+        help="also write the comparison as a markdown summary table "
+             "(uploaded as a per-PR workflow artifact)",
     )
     args = parser.parse_args(argv)
     names = args.bench if args.bench else sorted(EXTRACTORS)
@@ -325,6 +421,8 @@ def main(argv=None) -> int:
     any_regressed = False
     compared = 0
     errors: list[str] = []
+    summary: list[tuple[str, float, list[dict]]] = []
+    rss_lines: list[str] = []
     for name in names:
         fresh_path = fresh_dir / name
         if not fresh_path.exists():
@@ -344,14 +442,34 @@ def main(argv=None) -> int:
             )
             continue
         fresh = json.loads(fresh_path.read_text())
-        rows = compare(fresh, committed, EXTRACTORS[name], args.tolerance)
+
+        # -- peak-RSS budget: an absolute ceiling, not a ratio ------------
+        peak = fresh.get("peak_rss_kb")
+        ceiling = RSS_CEILINGS_KB.get(name)
+        if peak is not None and ceiling is not None:
+            verdict = "over budget" if peak > ceiling else "ok"
+            rss_lines.append(
+                f"{name}: peak_rss={peak} KiB, ceiling={ceiling} KiB ({verdict})"
+            )
+            if peak > ceiling and args.strict:
+                errors.append(
+                    f"{name}: peak RSS {peak} KiB exceeds the "
+                    f"{ceiling} KiB budget"
+                )
+        elif peak is None:
+            rss_lines.append(f"{name}: no peak_rss_kb stamp (skipped)")
+
+        # Per-bench tolerance overrides only ever tighten the gate.
+        tolerance = max(args.tolerance, TOLERANCES.get(name, 0.0))
+        rows = compare(fresh, committed, EXTRACTORS[name], tolerance)
         if not rows:
             if args.strict:
                 errors.append(f"{name}: no comparable metrics (configurations disjoint)")
             else:
                 print(f"{name}: no comparable metrics (configurations disjoint)")
             continue
-        print(f"== {name} (tolerance {args.tolerance:g}, baseline "
+        summary.append((name, tolerance, rows))
+        print(f"== {name} (tolerance {tolerance:g}, baseline "
               f"{args.baseline_dir or args.baseline_ref})")
         for row in rows:
             compared += 1
@@ -362,6 +480,11 @@ def main(argv=None) -> int:
             any_regressed |= row["regressed"]
     if tmp is not None:
         tmp.cleanup()
+    for line in rss_lines:
+        print(f"rss: {line}")
+    if args.markdown_out is not None:
+        _write_markdown(args.markdown_out, summary, rss_lines, errors)
+        print(f"wrote markdown summary to {args.markdown_out}")
     for message in errors:
         print(f"ERROR: {message}", file=sys.stderr)
     if compared == 0 and not errors:

@@ -1,0 +1,338 @@
+"""Decade-scaling benchmark for the struct-of-arrays substrates.
+
+The SoA rebuild exists so the repo can hold a *million-node* overlay in
+flat numpy arrays instead of a million Python node objects.  This bench
+pins that claim per decade: for each ``n`` in 1e4 -> 1e6 it builds both
+SoA substrates (Chord at ``m=32`` with 8-deep successor lists, Kademlia
+at ``m=32, k=20``), records build seconds and **bytes of array state
+per node**, then serves a lockstep lookup batch and records
+**lookups/sec** -- the two curves the nightly regression gate holds to
+within 10%.  A 1e7 entry builds only (no serve phase), bounding the
+construction path one decade past the serving claim.
+
+A separate churn section certifies the tentpole invariant on the *live*
+substrate: the CI-sized moderate-churn scenario preset must absorb all
+of its churn through incremental snapshot patches -- zero full rebuilds
+beyond the initial one per shard -- and an explicit interleaved
+join/crash/leave burst must leave the incrementally patched snapshot
+bit-identical to a from-scratch ``RingSnapshot.build``.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_scale.py``,
+or ``python -m repro bench scale``; ``--quick`` is the CI smoke
+configuration: the n=1e5 decade only, no 1e7 build) and writes
+``BENCH_scale.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import random
+import sys
+import time
+from pathlib import Path
+
+from ..compat import load_numpy
+from ..dht.chord.batch import RingSnapshot
+from ..dht.chord.network import ChordNetwork
+from ..dht.chord.soa import SoAChordNetwork
+from ..dht.kademlia.routing import SoAKademliaNetwork
+from .harness import Table, peak_rss_kb, write_bench_json
+
+__all__ = ["main", "run", "measure_decade", "measure_churn", "DEFAULT_OUT", "BACKENDS"]
+
+_np = load_numpy()
+
+FULL_DECADES = [10_000, 100_000, 1_000_000]
+FULL_BUILD_ONLY = [10_000_000]
+FULL_LOOKUPS = 4096
+# Quick mode keeps the n=1e5 decade so the regression guard has a row
+# in common with the committed full baselines.
+QUICK_DECADES = [100_000]
+QUICK_BUILD_ONLY: list[int] = []
+QUICK_LOOKUPS = 1024
+# The pure-Python lane cannot hold a million list-backed rows; the
+# bench still runs (CI imports it under REPRO_PURE_PYTHON) but shrinks
+# to a size the lists can carry, keyed distinctly so the lane's rows
+# never masquerade as the numpy curves.
+PURE_DECADES = [2048]
+
+#: Nodes in the churn-equivalence burst (live ChordNetwork, small ring).
+CHURN_N = 192
+CHURN_EVENTS = 96
+
+DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_scale.json"
+
+BACKENDS = ("chord-soa", "kademlia-soa")
+
+
+def _build(backend: str, n: int, seed: int):
+    rng = random.Random(seed)
+    if backend == "chord-soa":
+        return SoAChordNetwork.build(n, m=32, rng=rng, successor_list_size=8)
+    return SoAKademliaNetwork.build(n, m=32, k=20, rng=rng)
+
+
+def _points(k: int, seed: int) -> list[float]:
+    rng = random.Random(seed)
+    return [1.0 - rng.random() for _ in range(k)]
+
+
+def _spot_check(net, backend: str, seed: int, probes: int = 64) -> bool:
+    """Sampled structural check, O(probes log n) -- full ``ring_is_correct``
+    is an O(n) Python loop, too slow to run at 1e7."""
+    rng = random.Random(seed)
+    if backend == "kademlia-soa":
+        ids = net.sorted_ids()
+        return net.routing_is_correct() and ids == sorted(ids)
+    store = net.snapshot()
+    ids = net.sorted_ids()
+    n = len(ids)
+    for _ in range(probes):
+        i = rng.randrange(n)
+        slot = store.pos[ids[i]]
+        succs = store.succs_at(slot)
+        if not succs or succs[0] != ids[(i + 1) % n]:
+            return False
+    return True
+
+
+def _oracle_owner(ids: list[int], target: int) -> int:
+    return ids[bisect.bisect_left(ids, target) % len(ids)]
+
+
+def measure_decade(backend: str, n: int, lookups: int, seed: int,
+                   serve: bool = True) -> list[dict]:
+    """Build + (optionally) serve rows for one backend at one decade."""
+    t0 = time.perf_counter()
+    net = _build(backend, n, seed)
+    build_seconds = time.perf_counter() - t0
+    nbytes = net.array_bytes()
+    rows = [{
+        "backend": backend,
+        "n": n,
+        "phase": "build",
+        "build_seconds": build_seconds,
+        "array_bytes": nbytes,
+        "bytes_per_node": nbytes / n,
+        "spot_check_ok": _spot_check(net, backend, seed + 1),
+        "peak_rss_kb": peak_rss_kb(),
+    }]
+    if not serve:
+        return rows
+
+    dht = net.dht()
+    xs = _points(lookups, seed + 2)
+    t0 = time.perf_counter()
+    refs = dht.h_many(xs)
+    serve_seconds = time.perf_counter() - t0
+
+    # Oracle correctness on a sampled subset (the full check is O(n)
+    # Python at the big decades).
+    from ..dht.idspace import point_to_target_id
+
+    ids = net.sorted_ids()
+    check = random.Random(seed + 3).sample(range(lookups), min(128, lookups))
+    oracle_ok = all(
+        refs[i].peer_id == _oracle_owner(ids, point_to_target_id(xs[i], net.m))
+        for i in check
+    )
+    rows.append({
+        "backend": backend,
+        "n": n,
+        "phase": "serve",
+        "lookups": lookups,
+        "serve_seconds": serve_seconds,
+        "lookups_per_sec": lookups / serve_seconds,
+        "msgs_per_lookup": dht.cost.messages / dht.cost.h_calls,
+        "oracle_ok": oracle_ok,
+        "peak_rss_kb": peak_rss_kb(),
+    })
+    return rows
+
+
+def measure_churn(seed: int = 0) -> dict:
+    """The tentpole invariant, certified on the live substrates.
+
+    1. The CI-sized moderate-churn scenario preset (``smoke``) must run
+       with **zero** churn-induced full snapshot rebuilds: every shard's
+       ``snapshot_builds`` stays at the initial 1, with the churn
+       absorbed as ``snapshot_patches``.
+    2. An explicit join/crash/leave/stabilize burst on a warm
+       :class:`ChordNetwork` must leave the incrementally patched
+       snapshot bit-identical to a from-scratch rebuild.
+    3. The same burst shape on the SoA substrate must splice to exactly
+       the oracle-built store.
+    """
+    from ..scenarios import preset, run_scenario
+
+    result = run_scenario(preset("smoke"))
+    full_rebuilds = sum(max(0, s.snapshot_builds - 1) for s in result.shards)
+    patches = sum(s.snapshot_patches for s in result.shards)
+
+    # -- explicit burst on the live object-graph network ------------------
+    rng = random.Random(seed + 7)
+    net = ChordNetwork.build(CHURN_N, m=16, rng=random.Random(seed + 8))
+    net.snapshot()  # warm, so churn goes down the incremental path
+    for i in range(CHURN_EVENTS):
+        op = rng.randrange(4)
+        ids = net.sorted_ids()
+        if op == 0:
+            net.join_node()
+        elif op == 1 and len(ids) > 8:
+            net.crash_node(rng.choice(ids))
+        elif op == 2 and len(ids) > 8:
+            net.leave_node(rng.choice(ids))
+        else:
+            net.stabilize_round()
+        if i % 8 == 0:
+            net.snapshot()  # periodic drains, like the lockstep engine
+    incremental_ok = (
+        net.snapshot().canonical_state() == RingSnapshot.build(net).canonical_state()
+    )
+    live_builds = net.snapshot_builds
+    live_patches = net.snapshot_patches
+
+    # -- the same burst shape on the SoA substrate ------------------------
+    soa = SoAChordNetwork.build(CHURN_N, m=16, rng=random.Random(seed + 9))
+    srng = random.Random(seed + 10)
+    for _ in range(CHURN_EVENTS):
+        op = srng.randrange(4)
+        ids = soa.sorted_ids()
+        if op == 0:
+            soa.join_node()
+        elif op == 1 and len(ids) > 8:
+            soa.crash_node(srng.choice(ids))
+        elif op == 2 and len(ids) > 8:
+            soa.leave_node(srng.choice(ids))
+        else:
+            soa.stabilize_round()
+    soa.stabilize_round()  # converge the crash-stale rows
+    fresh = soa._build_store(soa.sorted_ids())
+    soa_ok = soa.store.canonical_state() == fresh.canonical_state()
+
+    return {
+        "preset": "smoke",
+        "shards": len(result.shards),
+        "scenario_churn_events": result.churn_events,
+        "full_rebuilds": full_rebuilds,
+        "snapshot_patches": patches,
+        "burst_events": CHURN_EVENTS,
+        "burst_builds": live_builds,
+        "burst_patches": live_patches,
+        "incremental_equals_rebuild": incremental_ok,
+        "soa_splice_equals_rebuild": soa_ok,
+        "soa_builds": soa.snapshot_builds,
+    }
+
+
+def run(decades, build_only, lookups: int, seed: int = 0):
+    table = Table(
+        "Struct-of-arrays scaling: memory/node and lookups/sec per decade",
+        ["backend", "n", "build s", "bytes/node", "lookups/s", "msgs/h", "ok"],
+    )
+    results = []
+    for n in decades:
+        for backend in BACKENDS:
+            rows = measure_decade(backend, n, lookups, seed)
+            results.extend(rows)
+            build = rows[0]
+            serve = rows[1] if len(rows) > 1 else {}
+            table.add_row(
+                backend, n, build["build_seconds"], build["bytes_per_node"],
+                serve.get("lookups_per_sec", float("nan")),
+                serve.get("msgs_per_lookup", float("nan")),
+                build["spot_check_ok"] and serve.get("oracle_ok", True),
+            )
+    for n in build_only:
+        for backend in BACKENDS:
+            rows = measure_decade(backend, n, lookups, seed, serve=False)
+            results.extend(rows)
+            build = rows[0]
+            table.add_row(
+                backend, n, build["build_seconds"], build["bytes_per_node"],
+                float("nan"), float("nan"), build["spot_check_ok"],
+            )
+    churn = measure_churn(seed)
+    table.note(
+        f"churn ({churn['preset']} preset): {churn['full_rebuilds']} full "
+        f"rebuilds, {churn['snapshot_patches']} incremental patches"
+    )
+    table.note(
+        "incremental==rebuild: "
+        f"{churn['incremental_equals_rebuild']}, SoA splice==rebuild: "
+        f"{churn['soa_splice_equals_rebuild']}"
+    )
+    table.note("bytes/node counts flat array state only (ids, fingers, successors)")
+    return table, results, churn
+
+
+def emit(results, churn, out: Path, quick: bool, seed: int) -> Path:
+    record = {
+        "benchmark": "scale",
+        "backends": list(BACKENDS),
+        "numpy": _np is not None,
+        "quick": quick,
+        "seed": seed,
+        "generated_unix": time.time(),
+        "results": results,
+        "churn": churn,
+    }
+    return write_bench_json(out, record)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="override the serve decades to measure",
+    )
+    parser.add_argument(
+        "--lookups", type=int, default=None, help="override the serve batch size"
+    )
+    args = parser.parse_args(argv)
+    if args.lookups is not None and args.lookups < 1:
+        parser.error("--lookups must be positive")
+    if args.sizes is not None and any(n < 2 for n in args.sizes):
+        parser.error("--sizes must be at least 2")
+
+    if _np is None:
+        decades = args.sizes if args.sizes is not None else PURE_DECADES
+        build_only: list[int] = []
+        print("numpy unavailable: running the pure-lane shrunk configuration",
+              file=sys.stderr)
+    elif args.sizes is not None:
+        decades, build_only = args.sizes, []
+    elif args.quick:
+        decades, build_only = QUICK_DECADES, QUICK_BUILD_ONLY
+    else:
+        decades, build_only = FULL_DECADES, FULL_BUILD_ONLY
+    lookups = args.lookups if args.lookups is not None else (
+        QUICK_LOOKUPS if args.quick else FULL_LOOKUPS
+    )
+
+    table, results, churn = run(decades, build_only, lookups, seed=args.seed)
+    table.show()
+    path = emit(results, churn, args.out, quick=args.quick, seed=args.seed)
+    print(f"wrote {path}")
+
+    failures = []
+    if churn["full_rebuilds"] != 0:
+        failures.append(
+            f"churn preset forced {churn['full_rebuilds']} full snapshot rebuilds"
+        )
+    if not churn["incremental_equals_rebuild"]:
+        failures.append("incremental snapshot diverged from a from-scratch rebuild")
+    if not churn["soa_splice_equals_rebuild"]:
+        failures.append("SoA splice diverged from the oracle-built store")
+    for row in results:
+        if row["phase"] == "build" and not row["spot_check_ok"]:
+            failures.append(f"{row['backend']} n={row['n']}: structural spot check failed")
+        if row["phase"] == "serve" and not row["oracle_ok"]:
+            failures.append(f"{row['backend']} n={row['n']}: served a non-oracle owner")
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0

@@ -21,6 +21,7 @@ Subcommands::
     python -m repro faults list                     # injectors and presets
     python -m repro bench chord-batch --quick       # lockstep lookup bench
     python -m repro bench backends --quick          # Chord-vs-Kademlia costs
+    python -m repro bench scale --quick             # SoA decade scaling
     python -m repro bench async --quick             # message-level outage run
 
 Every subcommand accepts ``--seed`` for reproducibility and prints a
@@ -241,6 +242,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the overlay sizes to measure")
     p_bk.add_argument("--samples", type=int, default=None,
                       help="override draws per phase")
+    p_sc = bench_sub.add_parser(
+        "scale",
+        help="decade scaling of the struct-of-arrays substrates: "
+             "memory/node and lookups/sec from 1e4 to 1e6 (1e7 build-only)",
+    )
+    p_sc.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    p_sc.add_argument("--out", type=Path, default=None, help="JSON output path")
+    p_sc.add_argument("--sizes", type=int, nargs="+", default=None,
+                      help="override the serve decades to measure")
+    p_sc.add_argument("--lookups", type=int, default=None,
+                      help="override the serve batch size")
     p_as = bench_sub.add_parser(
         "async",
         help="mass failure on the async transport: message-level recovery "
@@ -656,6 +668,12 @@ def _cmd_bench(args) -> int:
         if args.samples is not None:
             argv += ["--samples", str(args.samples)]
         return backends.main(argv)
+    if args.bench_command == "scale":
+        from .bench import scale
+
+        if args.lookups is not None:
+            argv += ["--lookups", str(args.lookups)]
+        return scale.main(argv)
     from .bench import chord_batch
 
     if args.k is not None:

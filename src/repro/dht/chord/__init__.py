@@ -6,8 +6,9 @@ stabilization, and churn tolerance.
 from .async_lookup import lookup_async, lookup_recursive_async
 from .batch import BatchLookupStats, LookupTrace, RingSnapshot, lockstep_resolve
 from .idspace import id_to_point, in_open_closed, in_open_open, point_to_target_id
-from .network import ChordDHT, ChordNetwork
+from .network import ChordDHT, ChordNetwork, SnapshotDelta
 from .node import ChordNode, LookupError_, LookupResult
+from .soa import SoAChordDHT, SoAChordNetwork
 from .virtual import VirtualChordNetwork
 
 __all__ = [
@@ -23,6 +24,9 @@ __all__ = [
     "ChordDHT",
     "ChordNetwork",
     "ChordNode",
+    "SnapshotDelta",
+    "SoAChordDHT",
+    "SoAChordNetwork",
     "LookupError_",
     "LookupResult",
     "lookup_async",

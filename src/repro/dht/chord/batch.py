@@ -1,15 +1,34 @@
-"""Lockstep batch lookup engine over an epoch-cached Chord ring snapshot.
+"""Lockstep batch lookup engine over a struct-of-arrays ring snapshot.
 
 The per-call Chord lookup pays Python RPC dispatch, metrics-counter and
 finger-scan overhead *per hop*.  For a batch of ``k`` lookups on a ring
 whose state is not changing, that work is pure interpretation overhead:
 every routing step is a deterministic function of frozen node state.
 This module resolves whole batches against a :class:`RingSnapshot` -- a
-flat array view of the ring (sorted identifiers, first-successor array,
-a dense finger matrix and padded successor-list matrix) -- advancing all
-in-flight lookups **in lockstep**, one hop per round, with the routing
-decisions of a round computed as a handful of vectorized array
-operations instead of ``k`` RPC round trips.
+flat struct-of-arrays view of the ring (sorted identifiers, a dense
+finger matrix, a padded successor-list matrix, all indexed by stable
+free-list *slots*) -- advancing all in-flight lookups **in lockstep**,
+one hop per round, with the routing decisions of a round computed as a
+handful of vectorized array operations instead of ``k`` RPC round trips.
+
+Struct-of-arrays layout
+-----------------------
+
+Rows live at *slots*: stable indices handed out by a free list, so a
+membership change never moves another node's row.  Two thin sorted
+views -- the live id array and a parallel ``order`` array mapping each
+sorted position to its slot -- make id -> slot resolution a binary
+search (or one gather through the dense ``pos_table`` when the id space
+is small enough to materialize it).  The payoff is *incremental
+maintenance*: a join or crash splices one id in or out of the sorted
+views (an O(n) 1-D memmove of 8-byte words) and writes O(log n) row
+cells, instead of rebuilding every array from the node objects.  The
+:class:`~repro.dht.chord.network.ChordNetwork` drives this through an
+explicit delta log (see its ``snapshot`` method); the
+struct-of-arrays substrates (:mod:`repro.dht.chord.soa`) use the same
+class *as* their primary state, with no per-node objects at all
+(``compact`` construction: no Python list mirrors, id -> slot resolved
+through the arrays).
 
 Correctness contract
 --------------------
@@ -20,11 +39,16 @@ the same message/latency charges that :meth:`ChordNode.lookup` (or
 ``lookup_recursive``) would have produced against the same frozen node
 state.  Three design rules make that exact:
 
-- **Epoch invalidation.**  :class:`~repro.dht.chord.network.ChordNetwork`
+- **Delta-synced snapshots.**  :class:`~repro.dht.chord.network.ChordNetwork`
   bumps a ``churn_epoch`` counter on every membership or maintenance
-  event (join, crash, leave, stabilize, rewire).  A snapshot records the
-  epoch it was built at and is discarded the moment the counter moves,
-  so the engine never routes on state the live path would no longer see.
+  event (join, crash, leave, stabilize, rewire) and records what changed
+  in a ``SnapshotDelta`` log.  A snapshot records the epoch it is synced
+  to; the moment the counter moves, the network re-syncs it by applying
+  the pending deltas (splice joins/crashes, patch dirty rows) before the
+  engine routes on it -- the patched arrays are bit-identical to a
+  from-scratch rebuild (a pinned invariant), so the engine never routes
+  on state the live path would no longer see.  Direct node mutation
+  outside the network API (``bump_epoch``) still forces a full rebuild.
 - **Cost determinism.**  Offline replay is only charge-identical when
   the transport's per-call costs are deterministic (a ``deterministic``
   latency model and ``loss_rate == 0``); the adapter checks this before
@@ -50,6 +74,7 @@ exactly where the adapter cuts over.
 
 from __future__ import annotations
 
+import bisect as _bisect
 from dataclasses import dataclass
 
 from ...compat import load_numpy
@@ -105,67 +130,136 @@ class BatchLookupStats:
         }
 
 
+class _SlotMap:
+    """Dict-shaped id -> slot view over a compact snapshot's arrays.
+
+    Compact snapshots (the struct-of-arrays substrates) carry no Python
+    dict -- a million-entry dict would cost more than the arrays it
+    indexes -- so membership and slot resolution go through the dense
+    ``pos_table`` when present, else a binary search of the sorted id
+    view.  Read-only: the snapshot's splice methods maintain the arrays
+    this resolves against.
+    """
+
+    __slots__ = ("_snap",)
+
+    def __init__(self, snap: "RingSnapshot"):
+        self._snap = snap
+
+    def _slot(self, node_id: int) -> int:
+        snap = self._snap
+        table = snap.pos_table
+        if table is not None:
+            if node_id < 0 or node_id >= len(table):
+                return -1
+            return int(table[node_id]) - 1
+        ids = snap._ids_buf
+        i = int(_np.searchsorted(ids[: snap.n], node_id))
+        if i >= snap.n or int(ids[i]) != node_id:
+            return -1
+        return int(snap._order_buf[i])
+
+    def __getitem__(self, node_id: int) -> int:
+        slot = self._slot(node_id)
+        if slot < 0:
+            raise KeyError(node_id)
+        return slot
+
+    def __contains__(self, node_id: int) -> bool:
+        return self._slot(node_id) >= 0
+
+    def get(self, node_id: int, default=None):
+        slot = self._slot(node_id)
+        return default if slot < 0 else slot
+
+
 class RingSnapshot:
-    """Immutable array view of a :class:`ChordNetwork` at one churn epoch.
+    """Struct-of-arrays view of a Chord ring with incremental maintenance.
 
     Copies every node's successor list and finger table (the live lists
     mutate in place during stabilization) and, when numpy is available,
-    lays them out as dense matrices indexed by ring position so a
+    lays them out as dense matrices indexed by free-list *slot* so a
     lockstep round is a few vectorized gathers instead of per-node
-    attribute traffic.  Build cost is O(n * m); the network caches one
-    snapshot per epoch so static phases amortize it across every batch
-    issued until the next membership event.
+    attribute traffic.  Build cost is O(n * m); membership events after
+    that splice the sorted views and rewrite single rows
+    (:meth:`apply_join` / :meth:`apply_remove` / :meth:`apply_update`)
+    instead of rebuilding, with :attr:`patches` counting the row-level
+    edits applied since construction.
+
+    Under ``REPRO_PURE_PYTHON`` (or without numpy) the same slot
+    discipline runs over plain Python lists; the ``compact=True``
+    construction path (:meth:`from_arrays`) keeps *only* the numpy
+    arrays, for substrates where per-node Python mirrors would dominate
+    memory.
     """
 
     __slots__ = (
-        "epoch", "m", "n", "ids", "pos", "succ_lists", "finger_lists",
-        "ids_np", "succ_first_np", "finger_mat", "succ_mat", "pos_table",
+        "epoch", "m", "n", "pos", "succ_lists", "finger_lists", "free",
+        "ids", "patches", "_width", "slot_ids_np", "finger_mat", "succ_mat",
+        "succ_first_np", "_ids_buf", "_order_buf", "pos_table",
     )
 
-    #: Largest identifier space for which a dense id -> position table is
+    #: Largest identifier space for which a dense id -> slot table is
     #: materialized (2^22 entries of int32 = 16 MiB); larger spaces fall
-    #: back to binary search for liveness/position queries.
+    #: back to binary search for liveness/slot queries.
     MAX_TABLE_BITS = 22
 
     def __init__(self, epoch: int, m: int, ids, succ_lists, finger_lists):
         self.epoch = epoch
         self.m = m
-        self.ids = ids
         self.n = len(ids)
+        self.patches = 0
+        self.free: list[int] = []
+        self._width = max((len(s) for s in succ_lists), default=1)
+        # Slots are handed out in sorted-id order at build time, so the
+        # initial order view is just 0..n-1.
+        self.ids = list(ids)
         self.pos = {node_id: i for i, node_id in enumerate(ids)}
-        self.succ_lists = succ_lists
-        self.finger_lists = finger_lists
-        if _np is not None and self.n:
-            self.ids_np = _np.asarray(ids, dtype=_np.int64)
-            self.succ_first_np = _np.fromiter(
-                (s[0] if s else node_id for node_id, s in zip(ids, succ_lists)),
-                dtype=_np.int64,
-                count=self.n,
-            )
-            self.finger_mat = _np.fromiter(
-                (-1 if f is None else f for fl in finger_lists for f in fl),
-                dtype=_np.int64,
-                count=self.n * m,
-            ).reshape(self.n, m)
-            width = max((len(s) for s in succ_lists), default=1)
-            succ_mat = _np.full((self.n, width), -1, dtype=_np.int64)
-            for i, s in enumerate(succ_lists):
-                if s:
-                    succ_mat[i, : len(s)] = s
-            self.succ_mat = succ_mat
-            if m <= self.MAX_TABLE_BITS:
-                # Dense id -> position + 1 (0 = dead): O(1) liveness and
-                # position gathers per round instead of binary searches.
-                table = _np.zeros(1 << m, dtype=_np.int32)
-                table[self.ids_np] = _np.arange(1, self.n + 1, dtype=_np.int32)
-                self.pos_table = table
-            else:
-                self.pos_table = None
+        self.succ_lists = [tuple(s) for s in succ_lists]
+        self.finger_lists = [tuple(f) for f in finger_lists]
+        if _np is not None:
+            self._alloc_arrays()
         else:
-            self.ids_np = None
-            self.succ_first_np = None
+            self.slot_ids_np = None
             self.finger_mat = None
             self.succ_mat = None
+            self.succ_first_np = None
+            self._ids_buf = None
+            self._order_buf = None
+            self.pos_table = None
+
+    def _alloc_arrays(self) -> None:
+        np = _np
+        n, m = self.n, self.m
+        cap = max(n, 1)
+        ids_arr = np.asarray(self.ids, dtype=np.int64)
+        self.slot_ids_np = np.empty(cap, dtype=np.int64)
+        self.slot_ids_np[:n] = ids_arr
+        self.finger_mat = np.full((cap, m), -1, dtype=np.int64)
+        if n:
+            self.finger_mat[:n] = np.fromiter(
+                (-1 if f is None else f for fl in self.finger_lists for f in fl),
+                dtype=np.int64,
+                count=n * m,
+            ).reshape(n, m)
+        self.succ_mat = np.full((cap, self._width), -1, dtype=np.int64)
+        self.succ_first_np = np.empty(cap, dtype=np.int64)
+        for i, s in enumerate(self.succ_lists):
+            if s:
+                self.succ_mat[i, : len(s)] = s
+            self.succ_first_np[i] = s[0] if s else self.ids[i]
+        self._ids_buf = np.empty(cap, dtype=np.int64)
+        self._ids_buf[:n] = ids_arr
+        self._order_buf = np.empty(cap, dtype=np.int64)
+        self._order_buf[:n] = np.arange(n, dtype=np.int64)
+        if m <= self.MAX_TABLE_BITS:
+            # Dense id -> slot + 1 (0 = dead): O(1) liveness and slot
+            # gathers per round instead of binary searches.
+            table = np.zeros(1 << m, dtype=np.int32)
+            if n:
+                table[ids_arr] = np.arange(1, n + 1, dtype=np.int32)
+            self.pos_table = table
+        else:
             self.pos_table = None
 
     @classmethod
@@ -176,9 +270,268 @@ class RingSnapshot:
         finger_lists = [tuple(nodes[i].fingers) for i in ids]
         return cls(network.churn_epoch, network.m, ids, succ_lists, finger_lists)
 
+    @classmethod
+    def from_arrays(
+        cls, m: int, ids, succ_mat, finger_mat, epoch: int = 0
+    ) -> "RingSnapshot":
+        """Compact construction straight from prebuilt numpy arrays.
+
+        ``ids`` must be sorted and distinct; ``succ_mat``/``finger_mat``
+        are row-aligned with it (``-1`` = padding / empty finger).  No
+        Python list mirrors are kept: the exact-replay lane decodes rows
+        on demand and id -> slot goes through :class:`_SlotMap`.  This is
+        the construction the million-node substrates use -- per-node
+        memory is exactly the array rows.
+        """
+        if _np is None:
+            raise RuntimeError("compact snapshots require numpy")
+        np = _np
+        snap = object.__new__(cls)
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        n = len(ids)
+        snap.epoch = epoch
+        snap.m = m
+        snap.n = n
+        snap.patches = 0
+        snap.free = []
+        snap.ids = None
+        snap.succ_lists = None
+        snap.finger_lists = None
+        snap._width = succ_mat.shape[1] if succ_mat.ndim == 2 else 1
+        snap.slot_ids_np = ids.copy()
+        snap.succ_mat = np.ascontiguousarray(succ_mat, dtype=np.int64)
+        snap.finger_mat = np.ascontiguousarray(finger_mat, dtype=np.int64)
+        first = snap.succ_mat[:, 0] if n else np.empty(0, dtype=np.int64)
+        snap.succ_first_np = np.where(first >= 0, first, ids).astype(np.int64)
+        snap._ids_buf = ids.copy()
+        snap._order_buf = np.arange(n, dtype=np.int64)
+        if m <= cls.MAX_TABLE_BITS:
+            table = np.zeros(1 << m, dtype=np.int32)
+            if n:
+                table[ids] = np.arange(1, n + 1, dtype=np.int32)
+            snap.pos_table = table
+        else:
+            snap.pos_table = None
+        snap.pos = _SlotMap(snap)
+        return snap
+
+    # -- sorted views -------------------------------------------------------
+
+    @property
+    def ids_np(self):
+        """Sorted live ids as a numpy view (None in the pure-Python lane)."""
+        return None if self._ids_buf is None else self._ids_buf[: self.n]
+
+    @property
+    def order_np(self):
+        """Slot of each sorted position, parallel to :attr:`ids_np`."""
+        return None if self._order_buf is None else self._order_buf[: self.n]
+
+    def sorted_ids_list(self) -> list[int]:
+        """The live membership in sorted order as plain ints."""
+        if self.ids is not None:
+            return list(self.ids)
+        return [int(v) for v in self._ids_buf[: self.n]]
+
     def alive(self, node_id: int) -> bool:
-        """Whether ``node_id`` was a live ring member at snapshot time."""
+        """Whether ``node_id`` is a live ring member in this snapshot."""
         return node_id in self.pos
+
+    # -- row access (the exact-replay lane reads through these) ------------
+
+    def succs_at(self, slot: int):
+        """The successor list stored at ``slot`` as a tuple of ids."""
+        lists = self.succ_lists
+        if lists is not None:
+            return lists[slot]
+        return tuple(int(v) for v in self.succ_mat[slot] if v >= 0)
+
+    def fingers_at(self, slot: int):
+        """The finger table stored at ``slot`` (None = unset finger)."""
+        lists = self.finger_lists
+        if lists is not None:
+            return lists[slot]
+        return tuple(None if v < 0 else int(v) for v in self.finger_mat[slot])
+
+    # -- incremental maintenance -------------------------------------------
+
+    def _alloc_slot(self) -> int:
+        if self.free:
+            return self.free.pop()
+        slot = self.n  # live + free == allocated; free is empty here
+        if self.slot_ids_np is not None and slot >= len(self.slot_ids_np):
+            self._grow_slots(slot + 1)
+        if self.succ_lists is not None and slot == len(self.succ_lists):
+            self.succ_lists.append(())
+            self.finger_lists.append(())
+        return slot
+
+    def _grow_slots(self, need: int) -> None:
+        np = _np
+        cap = max(need, 2 * len(self.slot_ids_np))
+        for name in ("slot_ids_np", "succ_first_np"):
+            old = getattr(self, name)
+            fresh = np.empty(cap, dtype=np.int64)
+            fresh[: len(old)] = old
+            setattr(self, name, fresh)
+        for name in ("finger_mat", "succ_mat"):
+            old = getattr(self, name)
+            fresh = np.full((cap, old.shape[1]), -1, dtype=np.int64)
+            fresh[: len(old)] = old
+            setattr(self, name, fresh)
+
+    def _grow_sorted(self) -> None:
+        np = _np
+        cap = max(self.n + 1, 2 * len(self._ids_buf))
+        for name in ("_ids_buf", "_order_buf"):
+            old = getattr(self, name)
+            fresh = np.empty(cap, dtype=np.int64)
+            fresh[: self.n] = old[: self.n]
+            setattr(self, name, fresh)
+
+    def _grow_width(self, width: int) -> None:
+        np = _np
+        old = self.succ_mat
+        fresh = np.full((len(old), width), -1, dtype=np.int64)
+        fresh[:, : old.shape[1]] = old
+        self.succ_mat = fresh
+        self._width = width
+
+    def _set_rows(self, slot: int, node_id: int, succs, fingers) -> None:
+        succs = tuple(succs)
+        fingers = tuple(fingers)
+        if self.succ_lists is not None:
+            self.succ_lists[slot] = succs
+            self.finger_lists[slot] = fingers
+        if self.slot_ids_np is not None:
+            if len(succs) > self._width:
+                self._grow_width(len(succs))
+            row = self.succ_mat[slot]
+            if succs:
+                row[: len(succs)] = succs
+            row[len(succs):] = -1
+            self.finger_mat[slot] = [-1 if f is None else f for f in fingers]
+            self.slot_ids_np[slot] = node_id
+            self.succ_first_np[slot] = succs[0] if succs else node_id
+
+    def apply_join(self, node_id: int, succs, fingers) -> None:
+        """Splice a joined id into the sorted views and write its rows.
+
+        O(log n) row cells written plus one O(n) 1-D memmove of the
+        sorted id/order views -- never a matrix rebuild.  An id already
+        present degrades to :meth:`apply_update` (re-join after a
+        remove processed in the same delta drain).
+        """
+        if node_id in self.pos:
+            self.apply_update(node_id, succs, fingers)
+            return
+        slot = self._alloc_slot()
+        self._set_rows(slot, node_id, succs, fingers)
+        if self.ids is not None:
+            self.ids.insert(_bisect.bisect_left(self.ids, node_id), node_id)
+        if self._ids_buf is not None:
+            if self.n == len(self._ids_buf):
+                self._grow_sorted()
+            i = int(_np.searchsorted(self._ids_buf[: self.n], node_id))
+            self._ids_buf[i + 1 : self.n + 1] = self._ids_buf[i : self.n]
+            self._ids_buf[i] = node_id
+            self._order_buf[i + 1 : self.n + 1] = self._order_buf[i : self.n]
+            self._order_buf[i] = slot
+            if self.pos_table is not None:
+                self.pos_table[node_id] = slot + 1
+        if isinstance(self.pos, dict):
+            self.pos[node_id] = slot
+        self.n += 1
+        self.patches += 1
+
+    def apply_remove(self, node_id: int) -> None:
+        """Splice a departed id out of the sorted views, freeing its slot.
+
+        The slot's row data is left stale on purpose: live nodes'
+        finger/successor entries still referencing the departed id are
+        exactly what the live ring holds after a crash, and the replay
+        lanes route around them through the same liveness checks.  A
+        no-op for ids not present (crashed before the delta drained).
+        """
+        if node_id not in self.pos:
+            return
+        slot = self.pos[node_id]
+        if isinstance(self.pos, dict):
+            del self.pos[node_id]
+        if self.ids is not None:
+            del self.ids[_bisect.bisect_left(self.ids, node_id)]
+        if self._ids_buf is not None:
+            i = int(_np.searchsorted(self._ids_buf[: self.n], node_id))
+            self._ids_buf[i : self.n - 1] = self._ids_buf[i + 1 : self.n]
+            self._order_buf[i : self.n - 1] = self._order_buf[i + 1 : self.n]
+            if self.pos_table is not None:
+                self.pos_table[node_id] = 0
+        self.free.append(slot)
+        self.n -= 1
+        self.patches += 1
+
+    def apply_update(self, node_id: int, succs, fingers) -> None:
+        """Rewrite one live id's successor/finger rows in place (O(log n))."""
+        self._set_rows(self.pos[node_id], node_id, succs, fingers)
+        self.patches += 1
+
+    def patch_fingers(self, node_id: int, entries: dict[int, int | None]) -> None:
+        """Point-patch individual finger cells of one live id's row."""
+        slot = self.pos[node_id]
+        if self.finger_lists is not None:
+            row = list(self.finger_lists[slot])
+            for f, value in entries.items():
+                row[f] = value
+            self.finger_lists[slot] = tuple(row)
+        if self.finger_mat is not None:
+            for f, value in entries.items():
+                self.finger_mat[slot, f] = -1 if value is None else value
+        self.patches += 1
+
+    def patch_succs(self, node_id: int, succs) -> None:
+        """Rewrite one live id's successor list, leaving fingers alone."""
+        slot = self.pos[node_id]
+        succs = tuple(succs)
+        if self.succ_lists is not None:
+            self.succ_lists[slot] = succs
+        if self.succ_mat is not None:
+            if len(succs) > self._width:
+                self._grow_width(len(succs))
+            row = self.succ_mat[slot]
+            if succs:
+                row[: len(succs)] = succs
+            row[len(succs):] = -1
+            self.succ_first_np[slot] = succs[0] if succs else node_id
+        self.patches += 1
+
+    # -- equivalence (tests pin incremental == rebuild through this) --------
+
+    def canonical_state(self):
+        """The logical ring state, id-ordered and representation-free.
+
+        ``(id, successor-tuple, finger-tuple)`` per live member, decoded
+        from the numpy arrays when they exist (so the bit-identity
+        property test exercises the maintained arrays, not the Python
+        mirrors) and from the list mirrors in the pure-Python lane.  Two
+        snapshots are equivalent iff their canonical states are equal --
+        slot numbering and free-list history are representation detail.
+        """
+        if self.slot_ids_np is not None:
+            out = []
+            for i in range(self.n):
+                slot = int(self._order_buf[i])
+                node_id = int(self._ids_buf[i])
+                succs = tuple(int(v) for v in self.succ_mat[slot] if v >= 0)
+                fingers = tuple(
+                    None if v < 0 else int(v) for v in self.finger_mat[slot]
+                )
+                out.append((node_id, succs, fingers))
+            return tuple(out)
+        return tuple(
+            (node_id, self.succ_lists[self.pos[node_id]],
+             self.finger_lists[self.pos[node_id]])
+            for node_id in self.ids
+        )
 
 
 def lockstep_resolve(
@@ -236,13 +589,13 @@ def _sim_step(snapshot: RingSnapshot, node_id: int, target: int, excluded):
     hop falls through to the successor -- so replayed routes cannot
     drift from what the live node would have answered.
     """
-    i = snapshot.pos[node_id]
-    succs = snapshot.succ_lists[i]
+    slot = snapshot.pos[node_id]
+    succs = snapshot.succs_at(slot)
     succ = next((s for s in succs if s not in excluded), node_id)
     if succ == node_id or in_open_closed(target, node_id, succ):
         return "done", succ
     nxt = None
-    for finger in reversed(snapshot.finger_lists[i]):
+    for finger in reversed(snapshot.fingers_at(slot)):
         if (
             finger is not None
             and finger not in excluded
@@ -414,6 +767,12 @@ def _vector_resolve(
     ``hop_latency`` is the round-trip charge per hop in iterative mode
     and the one-way charge in recursive mode.
 
+    The frontier ``cur`` holds *slots* (stable row indices), so routing
+    is a gather through the finger/successor matrices; id -> slot for
+    forwarded values goes through the dense ``pos_table`` when present,
+    else a binary search of the sorted id view composed with the
+    position -> slot ``order`` array.
+
     Interval tests use modular distances: with the identifier space a
     power of two, ``in_open_open(x, a, b)`` is
     ``dx != 0 and (dx < db or db == 0)`` for ``dx = (x-a) & mask``,
@@ -425,6 +784,8 @@ def _vector_resolve(
     np = _np
     k = len(targets)
     ids = snapshot.ids_np
+    order = snapshot.order_np
+    slot_ids = snapshot.slot_ids_np
     fingers = snapshot.finger_mat
     succ_mat = snapshot.succ_mat
     succ_first = snapshot.succ_first_np
@@ -450,7 +811,7 @@ def _vector_resolve(
             return _alive_np(ids, v)
 
         def pos_of(v):
-            return np.searchsorted(ids, v)
+            return order[np.searchsorted(ids, v)]
 
     cur = np.full(k, snapshot.pos[entry_id], dtype=np.int64)
     hops = np.zeros(k, dtype=np.int64)
@@ -471,7 +832,7 @@ def _vector_resolve(
                 if act.size == 0:
                     continue
         c = cur[act]
-        node = ids[c]
+        node = slot_ids[c]
         tgt = t[act]
         succ = succ_first[c]
         # in_open_closed(tgt, node, succ); succ == node (whole-ring case)
@@ -506,7 +867,7 @@ def _vector_resolve(
                 if f_idx.size == 0:
                     continue
         c = cur[f_idx]
-        node = ids[c]
+        node = slot_ids[c]
         tgt = t[f_idx]
         succ = succ_first[c]
         # closest_preceding_node: the highest finger strictly inside

@@ -7,6 +7,7 @@ from __future__ import annotations
 
 import bisect
 import random
+from dataclasses import dataclass
 
 import networkx as nx
 
@@ -22,7 +23,25 @@ from .batch import BatchLookupStats, RingSnapshot, lockstep_resolve
 from .idspace import id_to_point, point_to_target_id
 from .node import ChordNode, LookupError_
 
-__all__ = ["ChordNetwork", "ChordDHT"]
+__all__ = ["ChordNetwork", "ChordDHT", "SnapshotDelta"]
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotDelta:
+    """One membership event in the network's snapshot delta log.
+
+    ``kind`` is ``"add"`` (join) or ``"remove"`` (crash/leave).  The log
+    records *which* ids changed membership, not their state: the drain in
+    :meth:`ChordNetwork.snapshot` reads each survivor's current
+    successor/finger state at patch time, which is what makes the patched
+    snapshot bit-identical to a from-scratch rebuild regardless of how
+    many maintenance rounds ran between drains.  Row-level changes to
+    nodes that stayed members travel separately, via the dirty set fed by
+    :attr:`ChordNode.on_change`.
+    """
+
+    kind: str
+    node_id: int
 
 
 class ChordNetwork:
@@ -80,12 +99,22 @@ class ChordNetwork:
         #: *directly* (bypassing the network API) must call
         #: :meth:`bump_epoch` themselves.
         self.churn_epoch = 0
-        #: How many ring snapshots have been (re)built -- epoch-cache
-        #: observability for benches and scenario reports.
+        #: How many ring snapshots have been built *from scratch* -- with
+        #: incremental maintenance this stays at 1 under churn driven
+        #: through the network API; only direct node mutation
+        #: (:meth:`bump_epoch`) or a delta backlog larger than the ring
+        #: forces another full build.
         self.snapshot_builds = 0
+        #: Row-level patch operations applied to the live snapshot in
+        #: lieu of full rebuilds (observability for benches/reports).
+        self.snapshot_patches = 0
         self._sorted_cache: list[int] | None = None
         self._sorted_epoch = -1
         self._snapshot: RingSnapshot | None = None
+        #: Ordered membership-event log plus the row-dirty set, drained
+        #: into the live snapshot by :meth:`snapshot`.
+        self._deltas: list[SnapshotDelta] = []
+        self._dirty: set[int] = set()
 
     # -- bootstrap ---------------------------------------------------------
 
@@ -112,15 +141,15 @@ class ChordNetwork:
         ids = net._draw_distinct_ids(n)
         if perfect:
             for node_id in ids:
-                node = ChordNode(node_id, net.m, net.transport, net._slist_size)
-                net.nodes[node_id] = node
-                net.transport.register(node_id, node)
+                net._register_node(
+                    ChordNode(node_id, net.m, net.transport, net._slist_size)
+                )
             net.rewire_perfectly()
         else:
             first = ids[0]
-            node = ChordNode(first, net.m, net.transport, net._slist_size)
-            net.nodes[first] = node
-            net.transport.register(first, node)
+            net._register_node(
+                ChordNode(first, net.m, net.transport, net._slist_size)
+            )
             for node_id in ids[1:]:
                 net.join_node(node_id)
                 net.stabilize_round()
@@ -140,12 +169,47 @@ class ChordNetwork:
         return fresh
 
     def bump_epoch(self) -> None:
-        """Invalidate epoch-keyed caches after a state mutation.
+        """Invalidate epoch-keyed caches after a *direct* state mutation.
 
-        Called by every mutating network method; exposed publicly for
-        tests and tools that reach into node state directly.
+        The conservative path for tests and tools that reach into node
+        state outside the network API (and for :meth:`rewire_perfectly`,
+        which rewrites every row anyway): the live snapshot is discarded
+        and the next :meth:`snapshot` call rebuilds from scratch, since
+        the delta log cannot know what changed.  Churn driven through the
+        network API does *not* come here -- joins, crashes, leaves and
+        stabilization record deltas via :meth:`_note_churn` and the
+        snapshot is patched incrementally.
         """
         self.churn_epoch += 1
+        self._snapshot = None
+        self._deltas.clear()
+        self._dirty.clear()
+
+    def _note_churn(self, delta: SnapshotDelta | None = None) -> None:
+        """Advance the epoch, logging a membership delta when one occurred.
+
+        A delta backlog larger than the ring means patching would cost
+        more than rebuilding (and the log would otherwise grow unbounded
+        if no one consumes snapshots), so the log collapses to a full
+        rebuild past that point.
+        """
+        self.churn_epoch += 1
+        if self._snapshot is None:
+            return  # nothing live to patch; next snapshot() rebuilds
+        if delta is not None:
+            self._deltas.append(delta)
+        if len(self._deltas) > max(64, 2 * len(self.nodes)):
+            self._snapshot = None
+            self._deltas.clear()
+            self._dirty.clear()
+
+    def _mark_dirty(self, node_id: int) -> None:
+        self._dirty.add(node_id)
+
+    def _register_node(self, node: ChordNode) -> None:
+        node.on_change = self._mark_dirty
+        self.nodes[node.node_id] = node
+        self.transport.register(node.node_id, node)
 
     def rewire_perfectly(self) -> None:
         """Set every node's state to the stabilized fixed point (oracle)."""
@@ -178,11 +242,10 @@ class ChordNetwork:
             raise ValueError(f"node {node_id} already in the ring")
         node = ChordNode(node_id, self.m, self.transport, self._slist_size)
         entry = self._random_alive_id()
-        self.nodes[node_id] = node
-        self.transport.register(node_id, node)
+        self._register_node(node)
         if entry is not None:
             node.join(entry)
-        self.bump_epoch()
+        self._note_churn(SnapshotDelta("add", node_id))
         return node
 
     def crash_node(self, node_id: int) -> None:
@@ -199,7 +262,7 @@ class ChordNetwork:
             raise KeyError(f"no node {node_id}")
         del self.nodes[node_id]
         self.transport.deregister(node_id)
-        self.bump_epoch()
+        self._note_churn(SnapshotDelta("remove", node_id))
 
     def _random_alive_id(self) -> int | None:
         others = [i for i in self.nodes]
@@ -232,7 +295,9 @@ class ChordNetwork:
                 node.fix_next_finger()
         if self.ring_merge:
             self._merge_rings()
-        self.bump_epoch()
+        # Maintenance only rewrites rows of existing members; the nodes'
+        # on_change hooks have already marked exactly which ones.
+        self._note_churn()
 
     def _merge_rings(self) -> None:
         """Re-join nodes that churn has split off the main ring.
@@ -344,17 +409,47 @@ class ChordNetwork:
         return self._sorted_cache
 
     def snapshot(self) -> RingSnapshot:
-        """The epoch-cached array view used by the lockstep lookup engine.
+        """The live array view used by the lockstep lookup engine.
 
-        Rebuilt lazily on first use after :attr:`churn_epoch` moves, so
-        thousands of batched lookups in a static phase share one build
-        while any membership/maintenance event invalidates it before the
-        next batch.
+        Built from scratch once, then maintained *incrementally*: when
+        :attr:`churn_epoch` has moved, the pending membership deltas are
+        drained in order (joins spliced in, crashes/leaves spliced out)
+        and every surviving node the maintenance hooks marked dirty gets
+        its successor/finger rows rewritten from its current state --
+        O(changed) row patches instead of an O(n * m) rebuild.  The
+        patched snapshot is bit-identical to ``RingSnapshot.build(self)``
+        (pinned by the Hypothesis equivalence property), so the lockstep
+        engine's charge-identity guarantee is unaffected.  Only
+        :meth:`bump_epoch` (direct node mutation, perfect rewire) or a
+        delta backlog exceeding the ring size forces a fresh build.
         """
-        if self._snapshot is None or self._snapshot.epoch != self.churn_epoch:
-            self._snapshot = RingSnapshot.build(self)
+        snap = self._snapshot
+        if snap is None:
+            self._deltas.clear()
+            self._dirty.clear()
+            snap = self._snapshot = RingSnapshot.build(self)
             self.snapshot_builds += 1
-        return self._snapshot
+            return snap
+        if snap.epoch != self.churn_epoch:
+            before = snap.patches
+            for delta in self._deltas:
+                if delta.kind == "remove":
+                    snap.apply_remove(delta.node_id)
+                    continue
+                node = self.nodes.get(delta.node_id)
+                if node is None:
+                    continue  # joined and departed within one drain window
+                snap.apply_join(delta.node_id, node.successors, node.fingers)
+                self._dirty.discard(delta.node_id)
+            self._deltas.clear()
+            for node_id in self._dirty:
+                node = self.nodes.get(node_id)
+                if node is not None and node_id in snap.pos:
+                    snap.apply_update(node_id, node.successors, node.fingers)
+            self._dirty.clear()
+            self.snapshot_patches += snap.patches - before
+            snap.epoch = self.churn_epoch
+        return snap
 
     def ring_is_correct(self) -> bool:
         """Every successor pointer equals the next alive id clockwise."""

@@ -80,6 +80,13 @@ class ChordNode:
         self.predecessor: int | None = None
         self.fingers: list[int | None] = [None] * m
         self._next_finger = 0
+        #: Fired with ``node_id`` whenever the successor list or a finger
+        #: actually changes (the predecessor is not snapshot-relevant).
+        #: The network installs its dirty-tracking hook here so the ring
+        #: snapshot can be patched incrementally instead of rebuilt; every
+        #: mutation site below compares before firing, so a stabilize
+        #: round on a converged ring marks nothing dirty.
+        self.on_change: Any = None
         #: Pending async recursive lookups this node originated:
         #: token -> completion callback (see repro.dht.chord.async_lookup).
         #: Plain bookkeeping; unused (and free) on the sync transport.
@@ -95,6 +102,15 @@ class ChordNode:
 
     def __repr__(self) -> str:
         return f"ChordNode(id={self.node_id}, m={self.m})"
+
+    def _changed(self) -> None:
+        if self.on_change is not None:
+            self.on_change(self.node_id)
+
+    def _set_successors(self, new: list[int]) -> None:
+        if new != self.successors:
+            self.successors = new
+            self._changed()
 
     # -- RPC-exposed methods (invoked via the transport) --------------------
 
@@ -172,7 +188,7 @@ class ChordNode:
         for candidate in replacements:
             if candidate != departing_id and candidate not in merged:
                 merged.append(candidate)
-        self.successors = merged[: self._slist_size] or [self.node_id]
+        self._set_successors(merged[: self._slist_size] or [self.node_id])
 
     # -- client-driven iterative lookup --------------------------------------
 
@@ -345,7 +361,7 @@ class ChordNode:
             except RpcTimeout:
                 return  # stay self-looped; stabilization will adopt us
         self.predecessor = None
-        self.successors = [succ]
+        self._set_successors([succ])
         try:
             self._transport.rpc(succ, "notify", self.node_id)
         except RpcTimeout:
@@ -360,7 +376,7 @@ class ChordNode:
             if self.predecessor is None or self.predecessor == self.node_id:
                 return
             succ = self.predecessor
-            self.successors = [succ]
+            self._set_successors([succ])
         try:
             x = self._transport.rpc(succ, "get_predecessor")
         except RpcTimeout:
@@ -381,7 +397,7 @@ class ChordNode:
         for s in merged:
             if s not in deduped:
                 deduped.append(s)
-        self.successors = deduped[: self._slist_size]
+        self._set_successors(deduped[: self._slist_size])
 
     def _is_alive(self, node_id: int, attempts: int = 2) -> bool:
         """Ping with one retry so a single lost packet does not declare a
@@ -396,15 +412,20 @@ class ChordNode:
 
     def _first_live_successor(self) -> int:
         """Pop dead entries off the successor list; never leaves it empty."""
-        while self.successors:
-            candidate = self.successors[0]
-            if candidate == self.node_id:
-                return candidate
-            if self._is_alive(candidate):
-                return candidate
-            self.successors.pop(0)
-        self.successors = [self.node_id]
-        return self.node_id
+        dropped = 0
+        while dropped < len(self.successors):
+            candidate = self.successors[dropped]
+            if candidate == self.node_id or self._is_alive(candidate):
+                break
+            dropped += 1
+        if dropped:
+            del self.successors[:dropped]
+            self._changed()
+        if not self.successors:
+            self.successors = [self.node_id]
+            self._changed()
+            return self.node_id
+        return self.successors[0]
 
     def check_predecessor(self) -> None:
         """Forget a crashed predecessor so ``notify`` can install a new one."""
@@ -428,6 +449,7 @@ class ChordNode:
         if succ == self.node_id or in_open_open(candidate_id, self.node_id, succ):
             self.successors.insert(0, candidate_id)
             del self.successors[self._slist_size :]
+            self._changed()
 
     def rectify(self, via: int | None = None) -> None:
         """Re-insert ourselves clockwise when the ring has bypassed us.
@@ -509,9 +531,12 @@ class ChordNode:
         self._next_finger = (self._next_finger + 1) % self.m
         target = (self.node_id + (1 << i)) % (1 << self.m)
         try:
-            self.fingers[i] = self.lookup(target).node_id
+            new: int | None = self.lookup(target).node_id
         except LookupError_:
-            self.fingers[i] = None
+            new = None
+        if new != self.fingers[i]:
+            self.fingers[i] = new
+            self._changed()
 
     def fix_all_fingers(self) -> None:
         """Refresh the whole finger table (used at bootstrap)."""

@@ -23,6 +23,7 @@ from .node import (
     SuccessorResult,
     lookup_budget,
 )
+from .routing import SoAKademliaDHT, SoAKademliaNetwork
 
 __all__ = [
     "DEFAULT_BITS",
@@ -31,6 +32,8 @@ __all__ = [
     "KademliaNetwork",
     "KademliaNode",
     "LookupOutcome",
+    "SoAKademliaDHT",
+    "SoAKademliaNetwork",
     "SuccessorResult",
     "aligned_limit",
     "bucket_index",

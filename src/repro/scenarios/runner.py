@@ -91,6 +91,7 @@ class ShardReport:
     bias_amplification: float | None = None  # capture_rate / live Byz fraction
     honest_chi2_p: float | None = None  # uniformity over *honest* survivors
     honest_tv: float | None = None  # TV from uniform over honest survivors
+    snapshot_patches: int = 0  # incremental row patches absorbed by the snapshot
 
     def to_record(self) -> dict:
         return dataclasses.asdict(self)
@@ -460,6 +461,7 @@ def _shard_reports(
                 bias_amplification=bias_amplification,
                 honest_chi2_p=honest_chi2_p,
                 honest_tv=honest_tv,
+                snapshot_patches=getattr(net, "snapshot_patches", 0),
             )
         )
     return reports

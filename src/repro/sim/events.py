@@ -48,14 +48,25 @@ class EventQueue:
     heap without bound, so the queue counts its tombstones and lazily
     compacts -- filter plus re-heapify, O(heap) amortized against the
     cancellations that earned it -- whenever they outnumber the live
-    events.  The live count makes ``__len__`` O(1) as a bonus.
+    events ``compact_factor`` to one.  The live count makes ``__len__``
+    O(1) as a bonus.
+
+    ``compact_factor`` (default 1.0) bounds the heap at roughly
+    ``(1 + compact_factor) * len(self)`` entries: compaction fires once
+    tombstones exceed ``compact_factor`` times the live count.  Raising
+    it trades memory for fewer re-heapify passes under cancel-heavy
+    load; it must be positive or tombstones would never be allowed to
+    accumulate at all.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, compact_factor: float = 1.0) -> None:
+        if compact_factor <= 0:
+            raise ValueError("compact_factor must be positive")
         self._heap: list[Event] = []
         self._seq = itertools.count()
         #: Cancelled events still sitting in the heap.
         self._tombstones = 0
+        self.compact_factor = compact_factor
 
     def push(self, time: float, action: Callable[[], None]) -> Event:
         event = Event(time=time, seq=next(self._seq), action=action, _queue=self)
@@ -80,9 +91,18 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def _note_cancel(self) -> None:
-        """Account one new tombstone, compacting when they dominate."""
+        """Account one new tombstone, compacting when they dominate.
+
+        The trigger compares tombstones against ``compact_factor`` times
+        the live count (``len(self._heap) - self._tombstones``); at the
+        default factor of 1.0 this is the classic ``tombstones > live``
+        rule, i.e. ``raw_size`` at most ``2 * len(self)`` plus the one
+        cancel that fires compaction.
+        """
         self._tombstones += 1
-        if self._tombstones * 2 > len(self._heap):
+        if self._tombstones > self.compact_factor * (
+            len(self._heap) - self._tombstones
+        ):
             self._compact()
 
     def _compact(self) -> None:
@@ -98,9 +118,9 @@ class EventQueue:
     @property
     def raw_size(self) -> int:
         """Heap entries including tombstones (bounded-growth invariant:
-        at most one tombstone per live event, so ``raw_size`` never
-        exceeds ``2 * len(self)`` plus the one cancel that triggers
-        compaction)."""
+        at most ``compact_factor`` tombstones per live event, so
+        ``raw_size`` never exceeds ``(1 + compact_factor) * len(self)``
+        plus the one cancel that triggers compaction)."""
         return len(self._heap)
 
     def __len__(self) -> int:

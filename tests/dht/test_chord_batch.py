@@ -19,7 +19,7 @@ from repro.core.engine import BatchSampler
 from repro.core.sampler import RandomPeerSampler
 from repro.dht.api import BulkDHT
 from repro.dht.chord import ChordNetwork
-from repro.dht.chord.batch import lockstep_resolve
+from repro.dht.chord.batch import RingSnapshot, lockstep_resolve
 from repro.dht.chord.idspace import point_to_target_id
 from repro.dht.chord.node import LookupError_
 from repro.sim.network import UniformLatency
@@ -269,16 +269,32 @@ class TestEpochCaching:
         mutate(net)
         assert net.churn_epoch > before
 
-    def test_snapshot_cached_until_epoch_moves(self):
+    def test_snapshot_patched_in_place_when_epoch_moves(self):
         net = ChordNetwork.build(16, m=16, rng=random.Random(43))
         snap = net.snapshot()
         assert net.snapshot() is snap
         assert net.snapshot_builds == 1
+        n_before = snap.n
         net.crash_node(max(net.nodes))
+        fresh = net.snapshot()
+        # Churn through the network API patches the live snapshot
+        # incrementally -- no second full build.
+        assert fresh is snap
+        assert net.snapshot_builds == 1
+        assert net.snapshot_patches >= 1
+        assert fresh.n == n_before - 1
+        # ... and the patched state is exactly what a rebuild would give.
+        assert fresh.canonical_state() == RingSnapshot.build(net).canonical_state()
+
+    def test_direct_mutation_forces_full_rebuild(self):
+        net = ChordNetwork.build(16, m=16, rng=random.Random(47))
+        snap = net.snapshot()
+        some_id = net.sorted_ids()[0]
+        net.nodes[some_id].successors.append(net.sorted_ids()[2])
+        net.bump_epoch()  # the documented contract for direct mutation
         fresh = net.snapshot()
         assert fresh is not snap
         assert net.snapshot_builds == 2
-        assert fresh.n == snap.n - 1
 
     def test_snapshot_copies_node_state(self):
         # later in-place mutation of live lists must not leak into a

@@ -25,8 +25,10 @@ from repro.core.estimate import estimate_n
 from repro.core.sampler import GAMMA1, GAMMA2, RandomPeerSampler
 from repro.dht.api import BulkDHT, CostSnapshot, PeerRef, PeerUnreachableError
 from repro.dht.chord.network import ChordNetwork
+from repro.dht.chord.soa import SoAChordNetwork
 from repro.dht.ideal import IdealDHT
 from repro.dht.kademlia.network import KademliaNetwork
+from repro.dht.kademlia.routing import SoAKademliaNetwork
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,7 @@ class Backend:
     bulk: bool  # satisfies BulkDHT (flat-array fast path, synthetic costs)
     churnable: bool  # peers can be crashed out from under the adapter
     crash: callable = None  # (dht, peer_ids) -> None
+    transported: bool = True  # has a message transport an adversary can corrupt
 
 
 def _make_ideal(n, seed):
@@ -51,6 +54,14 @@ def _make_chord(n, seed):
 
 def _make_kademlia(n, seed):
     return KademliaNetwork.build_dht(n, m=16, k=8, rng=random.Random(seed))
+
+
+def _make_chord_soa(n, seed):
+    return SoAChordNetwork.build_dht(n, m=16, rng=random.Random(seed))
+
+
+def _make_kademlia_soa(n, seed):
+    return SoAKademliaNetwork.build_dht(n, m=16, k=8, rng=random.Random(seed))
 
 
 def _net_ids(dht):
@@ -69,6 +80,7 @@ BACKENDS = {
         live_peer_ids=lambda dht: {p.peer_id for p in dht.peers},
         bulk=True,
         churnable=False,
+        transported=False,
     ),
     "chord": Backend(
         name="chord",
@@ -85,6 +97,27 @@ BACKENDS = {
         bulk=False,
         churnable=True,
         crash=_net_crash,
+    ),
+    # Struct-of-arrays substrates: same lookup/charge semantics, but the
+    # state lives in flat arrays replayed by lockstep resolution rather
+    # than in per-node objects behind a message transport.
+    "chord-soa": Backend(
+        name="chord-soa",
+        make=_make_chord_soa,
+        live_peer_ids=_net_ids,
+        bulk=False,
+        churnable=True,
+        crash=_net_crash,
+        transported=False,
+    ),
+    "kademlia-soa": Backend(
+        name="kademlia-soa",
+        make=_make_kademlia_soa,
+        live_peer_ids=_net_ids,
+        bulk=False,
+        churnable=True,
+        crash=_net_crash,
+        transported=False,
     ),
 }
 
@@ -387,7 +420,7 @@ class TestAdversarialContract:
         ring = oracle_ring(backend, honest)
         xs = trial_points(self.TRIALS, 83)
 
-        if not backend.churnable:  # the ideal oracle has no transport
+        if not backend.transported:  # no message transport to corrupt
             for x in xs:
                 assert honest.h(x) == oracle_h(ring, x)
             return
@@ -447,7 +480,7 @@ class TestAdversarialContract:
     def test_census_lies_never_corrupt_the_lookup_path(self, backend):
         from repro.adversary import AdversaryState
 
-        if not backend.churnable:
+        if not backend.transported:
             pytest.skip(f"{backend.name} has no transport to corrupt")
         dht = backend.make(self.N, seed=self.SEED + 1)
         ring = oracle_ring(backend, dht)

@@ -67,6 +67,46 @@ class TestEventQueue:
             e.seq for e in live
         )
 
+    def test_default_compact_factor_pins_two_x_live_bound(self):
+        # The documented contract at compact_factor=1.0: raw_size never
+        # exceeds twice the live count plus the one cancel that fires
+        # compaction, across an adversarial cancel-heavy schedule.
+        q = EventQueue()
+        assert q.compact_factor == 1.0
+        for i in range(64):
+            q.push(1_000_000.0 + i, lambda: None)
+        worst = 0
+        for i in range(5_000):
+            q.push(1_000.0 + i, lambda: None).cancel()
+            worst = max(worst, q.raw_size)
+            assert q.raw_size <= 2 * len(q) + 1
+        assert worst > len(q)  # tombstones really did accumulate
+        assert len(q) == 64
+
+    def test_compact_factor_is_configurable(self):
+        # A looser factor admits proportionally more tombstones before
+        # compacting (fewer re-heapify passes), but still bounds growth.
+        q = EventQueue(compact_factor=4.0)
+        for i in range(16):
+            q.push(1_000_000.0 + i, lambda: None)
+        worst = 0
+        for i in range(2_000):
+            q.push(1_000.0 + i, lambda: None).cancel()
+            worst = max(worst, q.raw_size)
+            assert q.raw_size <= 5 * len(q) + 1
+        # the looser bound was actually used: growth beyond the 2x-live
+        # ceiling that the default factor would have enforced
+        assert worst > 2 * len(q) + 1
+        assert len(q) == 16
+
+    def test_compact_factor_rejects_nonpositive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EventQueue(compact_factor=0)
+        with pytest.raises(ValueError):
+            EventQueue(compact_factor=-1.5)
+
     def test_compaction_preserves_order_and_len(self):
         q = EventQueue()
         events = [q.push(float(i), lambda i=i: i) for i in range(100)]
